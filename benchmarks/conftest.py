@@ -1,0 +1,46 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  By default
+the reduced benchmark scale is used (16/25-qubit instances, seconds per
+experiment); set ``DCMBQC_FULL_BENCH=1`` to evaluate the paper's full
+Table II grid, or ``DCMBQC_BENCH_SCALE=smoke`` for the smallest instances.
+
+Each benchmark prints its paper-style table to stdout (run pytest with
+``-s`` to see it live) and writes it to ``benchmarks/results/<name>.txt`` so
+the output can be diffed against the values recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.reporting.experiments import BenchmarkScale
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> BenchmarkScale:
+    """Benchmark scale selected via environment variables."""
+    return BenchmarkScale.from_environment()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory that receives the rendered tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Return a helper that prints a table and stores it under results/."""
+
+    def _record(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _record

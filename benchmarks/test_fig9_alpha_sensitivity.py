@@ -1,0 +1,32 @@
+"""Figure 9 — robustness against the maximum imbalance factor alpha_max.
+
+The paper finds that performance fluctuates only within a narrow band across
+alpha_max from 1.05 to 4, because Algorithm 2 returns essentially the same
+partition across that whole range.  The benchmark reproduces the sweep on a
+QFT instance and checks both the bounded fluctuation and the partition
+stability (cut size nearly constant).
+"""
+
+from repro.reporting.experiments import figure9_series
+from repro.reporting.render import render_series
+
+
+def test_figure9_alpha_max_robustness(benchmark, record_table):
+    rows = benchmark.pedantic(
+        figure9_series, kwargs={"program_qubits": 16}, rounds=1, iterations=1
+    )
+    record_table("figure9_alpha_max", render_series(rows, "Figure 9 — alpha_max robustness"))
+
+    exec_factors = [row["exec_improvement"] for row in rows]
+    lifetime_factors = [row["lifetime_improvement"] for row in rows]
+    cut_sizes = [row["cut_size"] for row in rows]
+
+    # Performance fluctuates in a narrow band across the whole range.
+    assert (max(exec_factors) - min(exec_factors)) / max(exec_factors) < 0.5
+    assert (max(lifetime_factors) - min(lifetime_factors)) / max(lifetime_factors) < 0.6
+
+    # The partition itself is stable: the cut size barely moves.
+    assert max(cut_sizes) - min(cut_sizes) <= max(5, 0.3 * max(cut_sizes))
+
+    # Distribution keeps winning for every alpha_max.
+    assert all(factor > 1.0 for factor in exec_factors)

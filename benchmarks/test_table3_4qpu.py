@@ -1,0 +1,35 @@
+"""Table III — DC-MBQC vs OneQ with 4 QPUs and 5-star resource states.
+
+The paper reports execution-time improvements of 2.19x-3.81x and
+required-lifetime improvements of 1.61x-4.11x at this configuration.  With
+our reimplemented mapping substrate the absolute factors are smaller, but
+the benchmark asserts the qualitative shape: the distributed compiler wins
+on execution time for every program and never materially regresses the
+required photon lifetime.
+"""
+
+from repro.metrics.improvement import geometric_mean_improvement
+from repro.reporting.experiments import table3_rows
+from repro.reporting.render import render_comparison_table
+
+
+def test_table3_four_qpus_vs_oneq(benchmark, bench_scale, record_table):
+    rows = benchmark.pedantic(table3_rows, args=(bench_scale,), rounds=1, iterations=1)
+    record_table(
+        "table3_4qpu_vs_oneq",
+        render_comparison_table(rows, "Table III — DC-MBQC vs OneQ (4 QPUs, 5-star)"),
+    )
+
+    # Distributed execution wins for every benchmark program.
+    for row in rows:
+        assert row.exec_improvement > 1.0, f"{row.label} regressed on execution time"
+
+    # Lifetime improves on average and never collapses.
+    lifetime_factors = [row.lifetime_improvement for row in rows]
+    assert geometric_mean_improvement(lifetime_factors) > 1.0
+    assert all(factor > 0.8 for factor in lifetime_factors)
+
+    # The aggregate speedup is well below the ideal 4x but clearly above 1.5x
+    # for the structured programs (QFT / RCA), matching the paper's ordering.
+    structured = [row.exec_improvement for row in rows if row.program in ("QFT", "RCA")]
+    assert max(structured) > 1.8

@@ -1,0 +1,81 @@
+"""Relate compiler output to physical photon loss (Figure 1 of the paper).
+
+The required photon lifetime is only a proxy metric; what ultimately matters
+is the probability that a photon survives its stay in the fibre delay line.
+This example compiles a VQE ansatz with the monolithic baseline and with
+DC-MBQC, replays the distributed schedule with the runtime simulator, and
+converts the observed storage times into loss probabilities at the three
+clock rates studied in the paper (1, 10 and 100 ns per cycle).
+
+Run with::
+
+    python examples/photon_lifetime_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.compiler import OneQCompiler, computation_graph_from_pattern
+from repro.core import DCMBQCCompiler, DCMBQCConfig
+from repro.hardware.loss import DelayLineModel
+from repro.mbqc.translate import circuit_to_pattern
+from repro.programs import vqe_circuit
+from repro.programs.registry import paper_grid_size
+from repro.runtime import DistributedRuntime, estimate_program_reliability
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    num_qubits = 12
+    circuit = vqe_circuit(num_qubits, layers=1, seed=3)
+    computation = computation_graph_from_pattern(circuit_to_pattern(circuit))
+    grid_size = paper_grid_size(num_qubits)
+
+    baseline = OneQCompiler(grid_size=grid_size).compile(computation)
+    result = DCMBQCCompiler(DCMBQCConfig(num_qpus=4, grid_size=grid_size)).compile(
+        computation
+    )
+
+    print(f"VQE-{num_qubits}: baseline lifetime {baseline.required_photon_lifetime} cycles, "
+          f"DC-MBQC lifetime {result.required_photon_lifetime} cycles")
+
+    runtime = DistributedRuntime(result)
+    trace = runtime.run()
+    print(f"Replayed distributed schedule: {trace.total_cycles} cycles, "
+          f"{trace.sync_events} inter-QPU synchronisations, "
+          f"QPU utilisation {trace.utilisation(result.config.num_qpus):.2%}")
+    print("Worst-stored photons:")
+    for record in trace.worst_photons(3):
+        print(f"  photon {record.node}: {record.storage_cycles} cycles ({record.reason})")
+
+    table = Table(
+        title="\nLoss exposure vs resource-state clock rate",
+        columns=[
+            "Clock (ns/cycle)",
+            "Baseline worst loss",
+            "DC-MBQC worst loss",
+            "DC-MBQC survival prob.",
+        ],
+    )
+    for cycle_time in (1.0, 10.0, 100.0):
+        model = DelayLineModel(cycle_time_ns=cycle_time)
+        baseline_loss = model.loss_probability(baseline.required_photon_lifetime)
+        estimate = estimate_program_reliability(result, delay_line=model)
+        table.add_row(
+            [
+                cycle_time,
+                f"{baseline_loss:.3%}",
+                f"{estimate.worst_photon_loss:.3%}",
+                f"{estimate.survival_probability:.3%}",
+            ]
+        )
+    print(table.render())
+    print(
+        "\nReading: at 1 ns/cycle both compilers stay far below the 5% loss "
+        "budget, but at realistic 10-100 ns clock rates only the distributed "
+        "compilation keeps the worst-case photon exposure manageable — the "
+        "central argument of the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

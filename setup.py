@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment used for the reproduction has no network access and no
+``wheel`` package, so PEP 660 editable installs (which shell out to
+``bdist_wheel``) are unavailable.  Keeping a classic ``setup.py`` alongside
+``pyproject.toml`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Gate-level quantum circuit front end.
+
+This subpackage is the substrate the benchmark programs are written in.  It
+provides a minimal but complete circuit IR (:class:`QuantumCircuit`), the
+standard gate set used by the paper's benchmarks (H, X, Y, Z, S, T, RX, RY,
+RZ, CZ, CNOT, SWAP, CCX/Toffoli), a decomposition pass into the
+{J(alpha), CZ} basis consumed by the MBQC translation, and a dense
+statevector simulator used to validate both the decomposition and the MBQC
+translation on small instances.
+"""
+
+from repro.circuit.gates import Gate, GateSpec, GATE_LIBRARY, is_supported_gate
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.decompose import decompose_to_jcz, JGate, CZGate, JCZProgram
+from repro.circuit.simulator import StatevectorSimulator, simulate_circuit
+from repro.circuit.equivalence import (
+    circuits_equivalent,
+    states_equivalent_up_to_phase,
+)
+from repro.circuit.optimize import optimize_circuit
+
+__all__ = [
+    "Gate",
+    "GateSpec",
+    "GATE_LIBRARY",
+    "is_supported_gate",
+    "QuantumCircuit",
+    "decompose_to_jcz",
+    "JGate",
+    "CZGate",
+    "JCZProgram",
+    "StatevectorSimulator",
+    "simulate_circuit",
+    "circuits_equivalent",
+    "states_equivalent_up_to_phase",
+    "optimize_circuit",
+]

@@ -1,0 +1,212 @@
+"""The :class:`QuantumCircuit` container.
+
+A circuit is an ordered list of :class:`~repro.circuit.gates.Gate` objects on
+a fixed register of qubits.  The builder methods mirror the gate set used by
+the paper's benchmark programs (QAOA, VQE, QFT, RCA) and keep the IR easy to
+construct by hand in tests and examples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.circuit.gates import Gate, validate_gate
+
+__all__ = ["QuantumCircuit"]
+
+
+@dataclass
+class QuantumCircuit:
+    """An ordered sequence of gates on ``num_qubits`` qubits.
+
+    Attributes:
+        num_qubits: Size of the qubit register (qubits are ``0..n-1``).
+        name: Optional human-readable name used in benchmark reports.
+        gates: The gate list, in program order.
+    """
+
+    num_qubits: int
+    name: str = "circuit"
+    gates: List[Gate] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_qubits <= 0:
+            raise ValueError("a circuit needs at least one qubit")
+
+    # ------------------------------------------------------------------ #
+    # Core mutation API
+    # ------------------------------------------------------------------ #
+
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Validate ``gate`` against the register and append it."""
+        validate_gate(gate)
+        for qubit in gate.qubits:
+            if not 0 <= qubit < self.num_qubits:
+                raise ValueError(
+                    f"gate {gate.name} touches qubit {qubit}, register has "
+                    f"{self.num_qubits} qubits"
+                )
+        self.gates.append(gate)
+        return self
+
+    def add(self, name: str, qubits: Iterable[int], params: Iterable[float] = ()) -> "QuantumCircuit":
+        """Append a gate by name; convenience wrapper over :meth:`append`."""
+        return self.append(Gate(name.upper(), tuple(qubits), tuple(float(p) for p in params)))
+
+    def extend(self, gates: Iterable[Gate]) -> "QuantumCircuit":
+        """Append several gates in order."""
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Append all gates of ``other`` (registers must match in size)."""
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("cannot compose circuits of different widths")
+        return self.extend(other.gates)
+
+    # ------------------------------------------------------------------ #
+    # Named gate helpers
+    # ------------------------------------------------------------------ #
+
+    def h(self, q: int) -> "QuantumCircuit":
+        """Hadamard."""
+        return self.add("H", [q])
+
+    def x(self, q: int) -> "QuantumCircuit":
+        """Pauli-X."""
+        return self.add("X", [q])
+
+    def y(self, q: int) -> "QuantumCircuit":
+        """Pauli-Y."""
+        return self.add("Y", [q])
+
+    def z(self, q: int) -> "QuantumCircuit":
+        """Pauli-Z."""
+        return self.add("Z", [q])
+
+    def s(self, q: int) -> "QuantumCircuit":
+        """Phase gate S."""
+        return self.add("S", [q])
+
+    def sdg(self, q: int) -> "QuantumCircuit":
+        """Inverse phase gate."""
+        return self.add("SDG", [q])
+
+    def t(self, q: int) -> "QuantumCircuit":
+        """T gate."""
+        return self.add("T", [q])
+
+    def tdg(self, q: int) -> "QuantumCircuit":
+        """Inverse T gate."""
+        return self.add("TDG", [q])
+
+    def rx(self, theta: float, q: int) -> "QuantumCircuit":
+        """Rotation about X."""
+        return self.add("RX", [q], [theta])
+
+    def ry(self, theta: float, q: int) -> "QuantumCircuit":
+        """Rotation about Y."""
+        return self.add("RY", [q], [theta])
+
+    def rz(self, theta: float, q: int) -> "QuantumCircuit":
+        """Rotation about Z."""
+        return self.add("RZ", [q], [theta])
+
+    def phase(self, theta: float, q: int) -> "QuantumCircuit":
+        """Diagonal phase gate diag(1, e^{i theta})."""
+        return self.add("PHASE", [q], [theta])
+
+    def j(self, theta: float, q: int) -> "QuantumCircuit":
+        """The J(theta) = H RZ(theta) gate from the MBQC basis."""
+        return self.add("J", [q], [theta])
+
+    def cz(self, a: int, b: int) -> "QuantumCircuit":
+        """Controlled-Z."""
+        return self.add("CZ", [a, b])
+
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        """CNOT."""
+        return self.add("CX", [control, target])
+
+    def cphase(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        """Controlled phase gate, used by QFT."""
+        return self.add("CPHASE", [control, target], [theta])
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        """SWAP."""
+        return self.add("SWAP", [a, b])
+
+    def ccx(self, a: int, b: int, target: int) -> "QuantumCircuit":
+        """Toffoli."""
+        return self.add("CCX", [a, b, target])
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    @property
+    def num_gates(self) -> int:
+        """Total gate count."""
+        return len(self.gates)
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        """Number of gates acting on two or more qubits.
+
+        This is the "#2Q gates" column of Table II (CCX counts once here; the
+        decomposition pass expands it before the MBQC translation).
+        """
+        return sum(1 for gate in self.gates if gate.num_qubits >= 2)
+
+    def count_gates(self) -> dict:
+        """Return a histogram ``{gate name: count}``."""
+        histogram: dict = {}
+        for gate in self.gates:
+            histogram[gate.name] = histogram.get(gate.name, 0) + 1
+        return histogram
+
+    def depth(self) -> int:
+        """Return the circuit depth (longest chain of dependent gates)."""
+        frontier = [0] * self.num_qubits
+        for gate in self.gates:
+            level = max(frontier[q] for q in gate.qubits) + 1
+            for q in gate.qubits:
+                frontier[q] = level
+        return max(frontier) if frontier else 0
+
+    def interaction_graph(self) -> List[Tuple[int, int]]:
+        """Return the list of qubit pairs coupled by at least one 2Q gate."""
+        pairs = set()
+        for gate in self.gates:
+            if gate.num_qubits == 2:
+                a, b = sorted(gate.qubits)
+                pairs.add((a, b))
+            elif gate.num_qubits == 3:
+                qs = sorted(gate.qubits)
+                pairs.update({(qs[0], qs[1]), (qs[0], qs[2]), (qs[1], qs[2])})
+        return sorted(pairs)
+
+    def inverse(self) -> "QuantumCircuit":
+        """Return the adjoint circuit (gate order reversed, angles negated)."""
+        inv = QuantumCircuit(self.num_qubits, name=f"{self.name}_dag")
+        adjoint_name = {"S": "SDG", "SDG": "S", "T": "TDG", "TDG": "T"}
+        for gate in reversed(self.gates):
+            name = adjoint_name.get(gate.name, gate.name)
+            params = tuple(-p for p in gate.params)
+            inv.append(Gate(name, gate.qubits, params))
+        return inv
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QuantumCircuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"gates={len(self.gates)}, depth={self.depth()})"
+        )

@@ -1,0 +1,271 @@
+"""Decomposition of circuits into the {J(alpha), CZ} basis.
+
+The MBQC translation (Section II-A of the paper) consumes circuits expressed
+in the measurement-calculus friendly basis: the single-qubit gate
+``J(alpha) = H RZ(alpha)`` plus the two-qubit CZ gate.  Every gate supported
+by the front end is rewritten here into that basis:
+
+* ``H -> J(0)``
+* ``RZ(t) -> J(0) J(t)``   (i.e. apply ``J(t)`` then ``J(0)``)
+* ``RX(t) -> J(t) J(0)``
+* arbitrary single-qubit unitaries via a ZXZ Euler decomposition, giving the
+  canonical 4-J form ``U = J(0) J(a) J(b) J(c)``
+* ``CX -> (H on target) CZ (H on target)``
+* ``CPHASE``, ``SWAP`` and ``CCX`` via their standard CX/RZ decompositions.
+
+The output is a :class:`JCZProgram`, a flat list of :class:`JGate` and
+:class:`CZGate` operations, which is exactly what the MBQC translation in
+:mod:`repro.mbqc.translate` turns into a measurement pattern.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate, gate_matrix
+from repro.utils.errors import CompilationError
+
+__all__ = ["JGate", "CZGate", "JCZProgram", "decompose_to_jcz", "euler_zxz"]
+
+_ANGLE_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class JGate:
+    """A ``J(angle) = H RZ(angle)`` gate on a single qubit."""
+
+    qubit: int
+    angle: float
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"J({self.angle:.4g}) q[{self.qubit}]"
+
+
+@dataclass(frozen=True)
+class CZGate:
+    """A CZ gate between two qubits."""
+
+    qubit_a: int
+    qubit_b: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CZ q[{self.qubit_a},{self.qubit_b}]"
+
+
+JCZOperation = Union[JGate, CZGate]
+
+
+@dataclass
+class JCZProgram:
+    """A circuit expressed purely in the {J, CZ} basis.
+
+    Attributes:
+        num_qubits: Width of the register.
+        operations: Flat, ordered list of J and CZ operations.
+        name: Carried over from the source circuit for reporting.
+    """
+
+    num_qubits: int
+    operations: List[JCZOperation]
+    name: str = "jcz"
+
+    @property
+    def num_j_gates(self) -> int:
+        """Number of J gates (each becomes one new pattern node)."""
+        return sum(1 for op in self.operations if isinstance(op, JGate))
+
+    @property
+    def num_cz_gates(self) -> int:
+        """Number of CZ gates (each becomes one graph-state edge)."""
+        return sum(1 for op in self.operations if isinstance(op, CZGate))
+
+    def to_circuit(self) -> QuantumCircuit:
+        """Re-materialise the program as a :class:`QuantumCircuit`.
+
+        Useful for validating the decomposition with the statevector
+        simulator.
+        """
+        circuit = QuantumCircuit(self.num_qubits, name=self.name)
+        for op in self.operations:
+            if isinstance(op, JGate):
+                circuit.j(op.angle, op.qubit)
+            else:
+                circuit.cz(op.qubit_a, op.qubit_b)
+        return circuit
+
+
+def _normalise_angle(angle: float) -> float:
+    """Map an angle to the interval (-pi, pi] and snap tiny values to zero."""
+    wrapped = math.remainder(angle, 2.0 * math.pi)
+    if abs(wrapped) < _ANGLE_EPS:
+        return 0.0
+    if abs(wrapped - math.pi) < _ANGLE_EPS or abs(wrapped + math.pi) < _ANGLE_EPS:
+        return math.pi
+    return wrapped
+
+
+def euler_zxz(unitary: np.ndarray) -> Tuple[float, float, float]:
+    """Return ``(alpha, beta, gamma)`` with ``U ~ RZ(alpha) RX(beta) RZ(gamma)``.
+
+    The equality holds up to a global phase.  The decomposition is computed
+    via the standard ZYZ Euler angles and shifted to the ZXZ convention using
+    ``RY(b) = RZ(pi/2) RX(b) RZ(-pi/2)``.
+    """
+    if unitary.shape != (2, 2):
+        raise ValueError("euler_zxz expects a 2x2 matrix")
+    det = unitary[0, 0] * unitary[1, 1] - unitary[0, 1] * unitary[1, 0]
+    if abs(det) < 1e-12:
+        raise ValueError("matrix is singular, not a unitary")
+    special = unitary / cmath.sqrt(det)
+
+    v00, v10, v11 = special[0, 0], special[1, 0], special[1, 1]
+    beta = 2.0 * math.atan2(abs(v10), abs(v00))
+    if abs(v00) > 1e-9 and abs(v10) > 1e-9:
+        alpha_zyz = cmath.phase(v11) + cmath.phase(v10)
+        gamma_zyz = cmath.phase(v11) - cmath.phase(v10)
+    elif abs(v10) <= 1e-9:
+        # beta ~ 0: only alpha + gamma matters.
+        alpha_zyz = 2.0 * cmath.phase(v11)
+        gamma_zyz = 0.0
+    else:
+        # beta ~ pi: only alpha - gamma matters.
+        alpha_zyz = 2.0 * cmath.phase(v10)
+        gamma_zyz = 0.0
+
+    alpha = _normalise_angle(alpha_zyz + math.pi / 2.0)
+    gamma = _normalise_angle(gamma_zyz - math.pi / 2.0)
+    return alpha, _normalise_angle(beta), gamma
+
+
+def _single_qubit_jcz(gate: Gate) -> List[JCZOperation]:
+    """Rewrite a single-qubit gate as a (shortest known) J chain."""
+    qubit = gate.qubits[0]
+    name = gate.name.upper()
+    if name == "I":
+        return []
+    if name == "J":
+        return [JGate(qubit, _normalise_angle(gate.params[0]))]
+    if name == "H":
+        return [JGate(qubit, 0.0)]
+    z_like = {
+        "Z": math.pi,
+        "S": math.pi / 2.0,
+        "SDG": -math.pi / 2.0,
+        "T": math.pi / 4.0,
+        "TDG": -math.pi / 4.0,
+    }
+    if name in z_like:
+        angle = z_like[name]
+        return [JGate(qubit, _normalise_angle(angle)), JGate(qubit, 0.0)]
+    if name in ("RZ", "PHASE"):
+        angle = _normalise_angle(gate.params[0])
+        if angle == 0.0:
+            return []
+        return [JGate(qubit, angle), JGate(qubit, 0.0)]
+    if name == "X":
+        return [JGate(qubit, 0.0), JGate(qubit, math.pi)]
+    if name == "RX":
+        angle = _normalise_angle(gate.params[0])
+        if angle == 0.0:
+            return []
+        return [JGate(qubit, 0.0), JGate(qubit, angle)]
+    # General case (Y, RY, anything else): 4-J Euler form.
+    alpha, beta, gamma = euler_zxz(gate_matrix(gate))
+    return [
+        JGate(qubit, gamma),
+        JGate(qubit, beta),
+        JGate(qubit, alpha),
+        JGate(qubit, 0.0),
+    ]
+
+
+def _cx_jcz(control: int, target: int) -> List[JCZOperation]:
+    """CX = (H target) CZ (H target) in the J/CZ basis."""
+    return [JGate(target, 0.0), CZGate(control, target), JGate(target, 0.0)]
+
+
+def _rz_jcz(qubit: int, angle: float) -> List[JCZOperation]:
+    angle = _normalise_angle(angle)
+    if angle == 0.0:
+        return []
+    return [JGate(qubit, angle), JGate(qubit, 0.0)]
+
+
+def _cphase_jcz(control: int, target: int, theta: float) -> List[JCZOperation]:
+    """CPHASE(theta) via RZ / CX conjugation (standard textbook form)."""
+    ops: List[JCZOperation] = []
+    ops.extend(_rz_jcz(control, theta / 2.0))
+    ops.extend(_rz_jcz(target, theta / 2.0))
+    ops.extend(_cx_jcz(control, target))
+    ops.extend(_rz_jcz(target, -theta / 2.0))
+    ops.extend(_cx_jcz(control, target))
+    return ops
+
+
+def _swap_jcz(a: int, b: int) -> List[JCZOperation]:
+    """SWAP as three alternating CNOTs."""
+    ops: List[JCZOperation] = []
+    ops.extend(_cx_jcz(a, b))
+    ops.extend(_cx_jcz(b, a))
+    ops.extend(_cx_jcz(a, b))
+    return ops
+
+
+def _ccx_gates(a: int, b: int, c: int) -> List[Gate]:
+    """The standard 6-CNOT, 7-T Toffoli decomposition (Nielsen & Chuang)."""
+    return [
+        Gate("H", (c,)),
+        Gate("CX", (b, c)),
+        Gate("TDG", (c,)),
+        Gate("CX", (a, c)),
+        Gate("T", (c,)),
+        Gate("CX", (b, c)),
+        Gate("TDG", (c,)),
+        Gate("CX", (a, c)),
+        Gate("T", (b,)),
+        Gate("T", (c,)),
+        Gate("H", (c,)),
+        Gate("CX", (a, b)),
+        Gate("T", (a,)),
+        Gate("TDG", (b,)),
+        Gate("CX", (a, b)),
+    ]
+
+
+def decompose_to_jcz(circuit: QuantumCircuit) -> JCZProgram:
+    """Rewrite ``circuit`` into the {J, CZ} basis.
+
+    Raises:
+        CompilationError: if the circuit contains a gate the rewriter does
+            not know how to express in the J/CZ basis.
+    """
+    operations: List[JCZOperation] = []
+    for gate in circuit.gates:
+        operations.extend(_gate_to_jcz(gate))
+    return JCZProgram(circuit.num_qubits, operations, name=circuit.name)
+
+
+def _gate_to_jcz(gate: Gate) -> List[JCZOperation]:
+    name = gate.name.upper()
+    if gate.num_qubits == 1:
+        return _single_qubit_jcz(gate)
+    if name == "CZ":
+        return [CZGate(gate.qubits[0], gate.qubits[1])]
+    if name == "CX":
+        return _cx_jcz(gate.qubits[0], gate.qubits[1])
+    if name == "CPHASE":
+        return _cphase_jcz(gate.qubits[0], gate.qubits[1], gate.params[0])
+    if name == "SWAP":
+        return _swap_jcz(gate.qubits[0], gate.qubits[1])
+    if name == "CCX":
+        ops: List[JCZOperation] = []
+        for sub_gate in _ccx_gates(*gate.qubits):
+            ops.extend(_gate_to_jcz(sub_gate))
+        return ops
+    raise CompilationError(f"cannot decompose gate {gate.name!r} to the J/CZ basis")

@@ -1,0 +1,189 @@
+"""Gate definitions for the circuit front end.
+
+Gates are lightweight, immutable records: a name, the qubits they act on, and
+optional real parameters (rotation angles in radians).  The unitary matrices
+live in :data:`GATE_LIBRARY` and are only materialised by the statevector
+simulator; the compiler stack never touches matrices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Gate", "GateSpec", "GATE_LIBRARY", "is_supported_gate"]
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single gate instance inside a circuit.
+
+    Attributes:
+        name: Upper-case gate mnemonic, e.g. ``"CZ"`` or ``"RZ"``.
+        qubits: Qubit indices the gate acts on, in gate order (control first
+            for controlled gates).
+        params: Real parameters; rotation gates carry one angle in radians.
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"gate {self.name} repeats a qubit: {self.qubits}")
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the gate touches."""
+        return len(self.qubits)
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """True for gates acting on exactly two qubits."""
+        return len(self.qubits) == 2
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(f"{p:.4g}" for p in self.params)
+        args = ", ".join(str(q) for q in self.qubits)
+        if params:
+            return f"{self.name}({params}) q[{args}]"
+        return f"{self.name} q[{args}]"
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of a gate type.
+
+    Attributes:
+        name: Gate mnemonic.
+        num_qubits: Arity of the gate.
+        num_params: Number of real parameters.
+        matrix_fn: Callable returning the unitary for given parameters.
+    """
+
+    name: str
+    num_qubits: int
+    num_params: int
+    matrix_fn: Callable[..., np.ndarray]
+
+
+def _rx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def _ry(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def _rz(theta: float) -> np.ndarray:
+    return np.array(
+        [[np.exp(-1j * theta / 2.0), 0.0], [0.0, np.exp(1j * theta / 2.0)]],
+        dtype=complex,
+    )
+
+
+def _phase(theta: float) -> np.ndarray:
+    return np.array([[1.0, 0.0], [0.0, np.exp(1j * theta)]], dtype=complex)
+
+
+_H = np.array([[1.0, 1.0], [1.0, -1.0]], dtype=complex) / math.sqrt(2.0)
+_X = np.array([[0.0, 1.0], [1.0, 0.0]], dtype=complex)
+_Y = np.array([[0.0, -1j], [1j, 0.0]], dtype=complex)
+_Z = np.array([[1.0, 0.0], [0.0, -1.0]], dtype=complex)
+_I = np.eye(2, dtype=complex)
+
+_CZ = np.diag([1.0, 1.0, 1.0, -1.0]).astype(complex)
+_CX = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+    ],
+    dtype=complex,
+)
+_SWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+_CCX = np.eye(8, dtype=complex)
+_CCX[6, 6] = 0.0
+_CCX[7, 7] = 0.0
+_CCX[6, 7] = 1.0
+_CCX[7, 6] = 1.0
+
+
+def _j_gate(theta: float) -> np.ndarray:
+    """The J(theta) = H RZ(theta) gate from the measurement-calculus basis."""
+    return _H @ _rz(theta)
+
+
+GATE_LIBRARY: Dict[str, GateSpec] = {
+    "I": GateSpec("I", 1, 0, lambda: _I),
+    "H": GateSpec("H", 1, 0, lambda: _H),
+    "X": GateSpec("X", 1, 0, lambda: _X),
+    "Y": GateSpec("Y", 1, 0, lambda: _Y),
+    "Z": GateSpec("Z", 1, 0, lambda: _Z),
+    "S": GateSpec("S", 1, 0, lambda: _phase(math.pi / 2.0)),
+    "SDG": GateSpec("SDG", 1, 0, lambda: _phase(-math.pi / 2.0)),
+    "T": GateSpec("T", 1, 0, lambda: _phase(math.pi / 4.0)),
+    "TDG": GateSpec("TDG", 1, 0, lambda: _phase(-math.pi / 4.0)),
+    "RX": GateSpec("RX", 1, 1, _rx),
+    "RY": GateSpec("RY", 1, 1, _ry),
+    "RZ": GateSpec("RZ", 1, 1, _rz),
+    "PHASE": GateSpec("PHASE", 1, 1, _phase),
+    "J": GateSpec("J", 1, 1, _j_gate),
+    "CZ": GateSpec("CZ", 2, 0, lambda: _CZ),
+    "CX": GateSpec("CX", 2, 0, lambda: _CX),
+    "CPHASE": GateSpec(
+        "CPHASE",
+        2,
+        1,
+        lambda theta: np.diag([1.0, 1.0, 1.0, np.exp(1j * theta)]).astype(complex),
+    ),
+    "SWAP": GateSpec("SWAP", 2, 0, lambda: _SWAP),
+    "CCX": GateSpec("CCX", 3, 0, lambda: _CCX),
+}
+
+
+def is_supported_gate(name: str) -> bool:
+    """Return True if ``name`` is a gate the front end understands."""
+    return name.upper() in GATE_LIBRARY
+
+
+def gate_matrix(gate: Gate) -> np.ndarray:
+    """Return the unitary matrix of ``gate`` (little space, simulator only)."""
+    spec = GATE_LIBRARY.get(gate.name.upper())
+    if spec is None:
+        raise KeyError(f"unknown gate {gate.name!r}")
+    if len(gate.params) != spec.num_params:
+        raise ValueError(
+            f"gate {gate.name} expects {spec.num_params} parameters, got {len(gate.params)}"
+        )
+    return spec.matrix_fn(*gate.params)
+
+
+def validate_gate(gate: Gate) -> None:
+    """Raise if ``gate`` does not match its spec (unknown name, wrong arity)."""
+    spec = GATE_LIBRARY.get(gate.name.upper())
+    if spec is None:
+        raise KeyError(f"unknown gate {gate.name!r}")
+    if gate.num_qubits != spec.num_qubits:
+        raise ValueError(
+            f"gate {gate.name} acts on {spec.num_qubits} qubits, got {gate.num_qubits}"
+        )
+    if len(gate.params) != spec.num_params:
+        raise ValueError(
+            f"gate {gate.name} expects {spec.num_params} parameters, got {len(gate.params)}"
+        )

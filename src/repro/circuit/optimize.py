@@ -1,0 +1,122 @@
+"""Peephole circuit optimisation.
+
+The MBQC translation creates one pattern node per J gate, so every gate the
+front end can remove before translation is one fewer photon the compiler has
+to place and route.  This module implements the standard peephole passes
+that pay off for the paper's benchmark families:
+
+* cancellation of adjacent self-inverse gates (H-H, X-X, CX-CX, CZ-CZ, ...),
+* cancellation of adjacent inverse pairs (S-SDG, T-TDG),
+* merging of consecutive rotations about the same axis on the same qubit
+  (``RZ(a) RZ(b) -> RZ(a+b)``), dropping rotations whose angle collapses to
+  zero.
+
+The passes preserve the circuit unitary exactly (they only use algebraic
+identities), which the test suite verifies with the statevector simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate
+
+__all__ = ["optimize_circuit", "cancel_adjacent_inverses", "merge_rotations"]
+
+_SELF_INVERSE = {"H", "X", "Y", "Z", "CX", "CZ", "SWAP", "CCX"}
+_INVERSE_PAIRS = {("S", "SDG"), ("SDG", "S"), ("T", "TDG"), ("TDG", "T")}
+_MERGEABLE_ROTATIONS = {"RZ", "RX", "RY", "PHASE"}
+_ANGLE_EPS = 1e-12
+
+
+def _gates_commute_trivially(first: Gate, second: Gate) -> bool:
+    """True when the two gates act on disjoint qubits (and hence commute)."""
+    return not set(first.qubits) & set(second.qubits)
+
+
+def _is_cancelling_pair(first: Gate, second: Gate) -> bool:
+    if first.qubits != second.qubits:
+        return False
+    if first.name in _SELF_INVERSE and first.name == second.name and not first.params:
+        return True
+    return (first.name, second.name) in _INVERSE_PAIRS
+
+
+def cancel_adjacent_inverses(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Remove adjacent gate pairs that multiply to the identity.
+
+    "Adjacent" is understood up to commuting past gates on disjoint qubits,
+    which catches the cancellations produced by the CX/CCX decompositions of
+    the benchmark generators.
+    """
+    gates: List[Optional[Gate]] = list(circuit.gates)
+    changed = True
+    while changed:
+        changed = False
+        for index, gate in enumerate(gates):
+            if gate is None:
+                continue
+            # Look forward for a partner, stopping at the first gate that
+            # shares a qubit with this one.
+            for later in range(index + 1, len(gates)):
+                other = gates[later]
+                if other is None:
+                    continue
+                if _is_cancelling_pair(gate, other):
+                    gates[index] = None
+                    gates[later] = None
+                    changed = True
+                    break
+                if not _gates_commute_trivially(gate, other):
+                    break
+            if changed:
+                break
+    result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for gate in gates:
+        if gate is not None:
+            result.append(gate)
+    return result
+
+
+def merge_rotations(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Merge consecutive same-axis rotations on the same qubit."""
+    result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    pending: List[Optional[Gate]] = []
+
+    def flush(gate: Optional[Gate]) -> None:
+        if gate is not None and abs(math.remainder(sum(gate.params), 2 * math.pi)) > _ANGLE_EPS:
+            result.append(gate)
+
+    last_rotation: dict = {}
+    for gate in circuit.gates:
+        if gate.name in _MERGEABLE_ROTATIONS and gate.num_qubits == 1:
+            qubit = gate.qubits[0]
+            previous = last_rotation.get(qubit)
+            if previous is not None and previous.name == gate.name:
+                merged_angle = previous.params[0] + gate.params[0]
+                last_rotation[qubit] = Gate(gate.name, gate.qubits, (merged_angle,))
+                continue
+            if previous is not None:
+                flush(previous)
+            last_rotation[qubit] = gate
+        else:
+            for qubit in gate.qubits:
+                if qubit in last_rotation:
+                    flush(last_rotation.pop(qubit))
+            result.append(gate)
+    for qubit in sorted(last_rotation):
+        flush(last_rotation[qubit])
+    return result
+
+
+def optimize_circuit(circuit: QuantumCircuit, max_passes: int = 4) -> QuantumCircuit:
+    """Run the peephole passes to a fixed point (bounded by ``max_passes``)."""
+    current = circuit
+    for _ in range(max_passes):
+        optimised = merge_rotations(cancel_adjacent_inverses(current))
+        if [g for g in optimised.gates] == [g for g in current.gates]:
+            return optimised
+        current = optimised
+    return current

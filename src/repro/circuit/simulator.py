@@ -1,0 +1,131 @@
+"""Dense statevector simulator for the circuit front end.
+
+The simulator exists to *validate* the rest of the stack, not to be fast: the
+decomposition pass and the MBQC translation are checked against it on small
+instances (up to ~12 qubits) in the test suite.  Qubit 0 is the most
+significant bit of the computational-basis index, matching the usual
+textbook convention ``|q0 q1 ... q_{n-1}>``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate, gate_matrix
+from repro.utils.rng import make_rng
+
+__all__ = ["StatevectorSimulator", "simulate_circuit"]
+
+
+class StatevectorSimulator:
+    """Simulate circuits on a dense statevector.
+
+    Args:
+        num_qubits: Register width.  Memory is ``2**num_qubits`` complex
+            amplitudes, so keep this below ~20 for tests.
+    """
+
+    def __init__(self, num_qubits: int) -> None:
+        if num_qubits <= 0:
+            raise ValueError("need at least one qubit")
+        if num_qubits > 24:
+            raise ValueError("statevector simulator limited to 24 qubits")
+        self.num_qubits = num_qubits
+        self._state = np.zeros(2**num_qubits, dtype=complex)
+        self._state[0] = 1.0
+
+    # ------------------------------------------------------------------ #
+    # State access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def state(self) -> np.ndarray:
+        """Return a copy of the current statevector."""
+        return self._state.copy()
+
+    def set_state(self, state: np.ndarray) -> None:
+        """Overwrite the statevector (must be normalised and of right size)."""
+        state = np.asarray(state, dtype=complex)
+        if state.shape != (2**self.num_qubits,):
+            raise ValueError("state has the wrong dimension")
+        norm = np.linalg.norm(state)
+        if not np.isclose(norm, 1.0, atol=1e-9):
+            raise ValueError("state is not normalised")
+        self._state = state.copy()
+
+    def probabilities(self) -> np.ndarray:
+        """Return the Born-rule probability of each computational basis state."""
+        return np.abs(self._state) ** 2
+
+    # ------------------------------------------------------------------ #
+    # Evolution
+    # ------------------------------------------------------------------ #
+
+    def apply_gate(self, gate: Gate) -> None:
+        """Apply a single gate to the statevector."""
+        matrix = gate_matrix(gate)
+        self.apply_matrix(matrix, gate.qubits)
+
+    def apply_matrix(self, matrix: np.ndarray, qubits: Iterable[int]) -> None:
+        """Apply an arbitrary ``2^k x 2^k`` matrix to the listed qubits."""
+        targets = list(qubits)
+        k = len(targets)
+        if matrix.shape != (2**k, 2**k):
+            raise ValueError("matrix size does not match number of target qubits")
+        n = self.num_qubits
+        # Reshape into a rank-n tensor with one axis per qubit, move the
+        # target axes to the front, contract, and move them back.
+        tensor = self._state.reshape([2] * n)
+        tensor = np.moveaxis(tensor, targets, range(k))
+        tensor = tensor.reshape(2**k, -1)
+        tensor = matrix @ tensor
+        tensor = tensor.reshape([2] * k + [2] * (n - k))
+        tensor = np.moveaxis(tensor, range(k), targets)
+        self._state = tensor.reshape(2**n)
+
+    def run(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Apply every gate of ``circuit`` and return the final statevector."""
+        if circuit.num_qubits != self.num_qubits:
+            raise ValueError("circuit width does not match simulator width")
+        for gate in circuit.gates:
+            self.apply_gate(gate)
+        return self.state
+
+    # ------------------------------------------------------------------ #
+    # Measurement
+    # ------------------------------------------------------------------ #
+
+    def measure_all(
+        self, shots: int = 1024, seed: Optional[int] = None
+    ) -> Dict[str, int]:
+        """Sample ``shots`` computational-basis outcomes.
+
+        Returns a histogram mapping bitstrings (qubit 0 leftmost) to counts.
+        """
+        rng = make_rng(seed)
+        probs = self.probabilities()
+        outcomes = rng.choice(len(probs), size=shots, p=probs / probs.sum())
+        histogram: Dict[str, int] = {}
+        for outcome in outcomes:
+            bits = format(int(outcome), f"0{self.num_qubits}b")
+            histogram[bits] = histogram.get(bits, 0) + 1
+        return histogram
+
+    def expectation_z(self, qubit: int) -> float:
+        """Return the expectation value of Pauli-Z on ``qubit``."""
+        probs = self.probabilities()
+        n = self.num_qubits
+        total = 0.0
+        for index, p in enumerate(probs):
+            bit = (index >> (n - 1 - qubit)) & 1
+            total += p if bit == 0 else -p
+        return float(total)
+
+
+def simulate_circuit(circuit: QuantumCircuit) -> np.ndarray:
+    """Convenience wrapper: run ``circuit`` from ``|0...0>`` and return the state."""
+    simulator = StatevectorSimulator(circuit.num_qubits)
+    return simulator.run(circuit)

@@ -1,0 +1,160 @@
+"""Command-line interface for the DC-MBQC reproduction.
+
+Three subcommands cover the common workflows::
+
+    python -m repro.cli compile --program QFT --qubits 16 --qpus 4
+    python -m repro.cli compare --program VQE --qubits 16 --qpus 8 --rsg 4-ring
+    python -m repro.cli experiment --name table3
+
+``compile`` runs the distributed compiler and prints the schedule summary,
+``compare`` additionally compiles the monolithic baseline and reports the
+improvement factors, and ``experiment`` regenerates one of the paper's
+tables or figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core import DCMBQCCompiler, DCMBQCConfig, compare_with_baseline
+from repro.hardware.resource_states import ResourceStateType
+from repro.programs import build_benchmark
+from repro.programs.registry import paper_grid_size
+from repro.reporting import experiments, render
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="dc-mbqc",
+        description="DC-MBQC: distributed compilation for measurement-based quantum computing",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_program_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--program", default="QFT", help="QAOA, VQE, QFT or RCA")
+        sub.add_argument("--qubits", type=int, default=16)
+        sub.add_argument("--qpus", type=int, default=4)
+        sub.add_argument("--grid-size", type=int, default=None)
+        sub.add_argument("--rsg", default="5-star", help="4-ring, 5-star, 6-ring or 7-star")
+        sub.add_argument("--kmax", type=int, default=4)
+        sub.add_argument("--no-bdir", action="store_true", help="disable BDIR refinement")
+        sub.add_argument("--seed", type=int, default=0)
+
+    compile_parser = subparsers.add_parser("compile", help="run the distributed compiler")
+    add_program_arguments(compile_parser)
+
+    compare_parser = subparsers.add_parser("compare", help="compare against a monolithic baseline")
+    add_program_arguments(compare_parser)
+    compare_parser.add_argument("--baseline", default="oneq", choices=["oneq", "oneadapt"])
+
+    experiment_parser = subparsers.add_parser("experiment", help="regenerate a paper table/figure")
+    experiment_parser.add_argument(
+        "--name",
+        required=True,
+        choices=[
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "figure1",
+            "figure7",
+            "figure8",
+            "figure9",
+            "figure10",
+        ],
+    )
+    experiment_parser.add_argument(
+        "--scale",
+        default="reduced",
+        choices=[scale.value for scale in experiments.BenchmarkScale],
+    )
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> DCMBQCConfig:
+    grid_size = args.grid_size or paper_grid_size(args.qubits)
+    return DCMBQCConfig(
+        num_qpus=args.qpus,
+        grid_size=grid_size,
+        rsg_type=ResourceStateType.from_name(args.rsg),
+        connection_capacity=args.kmax,
+        use_bdir=not args.no_bdir,
+        seed=args.seed,
+    )
+
+
+def _run_compile(args: argparse.Namespace) -> int:
+    circuit = build_benchmark(args.program, args.qubits, seed=2026)
+    config = _config_from_args(args)
+    result = DCMBQCCompiler(config).compile(circuit)
+    summary = result.summary()
+    print(f"Distributed compilation of {args.program}-{args.qubits} on {args.qpus} QPUs")
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    circuit = build_benchmark(args.program, args.qubits, seed=2026)
+    config = _config_from_args(args)
+    comparison = compare_with_baseline(circuit, config, baseline=args.baseline)
+    row = comparison.as_row()
+    print(f"{args.program}-{args.qubits} vs {args.baseline} ({args.qpus} QPUs, {args.rsg})")
+    for key, value in row.items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    scale = experiments.BenchmarkScale(args.scale)
+    name = args.name
+    if name == "table1":
+        print(render.render_table1(experiments.table1_rows()))
+    elif name == "table2":
+        print(render.render_table2(experiments.table2_rows(scale)))
+    elif name == "table3":
+        rows = experiments.table3_rows(scale)
+        print(render.render_comparison_table(rows, "Table III — 4 QPUs, 5-star RSG, vs OneQ"))
+    elif name == "table4":
+        rows = experiments.table4_rows(scale)
+        print(render.render_comparison_table(rows, "Table IV — 8 QPUs, 4-ring RSG, vs OneQ"))
+    elif name == "table5":
+        print(render.render_series(experiments.table5_rows(scale), "Table V — vs OneAdapt"))
+    elif name == "table6":
+        print(render.render_table6(experiments.table6_rows()))
+    elif name == "figure1":
+        print(render.render_series(experiments.figure1_series(), "Figure 1 — photon loss"))
+    elif name == "figure7":
+        print(render.render_series(experiments.figure7_series(), "Figure 7 — resource states"))
+    elif name == "figure8":
+        print(render.render_series(experiments.figure8_series(), "Figure 8 — K_max sensitivity"))
+    elif name == "figure9":
+        print(render.render_series(experiments.figure9_series(), "Figure 9 — alpha_max robustness"))
+    elif name == "figure10":
+        print(render.render_series(experiments.figure10_series(), "Figure 10 — compile-time scaling"))
+    else:  # pragma: no cover - argparse enforces choices
+        raise ValueError(name)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers: Dict[str, Callable[[argparse.Namespace], int]] = {
+        "compile": _run_compile,
+        "compare": _run_compare,
+        "experiment": _run_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

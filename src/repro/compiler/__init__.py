@@ -1,0 +1,35 @@
+"""Single-QPU photonic MBQC compilation.
+
+This package provides the paper's *substrate* compilers — the engines that
+map a computation graph onto the 3D (2D-spatial + 1D-temporal) resource grid
+of one photonic QPU (Section II-C):
+
+* :mod:`~repro.compiler.compgraph` — the computation graph extracted from a
+  measurement pattern (nodes = photons, edges = fusions) together with its
+  real-time dependency structure,
+* :mod:`~repro.compiler.execution` — the execution-layer IR produced by the
+  mappers,
+* :mod:`~repro.compiler.mapper` — the greedy layered grid mapper with
+  explicit cell accounting (placement, intra-layer routing, vertical
+  carries),
+* :mod:`~repro.compiler.oneq` — the OneQ-style baseline compiler,
+* :mod:`~repro.compiler.oneadapt` — the OneAdapt-style variant with a
+  bounded photon lifetime (dynamic refresh) and boundary reservation.
+"""
+
+from repro.compiler.compgraph import ComputationGraph, computation_graph_from_pattern
+from repro.compiler.execution import ExecutionLayer, SingleQPUSchedule
+from repro.compiler.mapper import LayeredGridMapper, MapperConfig
+from repro.compiler.oneq import OneQCompiler
+from repro.compiler.oneadapt import OneAdaptCompiler
+
+__all__ = [
+    "ComputationGraph",
+    "computation_graph_from_pattern",
+    "ExecutionLayer",
+    "SingleQPUSchedule",
+    "LayeredGridMapper",
+    "MapperConfig",
+    "OneQCompiler",
+    "OneAdaptCompiler",
+]

@@ -1,0 +1,66 @@
+"""OneQ-style baseline compiler.
+
+OneQ (Zhang et al., ISCA 2023) is the paper's baseline: it abstracts the
+input program into a computation graph (the *fusion graph*) and maps it onto
+the 3D resource grid of a single QPU.  This class is a faithful functional
+stand-in: it accepts a circuit, a measurement pattern, or a pre-built
+computation graph and produces a :class:`SingleQPUSchedule` whose execution
+time and required photon lifetime play the role of the "Baseline" columns of
+Tables III-V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.compiler.compgraph import ComputationGraph, computation_graph_from_pattern
+from repro.compiler.execution import SingleQPUSchedule
+from repro.compiler.mapper import LayeredGridMapper, MapperConfig
+from repro.hardware.resource_states import ResourceStateType
+from repro.mbqc.pattern import Pattern
+from repro.mbqc.translate import circuit_to_pattern
+
+__all__ = ["OneQCompiler"]
+
+CompilationInput = Union[QuantumCircuit, Pattern, ComputationGraph]
+
+
+@dataclass
+class OneQCompiler:
+    """Single-QPU photonic MBQC compiler (the paper's baseline).
+
+    Attributes:
+        grid_size: Side length of the QPU's logical resource layer.
+        rsg_type: Resource-state shape used by the RSGs.
+        seed: Seed for any randomised tie-breaking inside the mapper.
+    """
+
+    grid_size: int
+    rsg_type: ResourceStateType = ResourceStateType.STAR_5
+    seed: int = 0
+
+    def _to_computation_graph(self, program: CompilationInput) -> ComputationGraph:
+        if isinstance(program, ComputationGraph):
+            return program
+        if isinstance(program, Pattern):
+            return computation_graph_from_pattern(program)
+        if isinstance(program, QuantumCircuit):
+            return computation_graph_from_pattern(circuit_to_pattern(program))
+        raise TypeError(f"cannot compile object of type {type(program).__name__}")
+
+    def compile(self, program: CompilationInput) -> SingleQPUSchedule:
+        """Compile ``program`` for a single QPU.
+
+        Args:
+            program: A :class:`QuantumCircuit`, a :class:`Pattern`, or a
+                :class:`ComputationGraph`.
+        """
+        computation = self._to_computation_graph(program)
+        config = MapperConfig(
+            grid_size=self.grid_size,
+            rsg_type=ResourceStateType.from_name(self.rsg_type),
+            seed=self.seed,
+        )
+        return LayeredGridMapper(config).map(computation)

@@ -1,0 +1,27 @@
+"""The DC-MBQC distributed compilation framework (Section IV).
+
+:class:`~repro.core.compiler.DCMBQCCompiler` is the public entry point of
+the library.  It implements the pipeline of Figure 2:
+
+1. translate the input program into a computation graph,
+2. partition it across QPUs with the adaptive graph partitioner
+   (Algorithm 2),
+3. compile every partition for its QPU with the single-QPU grid mapper,
+4. turn the severed entanglement edges into connector pairs /
+   synchronisation tasks routed through connection layers,
+5. solve the layer scheduling problem (list scheduling + BDIR) to obtain the
+   final distributed schedule,
+6. report execution time and required photon lifetime.
+"""
+
+from repro.core.config import DCMBQCConfig
+from repro.core.compiler import DCMBQCCompiler, DistributedCompilationResult
+from repro.core.comparison import BaselineComparison, compare_with_baseline
+
+__all__ = [
+    "DCMBQCConfig",
+    "DCMBQCCompiler",
+    "DistributedCompilationResult",
+    "BaselineComparison",
+    "compare_with_baseline",
+]

@@ -1,0 +1,124 @@
+"""Baseline comparison helpers.
+
+The paper's tables report the distributed compiler's execution time and
+required photon lifetime *relative* to a monolithic baseline (OneQ in
+Tables III/IV, OneAdapt in Table V).  This module compiles the same program
+with both compilers and packages the improvement factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.compiler.compgraph import ComputationGraph, computation_graph_from_pattern
+from repro.compiler.oneadapt import OneAdaptCompiler
+from repro.compiler.oneq import OneQCompiler
+from repro.core.compiler import DCMBQCCompiler, DistributedCompilationResult
+from repro.core.config import DCMBQCConfig
+from repro.mbqc.pattern import Pattern
+from repro.mbqc.translate import circuit_to_pattern
+from repro.metrics.improvement import improvement_factor
+
+__all__ = ["BaselineComparison", "compare_with_baseline"]
+
+CompilationInput = Union[QuantumCircuit, Pattern, ComputationGraph]
+
+
+@dataclass(frozen=True)
+class BaselineComparison:
+    """Side-by-side result of a baseline and a distributed compilation.
+
+    Attributes:
+        baseline_execution_time / baseline_lifetime: Metrics of the
+            monolithic single-QPU compilation.
+        distributed_execution_time / distributed_lifetime: Metrics of the
+            DC-MBQC compilation.
+        execution_improvement / lifetime_improvement: Ratios
+            ``baseline / distributed`` — the numbers reported in the paper's
+            tables.
+    """
+
+    program_name: str
+    baseline_execution_time: int
+    baseline_lifetime: int
+    distributed_execution_time: int
+    distributed_lifetime: int
+
+    @property
+    def execution_improvement(self) -> float:
+        """Execution-time improvement factor."""
+        return improvement_factor(
+            self.baseline_execution_time, self.distributed_execution_time
+        )
+
+    @property
+    def lifetime_improvement(self) -> float:
+        """Required-photon-lifetime improvement factor."""
+        return improvement_factor(self.baseline_lifetime, self.distributed_lifetime)
+
+    def as_row(self) -> Dict[str, object]:
+        """Return a table row matching the paper's column layout."""
+        return {
+            "program": self.program_name,
+            "baseline_exec": self.baseline_execution_time,
+            "our_exec": self.distributed_execution_time,
+            "exec_improvement": round(self.execution_improvement, 2),
+            "baseline_lifetime": self.baseline_lifetime,
+            "our_lifetime": self.distributed_lifetime,
+            "lifetime_improvement": round(self.lifetime_improvement, 2),
+        }
+
+
+def _to_computation_graph(program: CompilationInput) -> ComputationGraph:
+    if isinstance(program, ComputationGraph):
+        return program
+    if isinstance(program, Pattern):
+        return computation_graph_from_pattern(program)
+    return computation_graph_from_pattern(circuit_to_pattern(program))
+
+
+def compare_with_baseline(
+    program: CompilationInput,
+    config: DCMBQCConfig,
+    baseline: str = "oneq",
+    distributed_result: Optional[DistributedCompilationResult] = None,
+) -> BaselineComparison:
+    """Compile ``program`` with a monolithic baseline and with DC-MBQC.
+
+    Args:
+        program: Circuit, pattern, or computation graph.
+        config: Distributed compiler configuration (also provides the grid
+            size and resource state used by the baseline).
+        baseline: ``"oneq"`` (Tables III/IV) or ``"oneadapt"`` (Table V).
+        distributed_result: Reuse an existing distributed compilation
+            instead of recompiling (the computation graph must match).
+    """
+    computation = _to_computation_graph(program)
+
+    baseline_key = baseline.lower()
+    if baseline_key == "oneq":
+        baseline_schedule = OneQCompiler(
+            grid_size=config.grid_size, rsg_type=config.rsg_type, seed=config.seed
+        ).compile(computation)
+    elif baseline_key == "oneadapt":
+        baseline_schedule = OneAdaptCompiler(
+            grid_size=config.grid_size,
+            rsg_type=config.rsg_type,
+            boundary_reservation=True,
+            seed=config.seed,
+        ).compile(computation)
+    else:
+        raise ValueError(f"unknown baseline {baseline!r}")
+
+    if distributed_result is None:
+        distributed_result = DCMBQCCompiler(config).compile(computation)
+
+    return BaselineComparison(
+        program_name=computation.name,
+        baseline_execution_time=baseline_schedule.execution_time,
+        baseline_lifetime=baseline_schedule.required_photon_lifetime,
+        distributed_execution_time=distributed_result.execution_time,
+        distributed_lifetime=distributed_result.required_photon_lifetime,
+    )

@@ -1,0 +1,251 @@
+"""The DC-MBQC distributed compiler (Figure 2 pipeline)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.compiler.compgraph import ComputationGraph, computation_graph_from_pattern
+from repro.compiler.execution import SingleQPUSchedule
+from repro.compiler.mapper import LayeredGridMapper, MapperConfig
+from repro.core.config import DCMBQCConfig
+from repro.hardware.qpu import MultiQPUSystem, QPUSpec
+from repro.hardware.resource_states import ResourceStateType
+from repro.mbqc.pattern import Pattern
+from repro.mbqc.translate import circuit_to_pattern
+from repro.partition.adaptive import AdaptivePartitionConfig, AdaptivePartitioner
+from repro.partition.types import PartitionResult
+from repro.scheduling.bdir import BDIRScheduler
+from repro.scheduling.list_scheduler import list_schedule
+from repro.scheduling.problem import (
+    LayerSchedulingProblem,
+    MainTask,
+    Schedule,
+    ScheduleEvaluation,
+    SyncTask,
+)
+from repro.utils.errors import CompilationError
+
+__all__ = ["DCMBQCCompiler", "DistributedCompilationResult"]
+
+CompilationInput = Union[QuantumCircuit, Pattern, ComputationGraph]
+
+
+@dataclass
+class DistributedCompilationResult:
+    """Everything produced by one distributed compilation run.
+
+    Attributes:
+        config: The configuration used.
+        computation: The global computation graph.
+        partition: Node-to-QPU assignment.
+        qpu_schedules: Per-QPU single-QPU schedules (the main tasks).
+        connectors: The severed (cut) entanglement edges, as node pairs.
+        problem: The layer scheduling problem instance.
+        schedule: The final task schedule.
+        evaluation: Objective breakdown of the final schedule.
+    """
+
+    config: DCMBQCConfig
+    computation: ComputationGraph
+    partition: PartitionResult
+    qpu_schedules: List[SingleQPUSchedule]
+    connectors: List[Tuple[int, int]]
+    problem: LayerSchedulingProblem
+    schedule: Schedule
+    evaluation: ScheduleEvaluation
+
+    @property
+    def execution_time(self) -> int:
+        """Execution time (makespan) of the distributed program."""
+        return self.evaluation.makespan
+
+    @property
+    def required_photon_lifetime(self) -> int:
+        """Required photon lifetime of the distributed program."""
+        return self.evaluation.tau_photon
+
+    @property
+    def num_connectors(self) -> int:
+        """Number of connector pairs (cut edges)."""
+        return len(self.connectors)
+
+    def summary(self) -> Dict[str, object]:
+        """Plain-dict summary used by reports and the benchmark harness."""
+        return {
+            "name": self.computation.name,
+            "num_qpus": self.config.num_qpus,
+            "rsg_type": ResourceStateType.from_name(self.config.rsg_type).value,
+            "nodes": self.computation.num_nodes,
+            "fusions": self.computation.num_fusions,
+            "connectors": self.num_connectors,
+            "part_sizes": self.partition.part_sizes(),
+            "execution_time": self.execution_time,
+            "required_photon_lifetime": self.required_photon_lifetime,
+            "tau_local": self.evaluation.tau_local,
+            "tau_remote": self.evaluation.tau_remote,
+        }
+
+
+@dataclass
+class DCMBQCCompiler:
+    """Distributed compiler for measurement-based quantum computing.
+
+    Typical use::
+
+        from repro.core import DCMBQCCompiler, DCMBQCConfig
+        from repro.programs import build_benchmark
+
+        config = DCMBQCConfig(num_qpus=4, grid_size=7)
+        result = DCMBQCCompiler(config).compile(build_benchmark("QFT", 16))
+        print(result.execution_time, result.required_photon_lifetime)
+    """
+
+    config: DCMBQCConfig = field(default_factory=DCMBQCConfig)
+
+    # ------------------------------------------------------------------ #
+    # Input handling
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _to_computation_graph(program: CompilationInput) -> ComputationGraph:
+        if isinstance(program, ComputationGraph):
+            return program
+        if isinstance(program, Pattern):
+            return computation_graph_from_pattern(program)
+        if isinstance(program, QuantumCircuit):
+            return computation_graph_from_pattern(circuit_to_pattern(program))
+        raise TypeError(f"cannot compile object of type {type(program).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # Pipeline stages
+    # ------------------------------------------------------------------ #
+
+    def partition(self, computation: ComputationGraph) -> PartitionResult:
+        """Stage 1: adaptive graph partitioning (Algorithm 2)."""
+        adaptive_config = AdaptivePartitionConfig(
+            num_parts=self.config.num_qpus,
+            epsilon_q=self.config.epsilon_q,
+            alpha_max=self.config.alpha_max,
+            gamma=self.config.gamma,
+            seed=self.config.seed,
+        )
+        partition = AdaptivePartitioner(adaptive_config).partition(computation.graph)
+        partition.validate_covers(computation.graph)
+        return partition
+
+    def compile_partitions(
+        self, computation: ComputationGraph, partition: PartitionResult
+    ) -> List[SingleQPUSchedule]:
+        """Stage 2: single-QPU compilation of every partition."""
+        schedules: List[SingleQPUSchedule] = []
+        for part_index, nodes in enumerate(partition.parts()):
+            subgraph = computation.induced_subgraph(
+                nodes, name=f"{computation.name}_qpu{part_index}"
+            )
+            mapper = LayeredGridMapper(
+                MapperConfig(
+                    grid_size=self.config.grid_size,
+                    rsg_type=ResourceStateType.from_name(self.config.rsg_type),
+                    seed=self.config.seed + part_index,
+                )
+            )
+            schedules.append(mapper.map(subgraph))
+        return schedules
+
+    def build_scheduling_problem(
+        self,
+        computation: ComputationGraph,
+        partition: PartitionResult,
+        qpu_schedules: List[SingleQPUSchedule],
+    ) -> Tuple[LayerSchedulingProblem, List[Tuple[int, int]]]:
+        """Stage 3: connector extraction and scheduling-problem construction."""
+        main_tasks: List[List[MainTask]] = []
+        node_layer_by_qpu: List[Dict[int, int]] = []
+        for qpu, schedule in enumerate(qpu_schedules):
+            layers: List[MainTask] = []
+            for layer in schedule.layers:
+                layers.append(
+                    MainTask(qpu=qpu, index=layer.index, nodes=tuple(sorted(layer.node_cells)))
+                )
+            main_tasks.append(layers)
+            node_layer_by_qpu.append(schedule.node_layer_index())
+
+        connectors = computation.cut_edges(partition.assignment)
+        sync_tasks: List[SyncTask] = []
+        for sync_id, (u, v) in enumerate(connectors):
+            qpu_u = partition.part_of(u)
+            qpu_v = partition.part_of(v)
+            if qpu_u == qpu_v:  # pragma: no cover - defensive
+                raise CompilationError("cut edge endpoints are on the same QPU")
+            sync_tasks.append(
+                SyncTask(
+                    sync_id=sync_id,
+                    qpu_a=qpu_u,
+                    index_a=node_layer_by_qpu[qpu_u][u],
+                    qpu_b=qpu_v,
+                    index_b=node_layer_by_qpu[qpu_v][v],
+                    connector=(u, v),
+                )
+            )
+
+        local_fusee_pairs: List[Tuple[int, int]] = []
+        for schedule in qpu_schedules:
+            local_fusee_pairs.extend(schedule.fusee_pairs)
+
+        problem = LayerSchedulingProblem(
+            num_qpus=self.config.num_qpus,
+            main_tasks=main_tasks,
+            sync_tasks=sync_tasks,
+            connection_capacity=self.config.connection_capacity,
+            dependency=computation.dependency,
+            local_fusee_pairs=local_fusee_pairs,
+            removed_nodes=set(computation.removed_nodes),
+        )
+        return problem, connectors
+
+    def schedule(self, problem: LayerSchedulingProblem) -> Schedule:
+        """Stage 4: layer scheduling (list scheduling, optionally + BDIR)."""
+        initial = list_schedule(problem)
+        if not self.config.use_bdir:
+            return initial
+        refined = BDIRScheduler(problem, self.config.bdir).refine(initial)
+        return refined
+
+    # ------------------------------------------------------------------ #
+    # End-to-end
+    # ------------------------------------------------------------------ #
+
+    def compile(self, program: CompilationInput) -> DistributedCompilationResult:
+        """Run the full DC-MBQC pipeline on ``program``."""
+        computation = self._to_computation_graph(program)
+        partition = self.partition(computation)
+        qpu_schedules = self.compile_partitions(computation, partition)
+        problem, connectors = self.build_scheduling_problem(
+            computation, partition, qpu_schedules
+        )
+        schedule = self.schedule(problem)
+        evaluation = problem.evaluate(schedule)
+        return DistributedCompilationResult(
+            config=self.config,
+            computation=computation,
+            partition=partition,
+            qpu_schedules=qpu_schedules,
+            connectors=connectors,
+            problem=problem,
+            schedule=schedule,
+            evaluation=evaluation,
+        )
+
+    def multi_qpu_system(self) -> MultiQPUSystem:
+        """Return the hardware system description implied by the config."""
+        return MultiQPUSystem(
+            num_qpus=self.config.num_qpus,
+            qpu=QPUSpec(
+                grid_size=self.config.grid_size,
+                rsg_type=ResourceStateType.from_name(self.config.rsg_type),
+                connection_capacity=self.config.connection_capacity,
+            ),
+            topology=self.config.topology,
+        )

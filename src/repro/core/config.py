@@ -1,0 +1,66 @@
+"""Configuration of the DC-MBQC compiler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hardware.qpu import DEFAULT_CONNECTION_CAPACITY, InterconnectTopology
+from repro.hardware.resource_states import ResourceStateType
+from repro.scheduling.bdir import BDIRConfig
+from repro.utils.errors import CompilationError
+
+__all__ = ["DCMBQCConfig"]
+
+
+@dataclass(frozen=True)
+class DCMBQCConfig:
+    """End-to-end configuration of a distributed compilation run.
+
+    The defaults reproduce the paper's main experimental setting
+    (Section V-A): ``K_max = 4``, ``alpha_max = 1.5``, ``epsilon_Q = 0.01``,
+    ``gamma = 1.02``, BDIR with ``T0 = 10``, cooling 0.95 and 20 iterations.
+
+    Attributes:
+        num_qpus: Number of QPUs to distribute across.
+        grid_size: Side length of each QPU's 2D logical resource layer.
+        rsg_type: Resource-state shape emitted by the RSGs.
+        connection_capacity: ``K_max`` — concurrent inter-QPU connections a
+            connection layer supports.
+        topology: Interconnect topology between QPUs.
+        alpha_max: Maximum imbalance factor for adaptive partitioning.
+        epsilon_q: Modularity-improvement threshold of Algorithm 2.
+        gamma: Imbalance step factor of Algorithm 2.
+        use_bdir: Refine the schedule with BDIR (Algorithm 3); when False
+            only priority-based list scheduling is used ("DC-MBQC (Core)").
+        bdir: Simulated-annealing parameters for BDIR.
+        seed: Master seed for every stochastic component.
+    """
+
+    num_qpus: int = 4
+    grid_size: int = 7
+    rsg_type: ResourceStateType = ResourceStateType.STAR_5
+    connection_capacity: int = DEFAULT_CONNECTION_CAPACITY
+    topology: InterconnectTopology = InterconnectTopology.FULLY_CONNECTED
+    alpha_max: float = 1.5
+    epsilon_q: float = 0.01
+    gamma: float = 1.02
+    use_bdir: bool = True
+    bdir: BDIRConfig = field(default_factory=BDIRConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_qpus < 1:
+            raise CompilationError("num_qpus must be at least 1")
+        if self.grid_size < 1:
+            raise CompilationError("grid_size must be at least 1")
+        if self.connection_capacity < 1:
+            raise CompilationError("connection_capacity must be at least 1")
+        if self.alpha_max < 1.0:
+            raise CompilationError("alpha_max must be at least 1.0")
+
+    def with_updates(self, **kwargs) -> "DCMBQCConfig":
+        """Return a copy with the given fields replaced."""
+        from dataclasses import replace
+
+        return replace(self, **kwargs)

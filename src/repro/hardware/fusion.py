@@ -1,0 +1,81 @@
+"""Probabilistic fusion operations.
+
+A fusion consumes one photon from each of two resource states and, on
+success, entangles the neighbours of the consumed photons (Figure 4 (b)).
+Fusions are probabilistic: the experimentally demonstrated failure rate is
+about 29% (boosted fusion, Guo et al. 2024), and architectures such as
+OnePerc handle failures with online renormalisation.  The DC-MBQC framework
+plans at the logical-layer level (the PL-ratio argument in Section II-C), so
+the compiler does not need to track individual fusion outcomes; this module
+provides the stochastic model used by the runtime simulator and by the
+loss/fidelity analysis examples.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.rng import make_rng
+
+__all__ = ["FusionOutcome", "FusionModel"]
+
+DEFAULT_FUSION_FAILURE_RATE = 0.29
+"""Experimental boosted-fusion failure probability cited by the paper."""
+
+
+class FusionOutcome(str, enum.Enum):
+    """Result of attempting one fusion."""
+
+    SUCCESS = "success"
+    FAILURE = "failure"
+    PHOTON_LOSS = "photon_loss"
+
+
+@dataclass(frozen=True)
+class FusionModel:
+    """Stochastic model of a fusion device.
+
+    Attributes:
+        failure_rate: Probability that the fusion fails even when both
+            photons arrive (erasure outcome that can be renormalised away).
+        photon_loss_rate: Probability that at least one of the two photons
+            was lost before reaching the device; losses are fatal for the
+            affected connection, which is why the paper minimises the
+            required photon lifetime.
+    """
+
+    failure_rate: float = DEFAULT_FUSION_FAILURE_RATE
+    photon_loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate <= 1.0:
+            raise ValueError("failure_rate must be a probability")
+        if not 0.0 <= self.photon_loss_rate <= 1.0:
+            raise ValueError("photon_loss_rate must be a probability")
+
+    @property
+    def success_probability(self) -> float:
+        """Probability the fusion both receives its photons and succeeds."""
+        return (1.0 - self.photon_loss_rate) * (1.0 - self.failure_rate)
+
+    def sample(self, rng=None) -> FusionOutcome:
+        """Sample the outcome of one fusion attempt."""
+        rng = make_rng(rng)
+        if rng.random() < self.photon_loss_rate:
+            return FusionOutcome.PHOTON_LOSS
+        if rng.random() < self.failure_rate:
+            return FusionOutcome.FAILURE
+        return FusionOutcome.SUCCESS
+
+    def expected_attempts(self) -> float:
+        """Expected number of attempts until a success (geometric mean)."""
+        p = self.success_probability
+        if p <= 0.0:
+            return float("inf")
+        return 1.0 / p
+
+    def with_loss(self, photon_loss_rate: float) -> "FusionModel":
+        """Return a copy of the model with a different photon-loss rate."""
+        return FusionModel(self.failure_rate, photon_loss_rate)

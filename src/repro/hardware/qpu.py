@@ -1,0 +1,142 @@
+"""QPU and multi-QPU system descriptions.
+
+A single photonic QPU is described by the side length of its 2D logical
+resource layer, the resource-state shape its RSGs emit, and the connection
+capacity ``K_max`` — the number of inter-QPU connections one connection
+layer can support concurrently (Section IV of the paper).  A multi-QPU
+system adds the interconnect topology; the paper evaluates fully connected
+systems of 4 and 8 QPUs, and this module also supports line and ring
+topologies for ablation studies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+import networkx as nx
+
+from repro.hardware.resource_states import (
+    RESOURCE_STATE_LIBRARY,
+    ResourceStateSpec,
+    ResourceStateType,
+)
+
+__all__ = ["QPUSpec", "InterconnectTopology", "MultiQPUSystem"]
+
+DEFAULT_CONNECTION_CAPACITY = 4
+"""Default ``K_max`` used by the paper's main experiments."""
+
+
+class InterconnectTopology(str, enum.Enum):
+    """How QPUs are wired together by heralded-entanglement links."""
+
+    FULLY_CONNECTED = "fully-connected"
+    LINE = "line"
+    RING = "ring"
+
+
+@dataclass(frozen=True)
+class QPUSpec:
+    """Description of a single photonic QPU.
+
+    Attributes:
+        grid_size: Side length ``L`` of the 2D logical resource layer.
+        rsg_type: Resource-state shape emitted by this QPU's RSGs.
+        connection_capacity: ``K_max`` — concurrent inter-QPU connections a
+            single connection layer can support (lower-bounded by 4 in the
+            paper via the four grid edges).
+    """
+
+    grid_size: int
+    rsg_type: ResourceStateType = ResourceStateType.STAR_5
+    connection_capacity: int = DEFAULT_CONNECTION_CAPACITY
+
+    def __post_init__(self) -> None:
+        if self.grid_size < 1:
+            raise ValueError("grid size must be positive")
+        if self.connection_capacity < 1:
+            raise ValueError("connection capacity must be at least 1")
+
+    @property
+    def resource_spec(self) -> ResourceStateSpec:
+        """Combinatorial capabilities of this QPU's resource states."""
+        return RESOURCE_STATE_LIBRARY[self.rsg_type]
+
+    @property
+    def cells_per_layer(self) -> int:
+        """Number of RSG cells in one logical layer."""
+        return self.grid_size * self.grid_size
+
+    def with_grid_size(self, grid_size: int) -> "QPUSpec":
+        """Return a copy with a different grid size (boundary reservation)."""
+        return QPUSpec(grid_size, self.rsg_type, self.connection_capacity)
+
+
+@dataclass
+class MultiQPUSystem:
+    """A collection of identical QPUs plus an interconnect topology."""
+
+    num_qpus: int
+    qpu: QPUSpec
+    topology: InterconnectTopology = InterconnectTopology.FULLY_CONNECTED
+
+    def __post_init__(self) -> None:
+        if self.num_qpus < 1:
+            raise ValueError("need at least one QPU")
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+
+    def interconnect_graph(self) -> nx.Graph:
+        """Return the QPU-level connectivity graph."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_qpus))
+        if self.num_qpus == 1:
+            return graph
+        if self.topology is InterconnectTopology.FULLY_CONNECTED:
+            for a in range(self.num_qpus):
+                for b in range(a + 1, self.num_qpus):
+                    graph.add_edge(a, b)
+        elif self.topology is InterconnectTopology.LINE:
+            for a in range(self.num_qpus - 1):
+                graph.add_edge(a, a + 1)
+        else:  # ring
+            for a in range(self.num_qpus):
+                graph.add_edge(a, (a + 1) % self.num_qpus)
+        return graph
+
+    def are_connected(self, qpu_a: int, qpu_b: int) -> bool:
+        """True if the two QPUs share a direct heralded-entanglement link."""
+        if qpu_a == qpu_b:
+            return True
+        return self.interconnect_graph().has_edge(qpu_a, qpu_b)
+
+    def communication_distance(self, qpu_a: int, qpu_b: int) -> int:
+        """Hop count between two QPUs in the interconnect graph."""
+        if qpu_a == qpu_b:
+            return 0
+        return int(
+            nx.shortest_path_length(self.interconnect_graph(), qpu_a, qpu_b)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Aggregate capacities
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_cells_per_layer(self) -> int:
+        """Total RSG cells across all QPUs in one clock cycle."""
+        return self.num_qpus * self.qpu.cells_per_layer
+
+    def describe(self) -> Dict[str, object]:
+        """Return a plain-dict description for reports."""
+        return {
+            "num_qpus": self.num_qpus,
+            "grid_size": self.qpu.grid_size,
+            "rsg_type": self.qpu.rsg_type.value,
+            "connection_capacity": self.qpu.connection_capacity,
+            "topology": self.topology.value,
+        }

@@ -1,0 +1,59 @@
+"""Measurement-based quantum computing (MBQC) substrate.
+
+This package implements the measurement-calculus view of MBQC used in
+Section II-A of the paper:
+
+* :mod:`~repro.mbqc.commands` / :mod:`~repro.mbqc.pattern` — the command
+  language (N/E/M/X/Z) and the :class:`Pattern` container with validation
+  and standard-form checks,
+* :mod:`~repro.mbqc.translate` — translation of a {J, CZ} program into a
+  standardised pattern with explicit correction domains,
+* :mod:`~repro.mbqc.signal_shift` — signal shifting, which removes
+  Z-dependencies from the real-time dependency structure,
+* :mod:`~repro.mbqc.dependency` — the dependency DAG (X- and Z-dependencies)
+  consumed by the required-photon-lifetime metric,
+* :mod:`~repro.mbqc.graphstate` — the underlying graph state,
+* :mod:`~repro.mbqc.simulator` — a statevector simulator for patterns, used
+  to prove that translation preserves circuit semantics,
+* :mod:`~repro.mbqc.flow` — causal-flow utilities.
+"""
+
+from repro.mbqc.commands import (
+    CommandKind,
+    PrepareCommand,
+    EntangleCommand,
+    MeasureCommand,
+    CorrectionCommand,
+)
+from repro.mbqc.pattern import Pattern
+from repro.mbqc.translate import circuit_to_pattern, jcz_to_pattern
+from repro.mbqc.signal_shift import signal_shift
+from repro.mbqc.dependency import (
+    DependencyGraph,
+    build_dependency_graph,
+    measurement_order,
+)
+from repro.mbqc.graphstate import GraphState, graph_state_of_pattern
+from repro.mbqc.simulator import PatternSimulator, simulate_pattern
+from repro.mbqc.flow import find_causal_flow, CausalFlow
+
+__all__ = [
+    "CommandKind",
+    "PrepareCommand",
+    "EntangleCommand",
+    "MeasureCommand",
+    "CorrectionCommand",
+    "Pattern",
+    "circuit_to_pattern",
+    "jcz_to_pattern",
+    "signal_shift",
+    "DependencyGraph",
+    "build_dependency_graph",
+    "measurement_order",
+    "GraphState",
+    "graph_state_of_pattern",
+    "PatternSimulator",
+    "simulate_pattern",
+    "find_causal_flow",
+    "CausalFlow",
+]

@@ -1,0 +1,169 @@
+"""Measurement-calculus commands.
+
+An MBQC pattern is a sequence of commands over a set of node labels:
+
+* ``N(i)`` — prepare node ``i`` in the ``|+>`` state,
+* ``E(i, j)`` — entangle nodes ``i`` and ``j`` with a CZ,
+* ``M(i, alpha, S, T)`` — destructively measure node ``i`` in the basis
+  ``{|+_a>, |-_a>}`` with ``a = (-1)^{s} alpha + t pi`` where ``s`` and ``t``
+  are the parities of the outcomes of the nodes in the X-domain ``S`` and
+  Z-domain ``T`` respectively,
+* ``X(i, S)`` / ``Z(i, S)`` — Pauli byproduct corrections conditioned on the
+  parity of the outcomes of the nodes in ``S``.
+
+Domains are stored as frozen sets of node labels; the parity convention means
+the same node never needs to appear twice in a domain.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Tuple
+
+__all__ = [
+    "CommandKind",
+    "PrepareCommand",
+    "EntangleCommand",
+    "MeasureCommand",
+    "CorrectionCommand",
+    "Command",
+]
+
+
+class CommandKind(str, enum.Enum):
+    """Discriminator for the five measurement-calculus command types."""
+
+    PREPARE = "N"
+    ENTANGLE = "E"
+    MEASURE = "M"
+    X_CORRECTION = "X"
+    Z_CORRECTION = "Z"
+
+
+def _domain(nodes: Iterable[int]) -> FrozenSet[int]:
+    return frozenset(int(n) for n in nodes)
+
+
+@dataclass(frozen=True)
+class PrepareCommand:
+    """``N(node)`` — prepare ``node`` in ``|+>``."""
+
+    node: int
+
+    kind: CommandKind = field(default=CommandKind.PREPARE, init=False, repr=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"N({self.node})"
+
+
+@dataclass(frozen=True)
+class EntangleCommand:
+    """``E(node_a, node_b)`` — apply CZ between the two nodes."""
+
+    node_a: int
+    node_b: int
+
+    kind: CommandKind = field(default=CommandKind.ENTANGLE, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.node_a == self.node_b:
+            raise ValueError("cannot entangle a node with itself")
+
+    @property
+    def nodes(self) -> Tuple[int, int]:
+        """Both endpoints, in the order given."""
+        return (self.node_a, self.node_b)
+
+    def sorted_nodes(self) -> Tuple[int, int]:
+        """Both endpoints in ascending order (edges are undirected)."""
+        return (min(self.node_a, self.node_b), max(self.node_a, self.node_b))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"E({self.node_a},{self.node_b})"
+
+
+@dataclass(frozen=True)
+class MeasureCommand:
+    """``M(node, angle, s_domain, t_domain)`` — adaptive measurement.
+
+    The effective measurement angle is
+    ``(-1)^{parity(s_domain)} * angle + parity(t_domain) * pi``.
+    """
+
+    node: int
+    angle: float = 0.0
+    s_domain: FrozenSet[int] = frozenset()
+    t_domain: FrozenSet[int] = frozenset()
+
+    kind: CommandKind = field(default=CommandKind.MEASURE, init=False, repr=False)
+
+    def __init__(
+        self,
+        node: int,
+        angle: float = 0.0,
+        s_domain: Iterable[int] = (),
+        t_domain: Iterable[int] = (),
+    ) -> None:
+        object.__setattr__(self, "node", int(node))
+        object.__setattr__(self, "angle", float(angle))
+        object.__setattr__(self, "s_domain", _domain(s_domain))
+        object.__setattr__(self, "t_domain", _domain(t_domain))
+        object.__setattr__(self, "kind", CommandKind.MEASURE)
+
+    @property
+    def is_pauli_z(self) -> bool:
+        """True when the measurement removes the node via a Z-basis readout.
+
+        In this library Z-basis removals are encoded as measurements whose
+        angle is tagged NaN-free via the dedicated ``angle=None``-like value;
+        instead, we mark them by the attribute set in the pattern (see
+        :meth:`Pattern.removed_nodes`).  The property here only recognises
+        X-plane angle 0 with empty domains, which is how removees appear once
+        signal shifting has run.
+        """
+        return not self.s_domain and not self.t_domain and self.angle == 0.0
+
+    def with_domains(
+        self, s_domain: Iterable[int], t_domain: Iterable[int]
+    ) -> "MeasureCommand":
+        """Return a copy with replaced correction domains."""
+        return MeasureCommand(self.node, self.angle, s_domain, t_domain)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        extras = ""
+        if self.s_domain:
+            extras += f", s={sorted(self.s_domain)}"
+        if self.t_domain:
+            extras += f", t={sorted(self.t_domain)}"
+        return f"M({self.node}, {self.angle:.4g}{extras})"
+
+
+@dataclass(frozen=True)
+class CorrectionCommand:
+    """``X(node, domain)`` or ``Z(node, domain)`` — conditional Pauli correction."""
+
+    node: int
+    domain: FrozenSet[int]
+    pauli: str = "X"
+
+    kind: CommandKind = field(init=False, repr=False, default=CommandKind.X_CORRECTION)
+
+    def __init__(self, node: int, domain: Iterable[int], pauli: str = "X") -> None:
+        pauli = pauli.upper()
+        if pauli not in ("X", "Z"):
+            raise ValueError("correction must be X or Z")
+        object.__setattr__(self, "node", int(node))
+        object.__setattr__(self, "domain", _domain(domain))
+        object.__setattr__(self, "pauli", pauli)
+        object.__setattr__(
+            self,
+            "kind",
+            CommandKind.X_CORRECTION if pauli == "X" else CommandKind.Z_CORRECTION,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.pauli}({self.node}, s={sorted(self.domain)})"
+
+
+Command = object  # union of the four dataclasses above; kept loose on purpose

@@ -1,0 +1,179 @@
+"""Dependency graphs of measurement patterns.
+
+The paper's Algorithm 1 consumes the *dependency graph* ``G' = (V, E')`` in
+which an edge ``(i, j)`` means that the measurement basis of ``j`` depends on
+the outcome of ``i``.  Edges are typed: X-dependencies constrain real-time
+execution, while Z-dependencies can be removed by signal shifting and handled
+classically (Section II-A).  This module builds that graph from a
+:class:`~repro.mbqc.pattern.Pattern` and provides the derived orderings the
+compiler needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.mbqc.commands import CorrectionCommand, MeasureCommand
+from repro.mbqc.pattern import Pattern
+from repro.utils.errors import ValidationError
+
+__all__ = [
+    "DependencyGraph",
+    "build_dependency_graph",
+    "measurement_order",
+    "is_pauli_angle",
+]
+
+
+def is_pauli_angle(angle: float, atol: float = 1e-9) -> bool:
+    """True when ``angle`` is 0 modulo pi (an X- or Y-axis Pauli measurement).
+
+    For such angles the adaptive sign flip ``(-1)^s * angle`` and the shift
+    ``+ t*pi`` leave the measurement *basis* unchanged (only the outcome
+    labelling flips), so the measurement does not have to wait for any
+    classical signal.  Real photonic MBQC compilers exploit exactly this
+    fact; dropping these vacuous dependencies keeps the real-time dependency
+    graph to the non-Clifford skeleton of the program.
+    """
+    remainder = math.remainder(angle, math.pi)
+    return abs(remainder) < atol
+
+
+@dataclass
+class DependencyGraph:
+    """A typed dependency DAG over pattern nodes.
+
+    Attributes:
+        graph: Directed graph; edge ``(i, j)`` carries a ``kind`` attribute
+            that is ``"X"``, ``"Z"`` or ``"XZ"`` when both dependency types
+            are present between the same pair.
+    """
+
+    graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+
+    def add_dependency(self, source: int, target: int, kind: str) -> None:
+        """Record that the basis of ``target`` depends on the outcome of ``source``."""
+        if kind not in ("X", "Z"):
+            raise ValueError("dependency kind must be 'X' or 'Z'")
+        if self.graph.has_edge(source, target):
+            existing = self.graph.edges[source, target]["kind"]
+            if kind not in existing:
+                self.graph.edges[source, target]["kind"] = "XZ"
+        else:
+            self.graph.add_edge(source, target, kind=kind)
+
+    def add_node(self, node: int) -> None:
+        """Ensure ``node`` exists even if it has no dependencies."""
+        self.graph.add_node(node)
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nodes(self) -> List[int]:
+        """All nodes, sorted."""
+        return sorted(self.graph.nodes)
+
+    def parents(self, node: int) -> List[int]:
+        """Nodes whose outcomes the basis of ``node`` depends on."""
+        return sorted(self.graph.predecessors(node))
+
+    def children(self, node: int) -> List[int]:
+        """Nodes whose basis depends on the outcome of ``node``."""
+        return sorted(self.graph.successors(node))
+
+    def restricted_to(self, kinds: Iterable[str]) -> "DependencyGraph":
+        """Return a sub-DAG containing only edges of the given kinds.
+
+        ``kinds={"X"}`` yields the real-time dependency graph after signal
+        shifting; ``{"X", "Z"}`` yields the full graph.
+        """
+        wanted = set(kinds)
+        sub = DependencyGraph()
+        for node in self.graph.nodes:
+            sub.add_node(node)
+        for source, target, data in self.graph.edges(data=True):
+            kind = data["kind"]
+            effective = set(kind) if kind != "XZ" else {"X", "Z"}
+            for k in effective & wanted:
+                sub.add_dependency(source, target, k)
+        return sub
+
+    def x_only(self) -> "DependencyGraph":
+        """Real-time dependency graph: X-dependencies only."""
+        return self.restricted_to({"X"})
+
+    def topological_order(self) -> List[int]:
+        """Return nodes in a topological (dependency-respecting) order."""
+        try:
+            return list(nx.topological_sort(self.graph))
+        except nx.NetworkXUnfeasible as exc:  # pragma: no cover - defensive
+            raise ValidationError("dependency graph contains a cycle") from exc
+
+    def depth(self) -> int:
+        """Length (in nodes) of the longest dependency chain."""
+        if self.graph.number_of_nodes() == 0:
+            return 0
+        return int(nx.dag_longest_path_length(self.graph)) + 1
+
+    def is_acyclic(self) -> bool:
+        """True iff the dependency graph is a DAG (required for validity)."""
+        return nx.is_directed_acyclic_graph(self.graph)
+
+    def __len__(self) -> int:
+        return self.graph.number_of_nodes()
+
+
+def build_dependency_graph(
+    pattern: Pattern,
+    include_output_corrections: bool = False,
+    drop_pauli_dependencies: bool = True,
+) -> DependencyGraph:
+    """Build the typed dependency graph of ``pattern``.
+
+    Args:
+        pattern: Source pattern.
+        include_output_corrections: Also add edges for the final classical
+            byproduct corrections on output nodes.  These never constrain
+            photon storage (they are frame updates), so the default is False.
+        drop_pauli_dependencies: Omit dependencies of measurements whose
+            angle is 0 modulo pi (see :func:`is_pauli_angle`); such
+            measurements are basis-independent of their domains and impose
+            no real-time wait.  Set to False to obtain the raw dependency
+            structure of the measurement calculus.
+    """
+    dag = DependencyGraph()
+    for node in pattern.nodes:
+        dag.add_node(node)
+    for command in pattern.commands:
+        if isinstance(command, MeasureCommand):
+            if drop_pauli_dependencies and is_pauli_angle(command.angle):
+                continue
+            for source in command.s_domain:
+                dag.add_dependency(source, command.node, "X")
+            for source in command.t_domain:
+                dag.add_dependency(source, command.node, "Z")
+        elif include_output_corrections and isinstance(command, CorrectionCommand):
+            for source in command.domain:
+                dag.add_dependency(source, command.node, command.pauli)
+    if not dag.is_acyclic():
+        raise ValidationError("pattern produces a cyclic dependency graph")
+    return dag
+
+
+def measurement_order(pattern: Pattern) -> List[int]:
+    """Return the nodes of ``pattern`` in measurement order.
+
+    Output nodes (never measured) are appended at the end in label order, so
+    the result is a total order over all nodes that respects every real-time
+    dependency; the grid mapper uses it as its default placement order.
+    """
+    measured = [cmd.node for cmd in pattern.measure_commands]
+    measured_set = set(measured)
+    tail = [node for node in pattern.nodes if node not in measured_set]
+    return measured + sorted(tail)

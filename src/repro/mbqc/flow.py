@@ -1,0 +1,88 @@
+"""Causal flow of open graphs.
+
+A causal flow (Danos & Kashefi) certifies that a measurement pattern on an
+open graph ``(G, I, O)`` can be executed deterministically with the standard
+X/Z corrections.  Patterns produced by the {J, CZ} translation always have a
+flow (each measured node's corrector is the fresh node its J gate
+introduced); the general finder here follows the Mhalla–Perdrix algorithm
+and is exposed both as a sanity check in tests and as a public utility for
+users who bring their own graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import networkx as nx
+
+__all__ = ["CausalFlow", "find_causal_flow"]
+
+
+@dataclass
+class CausalFlow:
+    """A causal flow: the successor function plus a partial order by layers.
+
+    Attributes:
+        successor: Maps every measured (non-output) node to its corrector.
+        layers: Maps every node to its layer index; layer 0 contains the
+            outputs, higher layers are measured earlier.  Executing nodes in
+            decreasing layer order respects the flow's partial order.
+    """
+
+    successor: Dict[int, int] = field(default_factory=dict)
+    layers: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def depth(self) -> int:
+        """Number of layers (the flow depth of the pattern)."""
+        if not self.layers:
+            return 0
+        return max(self.layers.values()) + 1
+
+    def measurement_order(self) -> List[int]:
+        """Return measured nodes ordered so dependencies come first."""
+        measured = [node for node in self.layers if node in self.successor]
+        return sorted(measured, key=lambda node: (-self.layers[node], node))
+
+
+def find_causal_flow(
+    graph: nx.Graph, inputs: Set[int], outputs: Set[int]
+) -> Optional[CausalFlow]:
+    """Find a causal flow of the open graph ``(graph, inputs, outputs)``.
+
+    Returns ``None`` when no causal flow exists.  The algorithm is the
+    standard backwards search: repeatedly pick a potential corrector ``v``
+    (not an input, not yet used) with exactly one unprocessed neighbour
+    ``u``; then ``f(u) = v`` and ``u`` joins the processed set.
+    """
+    all_nodes = set(graph.nodes)
+    if not outputs <= all_nodes or not inputs <= all_nodes:
+        raise ValueError("inputs and outputs must be nodes of the graph")
+
+    processed: Set[int] = set(outputs)
+    correctors: Set[int] = set(outputs) - set(inputs)
+    successor: Dict[int, int] = {}
+    layers: Dict[int, int] = {node: 0 for node in outputs}
+    level = 1
+
+    while True:
+        newly_processed: Set[int] = set()
+        used_correctors: Set[int] = set()
+        for v in sorted(correctors):
+            unprocessed = [u for u in graph.neighbors(v) if u not in processed]
+            if len(unprocessed) == 1:
+                u = unprocessed[0]
+                if u in newly_processed:
+                    continue
+                successor[u] = v
+                layers[u] = level
+                newly_processed.add(u)
+                used_correctors.add(v)
+        if not newly_processed:
+            if processed == all_nodes:
+                return CausalFlow(successor=successor, layers=layers)
+            return None
+        processed |= newly_processed
+        correctors = (correctors - used_correctors) | (newly_processed - set(inputs))
+        level += 1

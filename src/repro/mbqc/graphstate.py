@@ -1,0 +1,152 @@
+"""Graph states.
+
+A graph state over ``G = (V, E)`` is the joint +1 eigenstate of the
+stabilizers ``K_i = X_i prod_{j in N(i)} Z_j`` (Section II-A).  The compiler
+stack mostly treats the graph state combinatorially (its graph is the
+*computation graph* that gets partitioned and mapped), but this module also
+provides the stabilizer view and a dense statevector construction for
+validation on small instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.mbqc.pattern import Pattern
+
+__all__ = ["GraphState", "graph_state_of_pattern"]
+
+
+@dataclass
+class GraphState:
+    """A graph state described by its underlying undirected graph."""
+
+    graph: nx.Graph = field(default_factory=nx.Graph)
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Tuple[int, int]], nodes: Iterable[int] = ()
+    ) -> "GraphState":
+        """Build a graph state from an edge list (plus optional isolated nodes)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(nodes)
+        graph.add_edges_from(edges)
+        return cls(graph)
+
+    # ------------------------------------------------------------------ #
+    # Combinatorial views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nodes(self) -> List[int]:
+        """Sorted node labels."""
+        return sorted(self.graph.nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of qubits in the graph state."""
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        """Number of entangling edges."""
+        return self.graph.number_of_edges()
+
+    def neighbors(self, node: int) -> Set[int]:
+        """Neighbourhood of ``node``."""
+        return set(self.graph.neighbors(node))
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Return ``{degree: count}`` — used to pick resource-state shapes."""
+        histogram: Dict[int, int] = {}
+        for _, degree in self.graph.degree():
+            histogram[degree] = histogram.get(degree, 0) + 1
+        return histogram
+
+    def local_complement(self, node: int) -> "GraphState":
+        """Return the graph state after local complementation about ``node``.
+
+        Local complementation toggles every edge between pairs of neighbours
+        of ``node``; it corresponds to a local Clifford operation and is the
+        basic rewrite used by graph-state optimisers.
+        """
+        new_graph = self.graph.copy()
+        neighbourhood = list(self.graph.neighbors(node))
+        for i, a in enumerate(neighbourhood):
+            for b in neighbourhood[i + 1 :]:
+                if new_graph.has_edge(a, b):
+                    new_graph.remove_edge(a, b)
+                else:
+                    new_graph.add_edge(a, b)
+        return GraphState(new_graph)
+
+    # ------------------------------------------------------------------ #
+    # Stabilizer / statevector views (validation only)
+    # ------------------------------------------------------------------ #
+
+    def stabilizer(self, node: int) -> Dict[int, str]:
+        """Return the stabilizer ``K_node`` as ``{qubit: pauli}``."""
+        pauli: Dict[int, str] = {node: "X"}
+        for neighbour in self.graph.neighbors(node):
+            pauli[neighbour] = "Z"
+        return pauli
+
+    def stabilizers(self) -> List[Dict[int, str]]:
+        """Return all stabilizer generators ``K_i``."""
+        return [self.stabilizer(node) for node in self.nodes]
+
+    def statevector(self) -> np.ndarray:
+        """Return the dense statevector of the graph state (small graphs only).
+
+        Node order follows :attr:`nodes`; the first node is the most
+        significant bit of the basis index.
+        """
+        order = self.nodes
+        n = len(order)
+        if n > 16:
+            raise ValueError("statevector construction limited to 16 qubits")
+        index_of = {node: i for i, node in enumerate(order)}
+        state = np.full(2**n, 1.0 / np.sqrt(2**n), dtype=complex)
+        for a, b in self.graph.edges:
+            ia, ib = index_of[a], index_of[b]
+            for basis in range(2**n):
+                bit_a = (basis >> (n - 1 - ia)) & 1
+                bit_b = (basis >> (n - 1 - ib)) & 1
+                if bit_a and bit_b:
+                    state[basis] *= -1.0
+        return state
+
+    def check_stabilizer(self, node: int, atol: float = 1e-9) -> bool:
+        """Verify ``K_node |G> = |G>`` on the dense statevector (small graphs)."""
+        order = self.nodes
+        n = len(order)
+        index_of = {node_label: i for i, node_label in enumerate(order)}
+        state = self.statevector()
+        transformed = state.copy()
+        pauli = self.stabilizer(node)
+        # Apply Z factors (diagonal) then X factors (bit flips).
+        for basis in range(2**n):
+            phase = 1.0
+            for qubit, op in pauli.items():
+                if op == "Z":
+                    bit = (basis >> (n - 1 - index_of[qubit])) & 1
+                    if bit:
+                        phase *= -1.0
+            transformed[basis] = state[basis] * phase
+        x_qubits = [index_of[q] for q, op in pauli.items() if op == "X"]
+        flipped = np.empty_like(transformed)
+        for basis in range(2**n):
+            target = basis
+            for qubit_index in x_qubits:
+                target ^= 1 << (n - 1 - qubit_index)
+            flipped[target] = transformed[basis]
+        return bool(np.allclose(flipped, state, atol=atol))
+
+
+def graph_state_of_pattern(pattern: Pattern) -> GraphState:
+    """Return the graph state entangled by the E commands of ``pattern``."""
+    return GraphState.from_edges(pattern.edges(), nodes=pattern.nodes)

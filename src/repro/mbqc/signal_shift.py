@@ -1,0 +1,74 @@
+"""Signal shifting: removing Z-dependencies from real-time control.
+
+Section II-A of the paper relies on the classical technique of *signal
+shifting* (Broadbent & Kashefi): the ``t`` (Z-) dependency of an adaptive
+measurement only adds ``pi`` to the measurement angle, which is equivalent to
+flipping the reported outcome.  The dependency can therefore be moved out of
+the quantum run and into classical post-processing, so only X-dependencies
+remain as real-time constraints (and removees measured in the Z basis impose
+no waiting at all).
+
+The transformation implemented here replaces every measurement
+``M_j^{a}(S, T)`` by ``M_j^{a}(S', {})`` and records that the *reported*
+signal of ``j`` is ``s_j xor parity(T')``; any later domain that references
+``j`` is rewritten by xoring in ``T'``.  Domains are sets with parity
+semantics, so "xoring in" is a symmetric difference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set
+
+from repro.mbqc.commands import CorrectionCommand, MeasureCommand
+from repro.mbqc.pattern import Pattern
+
+__all__ = ["signal_shift"]
+
+
+def _resolve(domain: Iterable[int], shifts: Dict[int, FrozenSet[int]]) -> FrozenSet[int]:
+    """Rewrite ``domain`` in terms of shifted signals (parity-preserving)."""
+    result: Set[int] = set()
+    for node in domain:
+        contribution = {node} | set(shifts.get(node, frozenset()))
+        result ^= contribution
+    return frozenset(result)
+
+
+def signal_shift(pattern: Pattern) -> Pattern:
+    """Return a pattern equivalent to ``pattern`` with no measurement t-domains.
+
+    The returned pattern performs the same computation: the measurement
+    angles lose their ``+ t*pi`` adjustment, which is compensated by
+    re-interpreting the recorded outcomes — exactly the classical
+    post-processing the paper invokes to argue that Z-dependencies (and hence
+    removees) do not contribute to the required photon lifetime.
+
+    X/Z corrections on output nodes keep their domains (rewritten through the
+    shifts) because they are applied classically at the end of the run.
+    """
+    shifts: Dict[int, FrozenSet[int]] = {}
+    shifted = Pattern(
+        input_nodes=list(pattern.input_nodes),
+        output_nodes=list(pattern.output_nodes),
+        name=pattern.name,
+        removed_nodes=set(pattern.removed_nodes),
+    )
+    for command in pattern.commands:
+        if isinstance(command, MeasureCommand):
+            s_domain = _resolve(command.s_domain, shifts)
+            t_domain = _resolve(command.t_domain, shifts)
+            shifts[command.node] = t_domain
+            shifted.add(MeasureCommand(command.node, command.angle, s_domain, ()))
+        elif isinstance(command, CorrectionCommand):
+            domain = _resolve(command.domain, shifts)
+            if command.pauli == "Z":
+                # A Z correction's effect on later *measurements* was already
+                # absorbed; on output nodes it stays as a classical frame
+                # update.  The shifted signal of nodes in the domain is used.
+                shifted.add(CorrectionCommand(command.node, domain, "Z"))
+            else:
+                shifted.add(CorrectionCommand(command.node, domain, "X"))
+        else:
+            shifted.add(command)
+    shifted.validate()
+    return shifted

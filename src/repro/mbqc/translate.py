@@ -1,0 +1,141 @@
+"""Translation of {J, CZ} programs into measurement patterns.
+
+The translation follows the measurement calculus (Danos, Kashefi,
+Panangaden): the pattern implementing ``J(alpha)`` on a wire whose current
+node is ``u`` introduces a fresh node ``v`` and executes
+
+    X_v^{s_u}  M_u^{-alpha}  E_{u,v}  N_v
+
+while ``CZ`` simply entangles the two current wire nodes.  Instead of
+emitting the intermediate corrections literally, the translator keeps a pair
+of pending correction domains ``(Sx, Sz)`` per live node and folds them into
+the adaptive measurement domains using the standard commutation rules
+
+    E_{uv} X_u^s = X_u^s Z_v^s E_{uv},
+    M_u^a X_u^s = [M_u^a with s-domain += s],
+    M_u^a Z_u^t = [M_u^a with t-domain += t].
+
+The resulting pattern is *runnable in generation order* (at most
+``n_qubits + 1`` nodes are alive at any time, which keeps statevector
+validation cheap) and can be re-ordered into standard N*, E*, M*, C* form
+with :func:`standardize` without changing any domain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.decompose import CZGate, JCZProgram, JGate, decompose_to_jcz
+from repro.mbqc.commands import (
+    CorrectionCommand,
+    EntangleCommand,
+    MeasureCommand,
+    PrepareCommand,
+)
+from repro.mbqc.pattern import Pattern
+
+__all__ = ["jcz_to_pattern", "circuit_to_pattern", "standardize"]
+
+
+def jcz_to_pattern(program: JCZProgram) -> Pattern:
+    """Translate a {J, CZ} program into a measurement pattern.
+
+    The returned pattern's input nodes are ``0..n-1`` (one per qubit) and its
+    output nodes are the final wire nodes after all J gates.  Commands appear
+    in generation order; call :func:`standardize` to obtain standard form.
+    """
+    num_qubits = program.num_qubits
+    pattern = Pattern(name=program.name)
+    pattern.input_nodes = list(range(num_qubits))
+
+    current: Dict[int, int] = {q: q for q in range(num_qubits)}
+    x_domain: Dict[int, Set[int]] = {q: set() for q in range(num_qubits)}
+    z_domain: Dict[int, Set[int]] = {q: set() for q in range(num_qubits)}
+    next_node = num_qubits
+
+    for op in program.operations:
+        if isinstance(op, JGate):
+            u = current[op.qubit]
+            v = next_node
+            next_node += 1
+            pattern.prepare(v)
+            pattern.entangle(u, v)
+            # Pending X on u becomes Z on v when commuted through E(u, v).
+            x_domain[v] = set()
+            z_domain[v] = set(x_domain[u])
+            # Measure u with the pending corrections folded into the domains.
+            pattern.measure(
+                u, angle=-op.angle, s_domain=x_domain[u], t_domain=z_domain[u]
+            )
+            # The J pattern's own byproduct: X_v conditioned on the outcome of u.
+            x_domain[v] ^= {u}
+            current[op.qubit] = v
+        elif isinstance(op, CZGate):
+            u = current[op.qubit_a]
+            v = current[op.qubit_b]
+            pattern.entangle(u, v)
+            # CZ commutes X on one side into Z on the other side.
+            z_domain[v] ^= x_domain[u]
+            z_domain[u] ^= x_domain[v]
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected operation {op!r}")
+
+    pattern.output_nodes = [current[q] for q in range(num_qubits)]
+    for qubit in range(num_qubits):
+        node = current[qubit]
+        if x_domain[node]:
+            pattern.correct(node, x_domain[node], "X")
+        if z_domain[node]:
+            pattern.correct(node, z_domain[node], "Z")
+    pattern.validate()
+    return pattern
+
+
+def circuit_to_pattern(circuit: QuantumCircuit, standard_form: bool = False) -> Pattern:
+    """Translate a gate-level circuit into a measurement pattern.
+
+    Args:
+        circuit: The source circuit (any gate supported by the front end).
+        standard_form: If True, return the pattern re-ordered into
+            N*, E*, M*, C* standard form.
+    """
+    pattern = jcz_to_pattern(decompose_to_jcz(circuit))
+    if standard_form:
+        pattern = standardize(pattern)
+    return pattern
+
+
+def standardize(pattern: Pattern) -> Pattern:
+    """Return ``pattern`` re-ordered into N*, E*, M*, C* standard form.
+
+    The reordering is valid for patterns whose correction domains were
+    already propagated at construction time (every pattern produced by
+    :func:`jcz_to_pattern`): preparations and entanglements commute with
+    measurements of other nodes, and the relative order of measurements is
+    preserved, so all adaptive domains still refer to earlier outcomes.
+    """
+    prepares: List[PrepareCommand] = []
+    entangles: List[EntangleCommand] = []
+    measures: List[MeasureCommand] = []
+    corrections: List[CorrectionCommand] = []
+    for command in pattern.commands:
+        if isinstance(command, PrepareCommand):
+            prepares.append(command)
+        elif isinstance(command, EntangleCommand):
+            entangles.append(command)
+        elif isinstance(command, MeasureCommand):
+            measures.append(command)
+        elif isinstance(command, CorrectionCommand):
+            corrections.append(command)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unexpected command {command!r}")
+    result = Pattern(
+        input_nodes=list(pattern.input_nodes),
+        output_nodes=list(pattern.output_nodes),
+        commands=[*prepares, *entangles, *measures, *corrections],
+        name=pattern.name,
+        removed_nodes=set(pattern.removed_nodes),
+    )
+    result.validate()
+    return result

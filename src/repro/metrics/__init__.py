@@ -1,0 +1,29 @@
+"""Compiler performance metrics.
+
+The central metric is the *required photon lifetime* of Section III
+(Algorithm 1): the maximum number of clock cycles any photon must wait in a
+delay line, either for its fusion partner (fusees) or for the classical
+signals that determine its measurement basis (measurees).  Execution time
+(number of execution layers / schedule makespan) and improvement factors
+complete the set used across the paper's tables and figures.
+"""
+
+from repro.metrics.lifetime import (
+    LifetimeReport,
+    required_photon_lifetime,
+    fusee_lifetime,
+    measuree_lifetime,
+)
+from repro.metrics.exec_time import execution_time_of_layers, makespan
+from repro.metrics.improvement import improvement_factor, geometric_mean_improvement
+
+__all__ = [
+    "LifetimeReport",
+    "required_photon_lifetime",
+    "fusee_lifetime",
+    "measuree_lifetime",
+    "execution_time_of_layers",
+    "makespan",
+    "improvement_factor",
+    "geometric_mean_improvement",
+]

@@ -1,0 +1,43 @@
+"""Execution-time metrics.
+
+For a single-QPU compilation, the execution time is simply the number of
+execution layers (each layer consumes one logical clock cycle).  For a
+distributed schedule it is the makespan: the latest completion time over all
+main and synchronisation tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = ["execution_time_of_layers", "makespan"]
+
+
+def execution_time_of_layers(num_layers: int, pl_ratio: float = 1.0) -> int:
+    """Execution time in clock cycles for ``num_layers`` logical layers.
+
+    The PL ratio (physical layers per logical layer) is a hardware constant;
+    the paper plans at the logical level where it stabilises around a fixed
+    value, so the default of 1 reports logical cycles.
+    """
+    if num_layers < 0:
+        raise ValueError("number of layers must be non-negative")
+    if pl_ratio <= 0:
+        raise ValueError("PL ratio must be positive")
+    return int(round(num_layers * pl_ratio))
+
+
+def makespan(start_times: Mapping[object, int], durations: Mapping[object, int] | None = None) -> int:
+    """Return the makespan of a schedule.
+
+    Args:
+        start_times: Mapping from task to its scheduled start time.
+        durations: Optional per-task durations; default is 1 for every task.
+    """
+    if not start_times:
+        return 0
+    latest = 0
+    for task, start in start_times.items():
+        duration = 1 if durations is None else durations.get(task, 1)
+        latest = max(latest, int(start) + int(duration))
+    return latest

@@ -1,0 +1,35 @@
+"""Improvement factors.
+
+The paper reports results as ratios ``f = metric_baseline / metric_ours``
+(execution-time speedups and required-lifetime reductions).  These helpers
+centralise the computation and guard against division by zero when a metric
+collapses to 0 on trivial programs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["improvement_factor", "geometric_mean_improvement"]
+
+
+def improvement_factor(baseline: float, ours: float) -> float:
+    """Return ``baseline / ours``, treating a zero denominator carefully.
+
+    If both values are zero the improvement is defined as 1.0 (nothing to
+    improve); if only ``ours`` is zero the improvement is infinite.
+    """
+    if baseline < 0 or ours < 0:
+        raise ValueError("metrics must be non-negative")
+    if ours == 0:
+        return 1.0 if baseline == 0 else math.inf
+    return baseline / ours
+
+
+def geometric_mean_improvement(factors: Iterable[float]) -> float:
+    """Geometric mean of improvement factors (ignores infinities)."""
+    finite = [f for f in factors if math.isfinite(f) and f > 0]
+    if not finite:
+        return 1.0
+    return math.exp(sum(math.log(f) for f in finite) / len(finite))

@@ -1,0 +1,36 @@
+"""Graph partitioning for workload distribution (Section IV-A).
+
+The DC-MBQC framework partitions the computation graph across QPUs while
+navigating the trade-off between load balance, cut size, and the structural
+quality (modularity) of the resulting subgraphs.  This package provides:
+
+* :mod:`~repro.partition.types` — the :class:`PartitionResult` value object,
+* :mod:`~repro.partition.modularity` — Newman modularity,
+* :mod:`~repro.partition.community` — Louvain community detection (own
+  implementation plus a networkx-backed variant),
+* :mod:`~repro.partition.multilevel` — a METIS-style multilevel k-way
+  partitioner (heavy-edge-matching coarsening, region-growing initial
+  partition, FM boundary refinement) with an explicit imbalance factor,
+* :mod:`~repro.partition.adaptive` — the paper's adaptive graph partitioning
+  (Algorithm 2) that searches the imbalance/modularity trade-off space.
+"""
+
+from repro.partition.types import PartitionResult
+from repro.partition.modularity import modularity
+from repro.partition.community import louvain_communities, greedy_modularity_communities
+from repro.partition.multilevel import MultilevelPartitioner, partition_graph
+from repro.partition.adaptive import AdaptivePartitioner, AdaptivePartitionConfig
+from repro.partition.spectral import spectral_partition, fiedler_bisection
+
+__all__ = [
+    "PartitionResult",
+    "modularity",
+    "louvain_communities",
+    "greedy_modularity_communities",
+    "MultilevelPartitioner",
+    "partition_graph",
+    "AdaptivePartitioner",
+    "AdaptivePartitionConfig",
+    "spectral_partition",
+    "fiedler_bisection",
+]

@@ -1,0 +1,124 @@
+"""Adaptive graph partitioning — Algorithm 2 of the paper.
+
+The adaptive partitioner navigates the trade-off between strict workload
+balance (what a k-way partitioner enforces) and subgraph structural quality
+(what community detection maximises).  Starting from a perfectly balanced
+partition (``alpha = 1``), it iteratively relaxes the imbalance constraint by
+a multiplicative step ``gamma``, re-partitions, and keeps the result when the
+modularity gain exceeds ``epsilon_Q``; the search stops when the gain
+stagnates or the maximum imbalance ``alpha_max`` is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import networkx as nx
+
+from repro.partition.modularity import modularity
+from repro.partition.multilevel import MultilevelPartitioner
+from repro.partition.types import PartitionResult
+from repro.utils.errors import PartitionError
+
+__all__ = ["AdaptivePartitionConfig", "AdaptivePartitioner", "AdaptiveSearchTrace"]
+
+
+@dataclass(frozen=True)
+class AdaptivePartitionConfig:
+    """Parameters of Algorithm 2.
+
+    Attributes:
+        num_parts: Number of QPUs to partition across.
+        epsilon_q: Modularity-improvement threshold for accepting a more
+            imbalanced partition (paper default 0.01).
+        alpha_max: Maximum allowed imbalance factor (paper default 1.5).
+        gamma: Multiplicative step applied to the imbalance factor
+            (paper default 1.02).
+        max_iterations: Safety bound on the search loop.
+        seed: Seed forwarded to the underlying multilevel partitioner.
+    """
+
+    num_parts: int
+    epsilon_q: float = 0.01
+    alpha_max: float = 1.5
+    gamma: float = 1.02
+    max_iterations: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_parts < 1:
+            raise PartitionError("num_parts must be at least 1")
+        if self.gamma <= 1.0:
+            raise PartitionError("gamma must be greater than 1")
+        if self.alpha_max < 1.0:
+            raise PartitionError("alpha_max must be at least 1")
+
+
+@dataclass
+class AdaptiveSearchTrace:
+    """Record of one Algorithm 2 iteration (for reports and Figure 9)."""
+
+    alpha: float
+    modularity: float
+    cut_size: int
+    imbalance: float
+    accepted: bool
+
+
+@dataclass
+class AdaptivePartitioner:
+    """Adaptive graph partitioning (Algorithm 2)."""
+
+    config: AdaptivePartitionConfig
+    trace: List[AdaptiveSearchTrace] = field(default_factory=list)
+
+    def partition(self, graph: nx.Graph) -> PartitionResult:
+        """Run the adaptive search and return the best partition found."""
+        config = self.config
+        self.trace = []
+        if config.num_parts == 1 or graph.number_of_nodes() <= config.num_parts:
+            return MultilevelPartitioner(config.num_parts, seed=config.seed).partition(graph)
+
+        alpha = 1.0
+        best_partition: Optional[PartitionResult] = None
+        best_q = -1.0
+        previous_q: Optional[float] = None
+
+        for _ in range(config.max_iterations):
+            partitioner = MultilevelPartitioner(
+                config.num_parts, imbalance=alpha, seed=config.seed
+            )
+            candidate = partitioner.partition(graph)
+            q = modularity(graph, candidate.assignment)
+            accepted = q > best_q
+            self.trace.append(
+                AdaptiveSearchTrace(
+                    alpha=alpha,
+                    modularity=q,
+                    cut_size=candidate.cut_size(graph),
+                    imbalance=candidate.imbalance(),
+                    accepted=accepted,
+                )
+            )
+            if accepted:
+                best_q = q
+                best_partition = candidate
+
+            delta_q = q - previous_q if previous_q is not None else q
+            previous_q = q
+            if delta_q > config.epsilon_q and alpha < config.alpha_max:
+                alpha = min(alpha * config.gamma, config.alpha_max)
+            elif delta_q < -config.epsilon_q:
+                alpha = max(1.0, alpha / config.gamma)
+            else:
+                break
+
+        assert best_partition is not None
+        return best_partition
+
+    @property
+    def best_modularity(self) -> float:
+        """Modularity of the best accepted partition (after :meth:`partition`)."""
+        accepted = [t.modularity for t in self.trace if t.accepted]
+        return max(accepted) if accepted else 0.0

@@ -1,0 +1,174 @@
+"""Community detection by modularity optimisation.
+
+The paper contrasts strict k-way partitioners with community-detection
+algorithms (Louvain / Leiden) that maximise modularity but do not control
+the number or balance of parts.  This module provides a self-contained
+Louvain implementation (used by the test-suite to cross-check modularity
+behaviour and available to users who want structure-first partitions) and a
+simple greedy agglomerative alternative.  A thin wrapper over networkx's
+Louvain is used as an oracle in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import networkx as nx
+
+from repro.partition.modularity import modularity
+from repro.utils.rng import make_rng
+
+__all__ = ["louvain_communities", "greedy_modularity_communities"]
+
+
+def _one_louvain_level(graph: nx.Graph, seed: int) -> Dict[int, int]:
+    """One local-moving phase of Louvain; returns node -> community."""
+    rng = make_rng(seed)
+    nodes = list(graph.nodes)
+    community: Dict[int, int] = {node: index for index, node in enumerate(nodes)}
+    degree = dict(graph.degree(weight="weight"))
+    total_weight = graph.size(weight="weight")
+    if total_weight == 0:
+        return community
+    community_degree: Dict[int, float] = {community[n]: degree[n] for n in nodes}
+
+    improved = True
+    sweeps = 0
+    while improved and sweeps < 20:
+        improved = False
+        sweeps += 1
+        order = list(nodes)
+        rng.shuffle(order)
+        for node in order:
+            current = community[node]
+            k_i = degree[node]
+            # Weights from node to each neighbouring community.
+            neighbour_weights: Dict[int, float] = {}
+            for neighbour, data in graph[node].items():
+                if neighbour == node:
+                    continue
+                weight = data.get("weight", 1.0)
+                neighbour_weights.setdefault(community[neighbour], 0.0)
+                neighbour_weights[community[neighbour]] += weight
+            # Remove the node from its community.
+            community_degree[current] -= k_i
+            best_community = current
+            best_gain = neighbour_weights.get(current, 0.0) - (
+                community_degree[current] * k_i / (2.0 * total_weight)
+            )
+            for candidate, weight_to in neighbour_weights.items():
+                if candidate == current:
+                    continue
+                gain = weight_to - community_degree[candidate] * k_i / (2.0 * total_weight)
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best_community = candidate
+            community[node] = best_community
+            community_degree.setdefault(best_community, 0.0)
+            community_degree[best_community] += k_i
+            if best_community != current:
+                improved = True
+    return community
+
+
+def _aggregate(graph: nx.Graph, community: Dict[int, int]) -> nx.Graph:
+    """Collapse every community into a single weighted super-node.
+
+    Intra-community weight is preserved as a self-loop so that the next
+    Louvain level sees the correct degrees and internal densities.
+    """
+    aggregated = nx.Graph()
+    aggregated.add_nodes_from(set(community.values()))
+    for a, b, data in graph.edges(data=True):
+        weight = data.get("weight", 1.0)
+        ca, cb = community[a], community[b]
+        if aggregated.has_edge(ca, cb):
+            aggregated[ca][cb]["weight"] += weight
+        else:
+            aggregated.add_edge(ca, cb, weight=weight)
+    return aggregated
+
+
+def louvain_communities(
+    graph: nx.Graph, seed: int = 0, max_levels: int = 10
+) -> List[Set[int]]:
+    """Detect communities with the Louvain method.
+
+    Returns a list of node sets.  The implementation follows the standard
+    two-phase scheme: local moving until no gain, then aggregation, repeated
+    until the community structure stops changing.
+    """
+    if graph.number_of_nodes() == 0:
+        return []
+    if graph.number_of_edges() == 0:
+        return [{node} for node in graph.nodes]
+
+    mapping: Dict[int, int] = {node: node for node in graph.nodes}
+    working = nx.Graph()
+    working.add_nodes_from(graph.nodes)
+    working.add_edges_from((a, b, {"weight": 1.0}) for a, b in graph.edges)
+
+    for level in range(max_levels):
+        community = _one_louvain_level(working, seed=seed + level)
+        num_communities = len(set(community.values()))
+        if num_communities == working.number_of_nodes():
+            break
+        mapping = {node: community[mapping[node]] for node in mapping}
+        working = _aggregate(working, community)
+
+    groups: Dict[int, Set[int]] = {}
+    for node, comm in mapping.items():
+        groups.setdefault(comm, set()).add(node)
+    return list(groups.values())
+
+
+def greedy_modularity_communities(graph: nx.Graph, target_parts: Optional[int] = None) -> List[Set[int]]:
+    """Agglomerative modularity clustering (CNM-style, simplified).
+
+    Starts from singleton communities and repeatedly merges the pair of
+    connected communities with the best modularity gain, stopping when no
+    merge improves modularity (or when ``target_parts`` communities remain).
+    Quadratic and intended for small graphs and tests; use
+    :func:`louvain_communities` for anything large.
+    """
+    communities: List[Set[int]] = [{node} for node in graph.nodes]
+    if not communities:
+        return []
+
+    def assignment_of(groups: List[Set[int]]) -> Dict[int, int]:
+        return {node: index for index, group in enumerate(groups) for node in group}
+
+    current_q = modularity(graph, assignment_of(communities))
+    while len(communities) > 1:
+        if target_parts is not None and len(communities) <= target_parts:
+            break
+        best_pair = None
+        best_q = current_q
+        for i in range(len(communities)):
+            for j in range(i + 1, len(communities)):
+                if not any(
+                    graph.has_edge(a, b) for a in communities[i] for b in communities[j]
+                ):
+                    continue
+                merged = (
+                    communities[:i]
+                    + communities[i + 1 : j]
+                    + communities[j + 1 :]
+                    + [communities[i] | communities[j]]
+                )
+                q = modularity(graph, assignment_of(merged))
+                if q > best_q + 1e-12 or (
+                    target_parts is not None and len(communities) > target_parts and best_pair is None
+                ):
+                    best_q = q
+                    best_pair = (i, j)
+        if best_pair is None:
+            break
+        i, j = best_pair
+        merged_group = communities[i] | communities[j]
+        communities = [
+            group for index, group in enumerate(communities) if index not in (i, j)
+        ]
+        communities.append(merged_group)
+        current_q = best_q
+    return communities

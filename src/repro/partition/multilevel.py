@@ -1,0 +1,301 @@
+"""Multilevel k-way graph partitioning (METIS-style, pure Python).
+
+The paper's Algorithm 2 starts from a balanced partition produced by the
+METIS library (multilevel k-way partitioning, Karypis & Kumar).  METIS is a
+C library that is not available in this environment, so this module
+implements the same algorithmic scheme from scratch:
+
+1. **Coarsening** — repeatedly contract a heavy-edge matching until the
+   graph is small (a few times the number of parts);
+2. **Initial partition** — balanced region growing (greedy BFS) on the
+   coarsest graph;
+3. **Uncoarsening + refinement** — project the partition back level by
+   level and improve it with Fiduccia–Mattheyses-style boundary moves that
+   reduce the cut while respecting the imbalance constraint
+   ``max part weight <= alpha * total weight / k``.
+
+The partitioner is deterministic for a fixed seed and is validated in the
+test suite against the balance constraint, cut-coverage invariants, and
+(on structured graphs) against known good cuts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.partition.types import PartitionResult
+from repro.utils.errors import PartitionError
+from repro.utils.rng import make_rng
+
+__all__ = ["MultilevelPartitioner", "partition_graph"]
+
+
+@dataclass
+class _Level:
+    """One level of the coarsening hierarchy."""
+
+    graph: nx.Graph
+    # Mapping from this level's nodes to the coarser level's nodes.
+    projection: Optional[Dict[int, int]] = None
+
+
+class MultilevelPartitioner:
+    """METIS-style multilevel k-way partitioner with an imbalance factor.
+
+    Args:
+        num_parts: Number of parts (QPUs).
+        imbalance: Allowed imbalance ``alpha``; every part's weight must stay
+            below ``alpha * total_weight / num_parts``.  ``1.0`` requests a
+            perfectly balanced partition (rounded up to whole nodes).
+        seed: Seed for the randomised matching / tie-breaking.
+        refinement_passes: Number of FM boundary passes per level.
+    """
+
+    def __init__(
+        self,
+        num_parts: int,
+        imbalance: float = 1.0,
+        seed: int = 0,
+        refinement_passes: int = 4,
+    ) -> None:
+        if num_parts < 1:
+            raise PartitionError("num_parts must be at least 1")
+        if imbalance < 1.0:
+            raise PartitionError("imbalance factor must be >= 1.0")
+        self.num_parts = num_parts
+        self.imbalance = imbalance
+        self.seed = seed
+        self.refinement_passes = refinement_passes
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def partition(self, graph: nx.Graph) -> PartitionResult:
+        """Partition ``graph`` into ``num_parts`` parts."""
+        if graph.number_of_nodes() == 0:
+            return PartitionResult({}, self.num_parts)
+        if self.num_parts == 1:
+            return PartitionResult({node: 0 for node in graph.nodes}, 1)
+        if graph.number_of_nodes() < self.num_parts:
+            raise PartitionError(
+                f"cannot split {graph.number_of_nodes()} nodes into "
+                f"{self.num_parts} parts"
+            )
+
+        weighted = nx.Graph()
+        for node in graph.nodes:
+            weighted.add_node(node, weight=1)
+        for a, b in graph.edges:
+            weighted.add_edge(a, b, weight=1)
+
+        levels = self._coarsen(weighted)
+        coarsest = levels[-1].graph
+        assignment = self._initial_partition(coarsest)
+        assignment = self._refine(coarsest, assignment)
+
+        for level_index in range(len(levels) - 2, -1, -1):
+            finer = levels[level_index]
+            # ``finer.projection`` maps this level's nodes to the nodes of the
+            # next (coarser) level, whose assignment we already know.
+            projection = finer.projection or {}
+            assignment = {
+                node: assignment[projection[node]] for node in finer.graph.nodes
+            }
+            assignment = self._refine(finer.graph, assignment)
+
+        result = PartitionResult(assignment, self.num_parts)
+        result.validate_covers(graph)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Coarsening
+    # ------------------------------------------------------------------ #
+
+    def _coarsen(self, graph: nx.Graph) -> List[_Level]:
+        levels = [_Level(graph)]
+        rng = make_rng(self.seed)
+        target = max(4 * self.num_parts, 32)
+        while levels[-1].graph.number_of_nodes() > target:
+            finer = levels[-1].graph
+            matching = self._heavy_edge_matching(finer, rng)
+            if not matching:
+                break
+            coarser, projection = self._contract(finer, matching)
+            if coarser.number_of_nodes() >= finer.number_of_nodes():
+                break
+            levels[-1].projection = projection
+            levels.append(_Level(coarser))
+        return levels
+
+    @staticmethod
+    def _heavy_edge_matching(graph: nx.Graph, rng) -> Dict[int, int]:
+        """Return a matching (node -> partner) preferring heavy edges."""
+        nodes = list(graph.nodes)
+        rng.shuffle(nodes)
+        matched: Dict[int, int] = {}
+        for node in nodes:
+            if node in matched:
+                continue
+            best_partner = None
+            best_weight = -1.0
+            for neighbour, data in graph[node].items():
+                if neighbour in matched or neighbour == node:
+                    continue
+                weight = data.get("weight", 1.0)
+                if weight > best_weight:
+                    best_weight = weight
+                    best_partner = neighbour
+            if best_partner is not None:
+                matched[node] = best_partner
+                matched[best_partner] = node
+        return matched
+
+    @staticmethod
+    def _contract(
+        graph: nx.Graph, matching: Dict[int, int]
+    ) -> Tuple[nx.Graph, Dict[int, int]]:
+        """Contract matched pairs into super-nodes."""
+        projection: Dict[int, int] = {}
+        next_id = 0
+        for node in graph.nodes:
+            if node in projection:
+                continue
+            partner = matching.get(node)
+            projection[node] = next_id
+            if partner is not None and partner not in projection:
+                projection[partner] = next_id
+            next_id += 1
+
+        coarser = nx.Graph()
+        for node in graph.nodes:
+            super_node = projection[node]
+            if not coarser.has_node(super_node):
+                coarser.add_node(super_node, weight=0)
+            coarser.nodes[super_node]["weight"] += graph.nodes[node].get("weight", 1)
+        for a, b, data in graph.edges(data=True):
+            ca, cb = projection[a], projection[b]
+            if ca == cb:
+                continue
+            weight = data.get("weight", 1.0)
+            if coarser.has_edge(ca, cb):
+                coarser[ca][cb]["weight"] += weight
+            else:
+                coarser.add_edge(ca, cb, weight=weight)
+        return coarser, projection
+
+    # ------------------------------------------------------------------ #
+    # Initial partition
+    # ------------------------------------------------------------------ #
+
+    def _max_part_weight(self, total_weight: float) -> float:
+        ideal = total_weight / self.num_parts
+        # Always allow at least one extra unit so whole nodes fit.
+        return max(self.imbalance * ideal, ideal + 1.0)
+
+    def _initial_partition(self, graph: nx.Graph) -> Dict[int, int]:
+        """Balanced region growing on the coarsest graph."""
+        rng = make_rng(self.seed + 1)
+        total_weight = sum(graph.nodes[n].get("weight", 1) for n in graph.nodes)
+        limit = self._max_part_weight(total_weight)
+
+        assignment: Dict[int, int] = {}
+        part_weight = [0.0] * self.num_parts
+        unassigned = set(graph.nodes)
+
+        nodes_by_degree = sorted(
+            graph.nodes, key=lambda n: -graph.degree(n, weight="weight")
+        )
+        for part in range(self.num_parts):
+            if not unassigned:
+                break
+            # Seed with the highest-degree unassigned node.
+            seed_node = next(n for n in nodes_by_degree if n in unassigned)
+            frontier = [seed_node]
+            while frontier and part_weight[part] < total_weight / self.num_parts:
+                node = frontier.pop(0)
+                if node not in unassigned:
+                    continue
+                weight = graph.nodes[node].get("weight", 1)
+                if part_weight[part] + weight > limit:
+                    continue
+                assignment[node] = part
+                part_weight[part] += weight
+                unassigned.discard(node)
+                neighbours = [n for n in graph.neighbors(node) if n in unassigned]
+                rng.shuffle(neighbours)
+                frontier.extend(neighbours)
+
+        # Any leftovers go to the lightest part that can take them.
+        for node in sorted(unassigned):
+            weight = graph.nodes[node].get("weight", 1)
+            part = min(range(self.num_parts), key=lambda p: part_weight[p])
+            assignment[node] = part
+            part_weight[part] += weight
+        return assignment
+
+    # ------------------------------------------------------------------ #
+    # Refinement
+    # ------------------------------------------------------------------ #
+
+    def _refine(self, graph: nx.Graph, assignment: Dict[int, int]) -> Dict[int, int]:
+        """FM-style boundary refinement respecting the imbalance limit."""
+        assignment = dict(assignment)
+        total_weight = sum(graph.nodes[n].get("weight", 1) for n in graph.nodes)
+        limit = self._max_part_weight(total_weight)
+        part_weight = [0.0] * self.num_parts
+        for node, part in assignment.items():
+            part_weight[part] += graph.nodes[node].get("weight", 1)
+
+        for _ in range(self.refinement_passes):
+            moved_any = False
+            boundary = [
+                node
+                for node in graph.nodes
+                if any(assignment[n] != assignment[node] for n in graph.neighbors(node))
+            ]
+            for node in boundary:
+                current = assignment[node]
+                weight = graph.nodes[node].get("weight", 1)
+                # Connectivity of this node to every part.
+                connectivity: Dict[int, float] = {}
+                for neighbour, data in graph[node].items():
+                    connectivity.setdefault(assignment[neighbour], 0.0)
+                    connectivity[assignment[neighbour]] += data.get("weight", 1.0)
+                internal = connectivity.get(current, 0.0)
+                best_part = current
+                best_gain = 0.0
+                for part, external in connectivity.items():
+                    if part == current:
+                        continue
+                    if part_weight[part] + weight > limit:
+                        continue
+                    # Do not empty a part entirely.
+                    if part_weight[current] - weight <= 0:
+                        continue
+                    gain = external - internal
+                    if gain > best_gain + 1e-12:
+                        best_gain = gain
+                        best_part = part
+                if best_part != current:
+                    assignment[node] = best_part
+                    part_weight[current] -= weight
+                    part_weight[best_part] += weight
+                    moved_any = True
+            if not moved_any:
+                break
+        return assignment
+
+
+def partition_graph(
+    graph: nx.Graph,
+    num_parts: int,
+    imbalance: float = 1.0,
+    seed: int = 0,
+) -> PartitionResult:
+    """Convenience wrapper around :class:`MultilevelPartitioner`."""
+    partitioner = MultilevelPartitioner(num_parts, imbalance=imbalance, seed=seed)
+    return partitioner.partition(graph)

@@ -1,0 +1,40 @@
+"""Benchmark quantum programs used in the paper's evaluation (Table II).
+
+Four program families are provided, matching Section V-A of the paper:
+
+* :func:`qaoa_maxcut_circuit` — QAOA for Max-Cut on random graphs in which
+  half of all possible edges are selected at random,
+* :func:`vqe_circuit` — a hardware-efficient VQE ansatz with fully entangled
+  layers (every qubit pair coupled by a CNOT),
+* :func:`qft_circuit` — the quantum Fourier transform,
+* :func:`rca_circuit` — the Cuccaro ripple-carry adder.
+
+The :mod:`~repro.programs.registry` module ties these builders to the sizes
+used in the paper's tables and records the paper's reported characteristics
+for side-by-side comparison.
+"""
+
+from repro.programs.qaoa import qaoa_maxcut_circuit, random_maxcut_graph
+from repro.programs.vqe import vqe_circuit
+from repro.programs.qft import qft_circuit
+from repro.programs.rca import rca_circuit
+from repro.programs.registry import (
+    BenchmarkSpec,
+    PAPER_TABLE2,
+    build_benchmark,
+    benchmark_names,
+    paper_grid_size,
+)
+
+__all__ = [
+    "qaoa_maxcut_circuit",
+    "random_maxcut_graph",
+    "vqe_circuit",
+    "qft_circuit",
+    "rca_circuit",
+    "BenchmarkSpec",
+    "PAPER_TABLE2",
+    "build_benchmark",
+    "benchmark_names",
+    "paper_grid_size",
+]

@@ -1,0 +1,39 @@
+"""Quantum Fourier transform circuits.
+
+The QFT benchmark uses the textbook construction: a Hadamard on each qubit
+followed by controlled-phase rotations ``CPHASE(pi / 2^k)`` from every later
+qubit, giving ``n*(n-1)/2`` two-qubit gates.  Following the paper's gate
+counts (Table II reports exactly ``n*(n-1)/2`` 2-qubit gates for QFT), the
+final qubit-reversal SWAPs are omitted by default; they can be enabled with
+``include_swaps=True``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.circuit import QuantumCircuit
+
+__all__ = ["qft_circuit"]
+
+
+def qft_circuit(num_qubits: int, include_swaps: bool = False) -> QuantumCircuit:
+    """Build an ``num_qubits``-qubit quantum Fourier transform circuit.
+
+    Args:
+        num_qubits: Register width.
+        include_swaps: Append the final qubit-reversal SWAP network.  The
+            paper's gate counts exclude it, so it defaults to False.
+    """
+    if num_qubits < 1:
+        raise ValueError("QFT needs at least one qubit")
+    circuit = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for control in range(target + 1, num_qubits):
+            angle = math.pi / (2 ** (control - target))
+            circuit.cphase(angle, control, target)
+    if include_swaps:
+        for qubit in range(num_qubits // 2):
+            circuit.swap(qubit, num_qubits - 1 - qubit)
+    return circuit

@@ -1,0 +1,88 @@
+"""Cuccaro ripple-carry adder (RCA) circuits.
+
+The construction follows Cuccaro, Draper, Kutin and Moulton ("A new quantum
+ripple-carry addition circuit"): two ``k``-bit registers are added in place
+using one carry-in ancilla and one carry-out qubit, for a total width of
+``2k + 2`` qubits.  The circuit is a ladder of MAJ blocks, a single CNOT to
+produce the carry-out, and a ladder of UMA blocks.
+
+The paper labels its RCA benchmarks by total qubit count (RCA-16, RCA-36,
+RCA-81).  For widths that cannot be written as ``2k + 2`` exactly (81 is
+odd), we use the largest adder that fits and leave the remaining qubit idle,
+which matches the qubit count while keeping the circuit a genuine adder.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import QuantumCircuit
+
+__all__ = ["rca_circuit", "rca_adder_for_bits"]
+
+
+def _maj(circuit: QuantumCircuit, c: int, b: int, a: int) -> None:
+    """The MAJ (majority) block of the Cuccaro adder."""
+    circuit.cx(a, b)
+    circuit.cx(a, c)
+    circuit.ccx(c, b, a)
+
+
+def _uma(circuit: QuantumCircuit, c: int, b: int, a: int) -> None:
+    """The UMA (un-majority and add) block of the Cuccaro adder."""
+    circuit.ccx(c, b, a)
+    circuit.cx(a, c)
+    circuit.cx(c, b)
+
+
+def rca_adder_for_bits(num_bits: int) -> QuantumCircuit:
+    """Build a Cuccaro adder for two ``num_bits``-bit registers.
+
+    Qubit layout: ``[carry_in, b_0, a_0, b_1, a_1, ..., b_{k-1}, a_{k-1},
+    carry_out]`` for ``k = num_bits``.
+    """
+    if num_bits < 1:
+        raise ValueError("the adder needs at least one bit per register")
+    width = 2 * num_bits + 2
+    circuit = QuantumCircuit(width, name=f"rca_{width}")
+
+    carry_in = 0
+    carry_out = width - 1
+
+    def b_qubit(i: int) -> int:
+        return 1 + 2 * i
+
+    def a_qubit(i: int) -> int:
+        return 2 + 2 * i
+
+    # Forward MAJ ladder.
+    _maj(circuit, carry_in, b_qubit(0), a_qubit(0))
+    for i in range(1, num_bits):
+        _maj(circuit, a_qubit(i - 1), b_qubit(i), a_qubit(i))
+
+    # Carry-out.
+    circuit.cx(a_qubit(num_bits - 1), carry_out)
+
+    # Backward UMA ladder.
+    for i in range(num_bits - 1, 0, -1):
+        _uma(circuit, a_qubit(i - 1), b_qubit(i), a_qubit(i))
+    _uma(circuit, carry_in, b_qubit(0), a_qubit(0))
+    return circuit
+
+
+def rca_circuit(num_qubits: int) -> QuantumCircuit:
+    """Build an RCA benchmark with (approximately) ``num_qubits`` qubits.
+
+    The adder itself uses ``2k + 2`` qubits for the largest ``k`` that fits;
+    if ``num_qubits`` is odd the final qubit is left idle so that the circuit
+    width matches the benchmark label.
+    """
+    if num_qubits < 4:
+        raise ValueError("the smallest ripple-carry adder uses 4 qubits")
+    num_bits = (num_qubits - 2) // 2
+    adder = rca_adder_for_bits(num_bits)
+    if adder.num_qubits == num_qubits:
+        adder.name = f"rca_{num_qubits}"
+        return adder
+    # Pad with idle qubits to reach the requested benchmark width.
+    padded = QuantumCircuit(num_qubits, name=f"rca_{num_qubits}")
+    padded.extend(adder.gates)
+    return padded

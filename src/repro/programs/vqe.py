@@ -1,0 +1,98 @@
+"""Hardware-efficient VQE ansatz circuits.
+
+Following Section V-A of the paper, the VQE benchmarks use the
+hardware-efficient ansatz of Kandala et al. with *fully entangled* layers:
+in every entangling layer each pair of qubits is connected through a CNOT, so
+the 2-qubit gate count grows quadratically with the number of qubits
+(``layers * n * (n-1) / 2``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.utils.rng import make_rng
+
+__all__ = ["vqe_circuit", "full_entanglement_schedule"]
+
+
+def vqe_circuit(
+    num_qubits: int,
+    layers: int = 1,
+    seed: int | None = None,
+    angles: Sequence[float] | None = None,
+) -> QuantumCircuit:
+    """Build a hardware-efficient VQE ansatz with fully entangled layers.
+
+    Args:
+        num_qubits: Register width.
+        layers: Number of (rotation, full-entanglement) blocks.
+        seed: Seed for the random rotation angles when ``angles`` is omitted.
+        angles: Optional explicit rotation angles; must provide
+            ``2 * num_qubits * (layers + 1)`` values (an RY and an RZ per
+            qubit per rotation block, with one final block after the last
+            entangler).
+
+    Returns:
+        The ansatz circuit.
+    """
+    if num_qubits < 2:
+        raise ValueError("the fully-entangled ansatz needs at least two qubits")
+    if layers < 1:
+        raise ValueError("need at least one ansatz layer")
+
+    needed = 2 * num_qubits * (layers + 1)
+    if angles is None:
+        rng = make_rng(seed)
+        angles = list(rng.uniform(0.0, 2.0 * math.pi, size=needed))
+    if len(angles) != needed:
+        raise ValueError(f"expected {needed} angles, got {len(angles)}")
+
+    circuit = QuantumCircuit(num_qubits, name=f"vqe_{num_qubits}")
+    angle_iter = iter(angles)
+
+    def rotation_block() -> None:
+        for qubit in range(num_qubits):
+            circuit.ry(next(angle_iter), qubit)
+            circuit.rz(next(angle_iter), qubit)
+
+    rotation_block()
+    for _ in range(layers):
+        for a, b in full_entanglement_schedule(num_qubits):
+            circuit.cx(a, b)
+        rotation_block()
+    return circuit
+
+
+def full_entanglement_schedule(num_qubits: int) -> list:
+    """Return all qubit pairs ordered as round-robin rounds.
+
+    Every qubit pair appears exactly once.  Pairs are grouped into rounds of
+    disjoint pairs (the circle method used for round-robin tournaments), so
+    that CNOTs acting on independent qubits are adjacent in program order —
+    the natural way a fully entangled layer is scheduled on hardware, and the
+    ordering that keeps the resulting graph state temporally local.
+    """
+    if num_qubits < 2:
+        return []
+    labels = list(range(num_qubits))
+    if num_qubits % 2 == 1:
+        labels.append(-1)  # bye
+    half = len(labels) // 2
+    rounds = []
+    rotating = labels[1:]
+    for _ in range(len(labels) - 1):
+        current = [labels[0]] + rotating
+        pairs = []
+        for i in range(half):
+            a, b = current[i], current[-(i + 1)]
+            if a != -1 and b != -1:
+                pairs.append((min(a, b), max(a, b)))
+        rounds.append(pairs)
+        rotating = rotating[-1:] + rotating[:-1]
+    schedule = []
+    for round_pairs in rounds:
+        schedule.extend(sorted(round_pairs))
+    return schedule

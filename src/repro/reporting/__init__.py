@@ -1,0 +1,52 @@
+"""Experiment drivers that regenerate the paper's tables and figures.
+
+Each function in :mod:`~repro.reporting.experiments` reproduces one artefact
+of the evaluation section (Tables I-VI, Figures 1 and 7-10) and returns plain
+data rows; :mod:`~repro.reporting.render` turns them into aligned text tables
+so the benchmark harness, the examples and the CLI can print paper-style
+output without any plotting dependency.
+"""
+
+from repro.reporting.experiments import (
+    BenchmarkScale,
+    ComparisonRow,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+    table5_rows,
+    table6_rows,
+    figure1_series,
+    figure7_series,
+    figure8_series,
+    figure9_series,
+    figure10_series,
+)
+from repro.reporting.render import (
+    render_comparison_table,
+    render_series,
+    render_table1,
+    render_table2,
+    render_table6,
+)
+
+__all__ = [
+    "BenchmarkScale",
+    "ComparisonRow",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "table4_rows",
+    "table5_rows",
+    "table6_rows",
+    "figure1_series",
+    "figure7_series",
+    "figure8_series",
+    "figure9_series",
+    "figure10_series",
+    "render_comparison_table",
+    "render_series",
+    "render_table1",
+    "render_table2",
+    "render_table6",
+]

@@ -1,0 +1,26 @@
+"""Distributed-execution runtime simulation.
+
+The compiler stack produces a distributed schedule; this package *runs* it in
+a discrete-event fashion: cycle by cycle it checks machine exclusivity and
+connection capacity, tracks how long every photon sits in a delay line, and
+(optionally) samples photon loss and fusion failures from the hardware
+models.  It is the executable ground truth used by the integration tests to
+confirm that schedules produced by the compiler are actually realisable and
+that the reported required photon lifetime matches the longest observed
+storage time.
+"""
+
+from repro.runtime.executor import (
+    DistributedRuntime,
+    ExecutionTrace,
+    PhotonStorageRecord,
+)
+from repro.runtime.reliability import ReliabilityEstimate, estimate_program_reliability
+
+__all__ = [
+    "DistributedRuntime",
+    "ExecutionTrace",
+    "PhotonStorageRecord",
+    "ReliabilityEstimate",
+    "estimate_program_reliability",
+]

@@ -1,0 +1,33 @@
+"""Shared utilities for the DC-MBQC reproduction.
+
+This package holds small, dependency-free helpers that every other subsystem
+relies on: error types, seeded random-number helpers, 2D grid geometry, and
+plain-text table rendering used by the benchmark harness.
+"""
+
+from repro.utils.errors import (
+    ReproError,
+    CompilationError,
+    PartitionError,
+    SchedulingError,
+    ValidationError,
+)
+from repro.utils.rng import make_rng, derive_seed
+from repro.utils.grid import GridPoint, manhattan_distance, spiral_order, grid_points
+from repro.utils.tables import Table, format_float
+
+__all__ = [
+    "ReproError",
+    "CompilationError",
+    "PartitionError",
+    "SchedulingError",
+    "ValidationError",
+    "make_rng",
+    "derive_seed",
+    "GridPoint",
+    "manhattan_distance",
+    "spiral_order",
+    "grid_points",
+    "Table",
+    "format_float",
+]

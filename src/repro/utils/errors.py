@@ -1,0 +1,45 @@
+"""Exception hierarchy shared by all DC-MBQC subsystems.
+
+Every error raised on purpose by the library derives from :class:`ReproError`
+so that callers can catch library failures without also swallowing genuine
+bugs (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CompilationError(ReproError):
+    """Raised when a circuit or pattern cannot be compiled.
+
+    Typical causes: a computation graph that does not fit the configured
+    resource grid, an unsupported gate in the circuit front end, or a
+    malformed measurement pattern.
+    """
+
+
+class PartitionError(ReproError):
+    """Raised when graph partitioning cannot produce a valid partition.
+
+    For example when the requested number of parts exceeds the number of
+    nodes, or when the imbalance constraint is infeasible.
+    """
+
+
+class SchedulingError(ReproError):
+    """Raised when the layer scheduler is given an inconsistent problem.
+
+    For example a synchronisation task that references a non-existent main
+    task, or a schedule that violates machine exclusivity.
+    """
+
+
+class ValidationError(ReproError):
+    """Raised when a produced artefact fails its internal consistency check.
+
+    The runtime simulator and the schedule validator use this to signal that
+    a schedule or a distributed program violates a hard constraint.
+    """

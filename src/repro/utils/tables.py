@@ -1,0 +1,73 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The paper reports its evaluation as tables (Tables II-VI) and line plots
+(Figures 1, 7-10).  The benchmark harness regenerates the same rows/series and
+prints them with this small formatter so the output can be compared against
+the paper side by side without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+__all__ = ["Table", "format_float"]
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Format ``value`` with ``digits`` decimals, dropping a trailing ``.00``."""
+    text = f"{value:.{digits}f}"
+    if text.endswith("." + "0" * digits):
+        return text[: -(digits + 1)]
+    return text
+
+
+@dataclass
+class Table:
+    """A simple column-aligned text table.
+
+    >>> t = Table(title="Demo", columns=["a", "b"])
+    >>> t.add_row([1, 2.5])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    Demo
+    a | b
+    --+----
+    1 | 2.5
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, values: Iterable[object]) -> None:
+        """Append a row; values are stringified (floats via format_float)."""
+        rendered = []
+        for value in values:
+            if isinstance(value, float):
+                rendered.append(format_float(value))
+            else:
+                rendered.append(str(value))
+        if len(rendered) != len(self.columns):
+            raise ValueError(
+                f"row has {len(rendered)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append(rendered)
+
+    def render(self) -> str:
+        """Return the table as an aligned multi-line string."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,76 @@
+"""Shared fixtures for the DC-MBQC test suite.
+
+Fixtures are deliberately small (2-8 qubits, tiny grids) so the full suite
+runs in well under a minute; the benchmark harness under ``benchmarks/``
+exercises the paper-scale configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.compiler import OneQCompiler, computation_graph_from_pattern
+from repro.core import DCMBQCCompiler, DCMBQCConfig
+from repro.mbqc.translate import circuit_to_pattern
+from repro.programs import qft_circuit, vqe_circuit
+
+
+@pytest.fixture
+def small_circuit() -> QuantumCircuit:
+    """A 3-qubit circuit touching every common gate family."""
+    circuit = QuantumCircuit(3, name="small")
+    circuit.h(0).t(1).cx(0, 1).rz(0.3, 2).cz(1, 2).rx(0.7, 0).cphase(0.9, 0, 2)
+    return circuit
+
+
+@pytest.fixture
+def ghz_circuit() -> QuantumCircuit:
+    """A 3-qubit GHZ preparation circuit."""
+    circuit = QuantumCircuit(3, name="ghz")
+    circuit.h(0).cx(0, 1).cx(1, 2)
+    return circuit
+
+
+@pytest.fixture
+def small_pattern(small_circuit):
+    """Measurement pattern of the small circuit."""
+    return circuit_to_pattern(small_circuit)
+
+
+@pytest.fixture
+def small_computation(small_pattern):
+    """Computation graph of the small circuit."""
+    return computation_graph_from_pattern(small_pattern)
+
+
+@pytest.fixture
+def qft8_computation():
+    """Computation graph of an 8-qubit QFT (medium-sized test workload)."""
+    return computation_graph_from_pattern(circuit_to_pattern(qft_circuit(8)))
+
+
+@pytest.fixture
+def vqe6_computation():
+    """Computation graph of a 6-qubit VQE ansatz."""
+    return computation_graph_from_pattern(
+        circuit_to_pattern(vqe_circuit(6, layers=1, seed=11))
+    )
+
+
+@pytest.fixture
+def small_dcmbqc_config() -> DCMBQCConfig:
+    """A 2-QPU configuration sized for the test workloads."""
+    return DCMBQCConfig(num_qpus=2, grid_size=5, seed=3)
+
+
+@pytest.fixture
+def distributed_result(qft8_computation, small_dcmbqc_config):
+    """A full distributed compilation of the 8-qubit QFT on 2 QPUs."""
+    return DCMBQCCompiler(small_dcmbqc_config).compile(qft8_computation)
+
+
+@pytest.fixture
+def baseline_schedule(qft8_computation):
+    """Single-QPU OneQ compilation of the 8-qubit QFT."""
+    return OneQCompiler(grid_size=5).compile(qft8_computation)

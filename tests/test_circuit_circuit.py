@@ -1,0 +1,90 @@
+"""Tests for the QuantumCircuit container."""
+
+import math
+
+import pytest
+
+from repro.circuit import QuantumCircuit, circuits_equivalent
+from repro.circuit.gates import Gate
+
+
+class TestConstruction:
+    def test_requires_positive_width(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+
+    def test_builder_methods_chain(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).rz(0.5, 1)
+        assert circuit.num_gates == 3
+
+    def test_out_of_range_qubit_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(2).h(2)
+
+    def test_add_by_name_uppercases(self):
+        circuit = QuantumCircuit(1).add("h", [0])
+        assert circuit.gates[0].name == "H"
+
+    def test_extend_and_compose(self):
+        a = QuantumCircuit(2).h(0)
+        b = QuantumCircuit(2).cx(0, 1)
+        a.compose(b)
+        assert [g.name for g in a.gates] == ["H", "CX"]
+
+    def test_compose_width_mismatch(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(2).compose(QuantumCircuit(3))
+
+
+class TestIntrospection:
+    def test_len_and_iter(self):
+        circuit = QuantumCircuit(2).h(0).cz(0, 1)
+        assert len(circuit) == 2
+        assert [g.name for g in circuit] == ["H", "CZ"]
+
+    def test_two_qubit_gate_count(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).cz(1, 2).t(2).ccx(0, 1, 2)
+        assert circuit.num_two_qubit_gates == 3  # CX, CZ, CCX (>=2 qubits)
+
+    def test_count_gates_histogram(self):
+        circuit = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        assert circuit.count_gates() == {"H": 2, "CX": 1}
+
+    def test_depth_parallel_gates(self):
+        circuit = QuantumCircuit(2).h(0).h(1)
+        assert circuit.depth() == 1
+
+    def test_depth_sequential_gates(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).h(1)
+        assert circuit.depth() == 3
+
+    def test_depth_empty(self):
+        assert QuantumCircuit(2).depth() == 0
+
+    def test_interaction_graph(self):
+        circuit = QuantumCircuit(3).cx(0, 1).cz(2, 1).cx(0, 1)
+        assert circuit.interaction_graph() == [(0, 1), (1, 2)]
+
+    def test_interaction_graph_includes_toffoli_pairs(self):
+        circuit = QuantumCircuit(3).ccx(0, 1, 2)
+        assert circuit.interaction_graph() == [(0, 1), (0, 2), (1, 2)]
+
+
+class TestInverse:
+    def test_inverse_reverses_and_negates(self):
+        circuit = QuantumCircuit(2).h(0).rz(0.3, 1).cx(0, 1)
+        inverse = circuit.inverse()
+        assert [g.name for g in inverse.gates] == ["CX", "RZ", "H"]
+        assert inverse.gates[1].params == (-0.3,)
+
+    def test_inverse_swaps_s_and_sdg(self):
+        inverse = QuantumCircuit(1).s(0).inverse()
+        assert inverse.gates[0].name == "SDG"
+
+    def test_circuit_times_inverse_is_identity(self):
+        circuit = QuantumCircuit(2).h(0).t(1).cx(0, 1).rz(0.7, 0)
+        identity = QuantumCircuit(2)
+        combined = QuantumCircuit(2)
+        combined.extend(circuit.gates)
+        combined.extend(circuit.inverse().gates)
+        assert circuits_equivalent(combined, identity)

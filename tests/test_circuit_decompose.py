@@ -1,0 +1,123 @@
+"""Tests for the {J, CZ} basis decomposition."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, circuits_equivalent, decompose_to_jcz
+from repro.circuit.decompose import CZGate, JGate, euler_zxz
+from repro.circuit.gates import GATE_LIBRARY, Gate, gate_matrix
+
+
+def _roundtrip_ok(circuit: QuantumCircuit) -> bool:
+    program = decompose_to_jcz(circuit)
+    return circuits_equivalent(circuit, program.to_circuit(), num_trials=3)
+
+
+class TestSingleQubitGates:
+    @pytest.mark.parametrize(
+        "name", ["H", "X", "Y", "Z", "S", "SDG", "T", "TDG", "I"]
+    )
+    def test_fixed_gates(self, name):
+        circuit = QuantumCircuit(1)
+        circuit.add(name, [0])
+        assert _roundtrip_ok(circuit)
+
+    @pytest.mark.parametrize("angle", [0.0, 0.3, math.pi / 2, math.pi, -1.2, 5.9])
+    @pytest.mark.parametrize("name", ["RX", "RY", "RZ", "PHASE", "J"])
+    def test_rotation_gates(self, name, angle):
+        circuit = QuantumCircuit(1)
+        circuit.add(name, [0], [angle])
+        assert _roundtrip_ok(circuit)
+
+    def test_h_is_single_j(self):
+        program = decompose_to_jcz(QuantumCircuit(1).h(0))
+        assert program.num_j_gates == 1
+        assert program.num_cz_gates == 0
+
+    def test_identity_angle_rz_is_dropped(self):
+        program = decompose_to_jcz(QuantumCircuit(1).rz(0.0, 0))
+        assert len(program.operations) == 0
+
+    def test_rz_uses_two_j_gates(self):
+        program = decompose_to_jcz(QuantumCircuit(1).rz(0.4, 0))
+        assert program.num_j_gates == 2
+
+
+class TestTwoAndThreeQubitGates:
+    def test_cz_passes_through(self):
+        program = decompose_to_jcz(QuantumCircuit(2).cz(0, 1))
+        assert program.num_cz_gates == 1
+        assert program.num_j_gates == 0
+
+    def test_cx(self):
+        assert _roundtrip_ok(QuantumCircuit(2).cx(0, 1))
+
+    def test_cx_reversed_direction(self):
+        assert _roundtrip_ok(QuantumCircuit(2).cx(1, 0))
+
+    @pytest.mark.parametrize("angle", [0.3, math.pi / 4, math.pi, 2.7])
+    def test_cphase(self, angle):
+        assert _roundtrip_ok(QuantumCircuit(2).cphase(angle, 0, 1))
+
+    def test_swap(self):
+        assert _roundtrip_ok(QuantumCircuit(2).swap(0, 1))
+
+    def test_ccx(self):
+        assert _roundtrip_ok(QuantumCircuit(3).ccx(0, 1, 2))
+
+    def test_ccx_other_target(self):
+        assert _roundtrip_ok(QuantumCircuit(3).ccx(2, 0, 1))
+
+
+class TestWholeCircuits:
+    def test_mixed_circuit(self, small_circuit):
+        assert _roundtrip_ok(small_circuit)
+
+    def test_ghz(self, ghz_circuit):
+        assert _roundtrip_ok(ghz_circuit)
+
+    def test_operation_qubits_stay_in_range(self, small_circuit):
+        program = decompose_to_jcz(small_circuit)
+        for op in program.operations:
+            if isinstance(op, JGate):
+                assert 0 <= op.qubit < small_circuit.num_qubits
+            else:
+                assert isinstance(op, CZGate)
+                assert 0 <= op.qubit_a < small_circuit.num_qubits
+                assert 0 <= op.qubit_b < small_circuit.num_qubits
+
+    def test_counts_are_consistent(self, small_circuit):
+        program = decompose_to_jcz(small_circuit)
+        assert program.num_j_gates + program.num_cz_gates == len(program.operations)
+
+    def test_name_carried_over(self, small_circuit):
+        assert decompose_to_jcz(small_circuit).name == small_circuit.name
+
+
+class TestEulerZXZ:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_unitaries_reconstruct(self, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        unitary, _ = np.linalg.qr(matrix)
+        alpha, beta, gamma = euler_zxz(unitary)
+        rz_a = gate_matrix(Gate("RZ", (0,), (alpha,)))
+        rx_b = gate_matrix(Gate("RX", (0,), (beta,)))
+        rz_g = gate_matrix(Gate("RZ", (0,), (gamma,)))
+        reconstructed = rz_a @ rx_b @ rz_g
+        overlap = abs(np.trace(reconstructed.conj().T @ unitary)) / 2.0
+        assert np.isclose(overlap, 1.0, atol=1e-8)
+
+    def test_identity(self):
+        alpha, beta, gamma = euler_zxz(np.eye(2, dtype=complex))
+        assert math.isclose(beta, 0.0, abs_tol=1e-9)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            euler_zxz(np.zeros((2, 3)))
+
+    def test_rejects_singular(self):
+        with pytest.raises(ValueError):
+            euler_zxz(np.zeros((2, 2)))

@@ -1,0 +1,68 @@
+"""Tests for up-to-phase state and circuit equivalence checks."""
+
+import math
+
+import numpy as np
+
+from repro.circuit import QuantumCircuit, circuits_equivalent
+from repro.circuit.equivalence import random_product_state, states_equivalent_up_to_phase
+
+
+class TestStateEquivalence:
+    def test_identical_states(self):
+        state = np.array([1.0, 0.0], dtype=complex)
+        assert states_equivalent_up_to_phase(state, state)
+
+    def test_global_phase_ignored(self):
+        state = np.array([0.6, 0.8], dtype=complex)
+        assert states_equivalent_up_to_phase(state, np.exp(1j * 0.7) * state)
+
+    def test_different_states_detected(self):
+        a = np.array([1.0, 0.0], dtype=complex)
+        b = np.array([0.0, 1.0], dtype=complex)
+        assert not states_equivalent_up_to_phase(a, b)
+
+    def test_shape_mismatch(self):
+        a = np.array([1.0, 0.0], dtype=complex)
+        b = np.array([1.0, 0.0, 0.0, 0.0], dtype=complex)
+        assert not states_equivalent_up_to_phase(a, b)
+
+    def test_relative_phase_detected(self):
+        a = np.array([1.0, 1.0], dtype=complex) / math.sqrt(2)
+        b = np.array([1.0, -1.0], dtype=complex) / math.sqrt(2)
+        assert not states_equivalent_up_to_phase(a, b)
+
+
+class TestRandomProductState:
+    def test_normalised(self):
+        state = random_product_state(3, seed=0)
+        assert np.isclose(np.linalg.norm(state), 1.0)
+
+    def test_deterministic_per_seed(self):
+        assert np.allclose(random_product_state(2, seed=4), random_product_state(2, seed=4))
+
+    def test_dimension(self):
+        assert random_product_state(4, seed=1).shape == (16,)
+
+
+class TestCircuitEquivalence:
+    def test_same_circuit(self, small_circuit):
+        assert circuits_equivalent(small_circuit, small_circuit)
+
+    def test_global_phase_difference_accepted(self):
+        a = QuantumCircuit(1).z(0)
+        b = QuantumCircuit(1).rz(math.pi, 0)  # equal to Z up to global phase
+        assert circuits_equivalent(a, b)
+
+    def test_different_circuits_rejected(self):
+        a = QuantumCircuit(2).cx(0, 1)
+        b = QuantumCircuit(2).cx(1, 0)
+        assert not circuits_equivalent(a, b)
+
+    def test_width_mismatch_rejected(self):
+        assert not circuits_equivalent(QuantumCircuit(1), QuantumCircuit(2))
+
+    def test_commuting_reorder_accepted(self):
+        a = QuantumCircuit(2).rz(0.3, 0).rz(0.4, 1)
+        b = QuantumCircuit(2).rz(0.4, 1).rz(0.3, 0)
+        assert circuits_equivalent(a, b)

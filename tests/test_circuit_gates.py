@@ -1,0 +1,112 @@
+"""Tests for gate definitions and their matrices."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.gates import (
+    GATE_LIBRARY,
+    Gate,
+    gate_matrix,
+    is_supported_gate,
+    validate_gate,
+)
+
+
+class TestGateDataclass:
+    def test_repeated_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("CX", (1, 1))
+
+    def test_num_qubits(self):
+        assert Gate("CZ", (0, 2)).num_qubits == 2
+        assert Gate("H", (4,)).num_qubits == 1
+
+    def test_is_two_qubit(self):
+        assert Gate("CX", (0, 1)).is_two_qubit
+        assert not Gate("H", (0,)).is_two_qubit
+        assert not Gate("CCX", (0, 1, 2)).is_two_qubit
+
+
+class TestGateLibrary:
+    def test_supported_names(self):
+        for name in ("H", "CZ", "CX", "RZ", "CCX", "J"):
+            assert is_supported_gate(name)
+        assert is_supported_gate("h")
+        assert not is_supported_gate("FOO")
+
+    @pytest.mark.parametrize("name", sorted(GATE_LIBRARY))
+    def test_all_matrices_are_unitary(self, name):
+        spec = GATE_LIBRARY[name]
+        params = [0.37] * spec.num_params
+        matrix = spec.matrix_fn(*params)
+        dim = 2**spec.num_qubits
+        assert matrix.shape == (dim, dim)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=1e-10)
+
+    def test_j_gate_is_h_rz(self):
+        theta = 0.81
+        j = GATE_LIBRARY["J"].matrix_fn(theta)
+        h = GATE_LIBRARY["H"].matrix_fn()
+        rz = GATE_LIBRARY["RZ"].matrix_fn(theta)
+        assert np.allclose(j, h @ rz)
+
+    def test_cz_is_diagonal(self):
+        cz = GATE_LIBRARY["CZ"].matrix_fn()
+        assert np.allclose(cz, np.diag(np.diag(cz)))
+        assert np.isclose(cz[3, 3], -1.0)
+
+    def test_s_squared_is_z(self):
+        s = GATE_LIBRARY["S"].matrix_fn()
+        z = GATE_LIBRARY["Z"].matrix_fn()
+        assert np.allclose(s @ s, z)
+
+    def test_t_fourth_power_is_z(self):
+        t = GATE_LIBRARY["T"].matrix_fn()
+        z = GATE_LIBRARY["Z"].matrix_fn()
+        assert np.allclose(np.linalg.matrix_power(t, 4), z)
+
+    def test_sdg_is_s_adjoint(self):
+        s = GATE_LIBRARY["S"].matrix_fn()
+        sdg = GATE_LIBRARY["SDG"].matrix_fn()
+        assert np.allclose(sdg, s.conj().T)
+
+
+class TestGateMatrix:
+    def test_unknown_gate_raises(self):
+        with pytest.raises(KeyError):
+            gate_matrix(Gate("NOPE", (0,)))
+
+    def test_wrong_param_count_raises(self):
+        with pytest.raises(ValueError):
+            gate_matrix(Gate("RZ", (0,)))
+
+    def test_rotation_angle_is_used(self):
+        rz_small = gate_matrix(Gate("RZ", (0,), (0.1,)))
+        rz_large = gate_matrix(Gate("RZ", (0,), (2.1,)))
+        assert not np.allclose(rz_small, rz_large)
+
+    def test_rz_composition(self):
+        a = gate_matrix(Gate("RZ", (0,), (0.4,)))
+        b = gate_matrix(Gate("RZ", (0,), (0.6,)))
+        ab = gate_matrix(Gate("RZ", (0,), (1.0,)))
+        assert np.allclose(a @ b, ab)
+
+
+class TestValidateGate:
+    def test_valid_gate_passes(self):
+        validate_gate(Gate("CX", (0, 1)))
+        validate_gate(Gate("RZ", (3,), (0.5,)))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            validate_gate(Gate("CX", (0,)))
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            validate_gate(Gate("XYZ", (0,)))
+
+    def test_missing_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            validate_gate(Gate("RX", (0,)))

@@ -1,0 +1,91 @@
+"""Tests for the peephole circuit optimiser."""
+
+import math
+
+import pytest
+
+from repro.circuit import QuantumCircuit, circuits_equivalent
+from repro.circuit.optimize import cancel_adjacent_inverses, merge_rotations, optimize_circuit
+from repro.programs import qft_circuit, rca_circuit
+
+
+class TestCancellation:
+    def test_double_hadamard_removed(self):
+        circuit = QuantumCircuit(1).h(0).h(0)
+        assert optimize_circuit(circuit).num_gates == 0
+
+    def test_double_cx_removed(self):
+        circuit = QuantumCircuit(2).cx(0, 1).cx(0, 1)
+        assert optimize_circuit(circuit).num_gates == 0
+
+    def test_s_sdg_removed(self):
+        circuit = QuantumCircuit(1).s(0).sdg(0)
+        assert optimize_circuit(circuit).num_gates == 0
+
+    def test_cancellation_through_disjoint_gates(self):
+        circuit = QuantumCircuit(2).h(0).x(1).h(0)
+        optimised = cancel_adjacent_inverses(circuit)
+        assert optimised.count_gates() == {"X": 1}
+
+    def test_blocking_gate_prevents_cancellation(self):
+        circuit = QuantumCircuit(1).h(0).t(0).h(0)
+        optimised = cancel_adjacent_inverses(circuit)
+        assert optimised.num_gates == 3
+
+    def test_cx_pair_different_qubits_not_cancelled(self):
+        circuit = QuantumCircuit(3).cx(0, 1).cx(0, 2)
+        assert cancel_adjacent_inverses(circuit).num_gates == 2
+
+
+class TestRotationMerging:
+    def test_two_rz_merge(self):
+        circuit = QuantumCircuit(1).rz(0.3, 0).rz(0.4, 0)
+        optimised = merge_rotations(circuit)
+        assert optimised.num_gates == 1
+        assert optimised.gates[0].params[0] == pytest.approx(0.7)
+
+    def test_opposite_rotations_vanish(self):
+        circuit = QuantumCircuit(1).rz(0.3, 0).rz(-0.3, 0)
+        assert merge_rotations(circuit).num_gates == 0
+
+    def test_full_turn_vanishes(self):
+        circuit = QuantumCircuit(1).rz(math.pi, 0).rz(math.pi, 0)
+        assert merge_rotations(circuit).num_gates == 0
+
+    def test_different_axes_not_merged(self):
+        circuit = QuantumCircuit(1).rz(0.3, 0).rx(0.4, 0)
+        assert merge_rotations(circuit).num_gates == 2
+
+    def test_interposed_gate_blocks_merge(self):
+        circuit = QuantumCircuit(2).rz(0.3, 0).cx(0, 1).rz(0.4, 0)
+        assert merge_rotations(circuit).num_gates == 3
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: QuantumCircuit(2).h(0).h(0).cx(0, 1).rz(0.2, 1).rz(0.5, 1).cx(0, 1).cx(0, 1),
+            lambda: QuantumCircuit(3).t(0).tdg(0).ccx(0, 1, 2).s(1).sdg(1),
+            lambda: qft_circuit(4),
+            lambda: rca_circuit(6),
+        ],
+    )
+    def test_optimised_circuit_is_equivalent(self, builder):
+        circuit = builder()
+        optimised = optimize_circuit(circuit)
+        assert circuits_equivalent(circuit, optimised)
+        assert optimised.num_gates <= circuit.num_gates
+
+    def test_optimisation_reduces_small_circuit(self, small_circuit):
+        padded = QuantumCircuit(3, name="padded")
+        padded.extend(small_circuit.gates)
+        padded.h(0).h(0).rz(0.1, 1).rz(-0.1, 1)
+        optimised = optimize_circuit(padded)
+        assert optimised.num_gates <= small_circuit.num_gates
+        assert circuits_equivalent(optimised, small_circuit)
+
+    def test_idempotent(self, small_circuit):
+        once = optimize_circuit(small_circuit)
+        twice = optimize_circuit(once)
+        assert [g.name for g in once.gates] == [g.name for g in twice.gates]

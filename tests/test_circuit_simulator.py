@@ -1,0 +1,98 @@
+"""Tests for the dense statevector simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, StatevectorSimulator, simulate_circuit
+
+
+class TestBasics:
+    def test_initial_state_is_all_zero(self):
+        simulator = StatevectorSimulator(2)
+        state = simulator.state
+        assert np.isclose(state[0], 1.0)
+        assert np.allclose(state[1:], 0.0)
+
+    def test_width_limits(self):
+        with pytest.raises(ValueError):
+            StatevectorSimulator(0)
+        with pytest.raises(ValueError):
+            StatevectorSimulator(30)
+
+    def test_set_state_checks_norm(self):
+        simulator = StatevectorSimulator(1)
+        with pytest.raises(ValueError):
+            simulator.set_state(np.array([1.0, 1.0]))
+
+    def test_set_state_checks_dimension(self):
+        simulator = StatevectorSimulator(2)
+        with pytest.raises(ValueError):
+            simulator.set_state(np.array([1.0, 0.0]))
+
+
+class TestEvolution:
+    def test_hadamard_superposition(self):
+        state = simulate_circuit(QuantumCircuit(1).h(0))
+        assert np.allclose(np.abs(state) ** 2, [0.5, 0.5])
+
+    def test_x_flips(self):
+        state = simulate_circuit(QuantumCircuit(1).x(0))
+        assert np.isclose(abs(state[1]), 1.0)
+
+    def test_bell_state(self):
+        state = simulate_circuit(QuantumCircuit(2).h(0).cx(0, 1))
+        probabilities = np.abs(state) ** 2
+        assert np.allclose(probabilities, [0.5, 0.0, 0.0, 0.5])
+
+    def test_ghz_state(self, ghz_circuit):
+        state = simulate_circuit(ghz_circuit)
+        probabilities = np.abs(state) ** 2
+        assert np.isclose(probabilities[0], 0.5)
+        assert np.isclose(probabilities[-1], 0.5)
+
+    def test_qubit_zero_is_most_significant(self):
+        # X on qubit 0 of a 2-qubit register puts us in |10> = index 2.
+        state = simulate_circuit(QuantumCircuit(2).x(0))
+        assert np.isclose(abs(state[2]), 1.0)
+
+    def test_state_stays_normalised(self, small_circuit):
+        state = simulate_circuit(small_circuit)
+        assert np.isclose(np.linalg.norm(state), 1.0)
+
+    def test_width_mismatch_rejected(self):
+        simulator = StatevectorSimulator(2)
+        with pytest.raises(ValueError):
+            simulator.run(QuantumCircuit(3).h(0))
+
+    def test_cz_phase(self):
+        circuit = QuantumCircuit(2).x(0).x(1).cz(0, 1)
+        state = simulate_circuit(circuit)
+        assert np.isclose(state[3], -1.0)
+
+
+class TestMeasurement:
+    def test_measure_all_deterministic_state(self):
+        simulator = StatevectorSimulator(2)
+        simulator.run(QuantumCircuit(2).x(1))
+        histogram = simulator.measure_all(shots=100, seed=1)
+        assert histogram == {"01": 100}
+
+    def test_measure_all_statistics(self):
+        simulator = StatevectorSimulator(1)
+        simulator.run(QuantumCircuit(1).h(0))
+        histogram = simulator.measure_all(shots=2000, seed=7)
+        assert set(histogram) == {"0", "1"}
+        assert abs(histogram["0"] - 1000) < 150
+
+    def test_expectation_z(self):
+        simulator = StatevectorSimulator(1)
+        assert np.isclose(simulator.expectation_z(0), 1.0)
+        simulator.run(QuantumCircuit(1).x(0))
+        assert np.isclose(simulator.expectation_z(0), -1.0)
+
+    def test_expectation_z_superposition(self):
+        simulator = StatevectorSimulator(1)
+        simulator.run(QuantumCircuit(1).h(0))
+        assert abs(simulator.expectation_z(0)) < 1e-9

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compile_defaults(self):
+        args = build_parser().parse_args(["compile"])
+        assert args.program == "QFT"
+        assert args.qpus == 4
+        assert args.rsg == "5-star"
+
+    def test_compare_baseline_choices(self):
+        args = build_parser().parse_args(["compare", "--baseline", "oneadapt"])
+        assert args.baseline == "oneadapt"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--baseline", "bogus"])
+
+    def test_experiment_requires_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment"])
+
+
+class TestCommands:
+    def test_compile_command(self, capsys):
+        exit_code = main(
+            ["compile", "--program", "QFT", "--qubits", "8", "--qpus", "2", "--grid-size", "5"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "execution_time" in output
+        assert "required_photon_lifetime" in output
+
+    def test_compare_command(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--program",
+                "RCA",
+                "--qubits",
+                "8",
+                "--qpus",
+                "2",
+                "--grid-size",
+                "5",
+                "--no-bdir",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "exec_improvement" in output
+
+    def test_experiment_table1(self, capsys):
+        exit_code = main(["experiment", "--name", "table1"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Photonic" in output
+
+    def test_experiment_figure1(self, capsys):
+        exit_code = main(["experiment", "--name", "figure1"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "loss_probability" in output
+
+    def test_experiment_table2_smoke(self, capsys):
+        exit_code = main(["experiment", "--name", "table2", "--scale", "smoke"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Benchmark programs" in output

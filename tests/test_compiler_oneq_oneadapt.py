@@ -1,0 +1,88 @@
+"""Tests for the OneQ and OneAdapt single-QPU compilers."""
+
+import pytest
+
+from repro.compiler import OneAdaptCompiler, OneQCompiler, computation_graph_from_pattern
+from repro.compiler.execution import SingleQPUSchedule
+from repro.hardware.resource_states import ResourceStateType
+from repro.mbqc.translate import circuit_to_pattern
+from repro.programs import qft_circuit
+from repro.utils.errors import ValidationError
+
+
+class TestOneQCompiler:
+    def test_accepts_circuit_pattern_and_graph(self, small_circuit, small_pattern, small_computation):
+        compiler = OneQCompiler(grid_size=5)
+        for program in (small_circuit, small_pattern, small_computation):
+            schedule = compiler.compile(program)
+            assert isinstance(schedule, SingleQPUSchedule)
+            assert schedule.num_layers > 0
+
+    def test_rejects_unknown_input(self):
+        with pytest.raises(TypeError):
+            OneQCompiler(grid_size=5).compile("not a circuit")
+
+    def test_schedule_validates(self, qft8_computation):
+        OneQCompiler(grid_size=5).compile(qft8_computation).validate()
+
+    def test_lifetime_not_larger_than_execution_time_plus_chain(self, qft8_computation):
+        schedule = OneQCompiler(grid_size=5).compile(qft8_computation)
+        report = schedule.lifetime_report()
+        assert report.tau_fusee < schedule.execution_time
+
+    def test_rsg_type_recorded(self, small_computation):
+        schedule = OneQCompiler(grid_size=5, rsg_type=ResourceStateType.RING_4).compile(
+            small_computation
+        )
+        assert schedule.rsg_type is ResourceStateType.RING_4
+
+    def test_summary_keys(self, small_computation):
+        summary = OneQCompiler(grid_size=5).compile(small_computation).summary()
+        for key in ("layers", "execution_time", "required_photon_lifetime", "utilisation"):
+            assert key in summary
+
+
+class TestOneAdaptCompiler:
+    def test_lifetime_bounded_by_refresh_limit(self, qft8_computation):
+        compiler = OneAdaptCompiler(grid_size=5, refresh_limit=6)
+        schedule = compiler.compile(qft8_computation)
+        assert schedule.required_photon_lifetime <= 6
+
+    def test_refresh_costs_execution_time(self, qft8_computation):
+        oneq = OneQCompiler(grid_size=5).compile(qft8_computation)
+        oneadapt = OneAdaptCompiler(grid_size=5, refresh_limit=3).compile(qft8_computation)
+        assert oneadapt.execution_time >= oneq.execution_time
+
+    def test_large_refresh_limit_changes_nothing(self, qft8_computation):
+        oneq = OneQCompiler(grid_size=5).compile(qft8_computation)
+        oneadapt = OneAdaptCompiler(grid_size=5, refresh_limit=10_000).compile(qft8_computation)
+        assert oneadapt.execution_time == oneq.execution_time
+
+    def test_boundary_reservation_increases_layers(self, qft8_computation):
+        plain = OneAdaptCompiler(grid_size=6, refresh_limit=10_000).compile(qft8_computation)
+        reserved = OneAdaptCompiler(
+            grid_size=6, refresh_limit=10_000, boundary_reservation=True
+        ).compile(qft8_computation)
+        assert reserved.num_layers >= plain.num_layers
+
+    def test_invalid_refresh_limit_rejected(self, small_computation):
+        with pytest.raises(ValueError):
+            OneAdaptCompiler(grid_size=5, refresh_limit=0).compile(small_computation)
+
+    def test_accepts_circuit_input(self, ghz_circuit):
+        schedule = OneAdaptCompiler(grid_size=4).compile(ghz_circuit)
+        assert schedule.num_layers > 0
+
+    def test_lifetime_cap_recorded(self, small_computation):
+        schedule = OneAdaptCompiler(grid_size=5, refresh_limit=9).compile(small_computation)
+        assert schedule.lifetime_cap == 9
+
+
+class TestScheduleValidation:
+    def test_duplicate_placement_detected(self, small_computation):
+        schedule = OneQCompiler(grid_size=5).compile(small_computation)
+        # Corrupt the schedule: place an existing node a second time.
+        node = next(iter(schedule.layers[0].node_cells))
+        schedule.layers[-1].node_cells[node] = list(schedule.layers[0].node_cells.values())[0]
+        with pytest.raises(ValidationError):
+            schedule.validate()

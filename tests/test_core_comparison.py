@@ -1,0 +1,64 @@
+"""Tests for baseline comparisons."""
+
+import pytest
+
+from repro.core import DCMBQCCompiler, DCMBQCConfig
+from repro.core.comparison import BaselineComparison, compare_with_baseline
+
+
+class TestBaselineComparison:
+    def test_improvement_factors(self):
+        comparison = BaselineComparison(
+            program_name="demo",
+            baseline_execution_time=100,
+            baseline_lifetime=80,
+            distributed_execution_time=25,
+            distributed_lifetime=20,
+        )
+        assert comparison.execution_improvement == pytest.approx(4.0)
+        assert comparison.lifetime_improvement == pytest.approx(4.0)
+
+    def test_as_row_keys(self):
+        comparison = BaselineComparison("demo", 10, 8, 5, 4)
+        row = comparison.as_row()
+        assert row["program"] == "demo"
+        assert row["exec_improvement"] == pytest.approx(2.0)
+        assert row["lifetime_improvement"] == pytest.approx(2.0)
+
+
+class TestCompareWithBaseline:
+    def test_oneq_baseline(self, qft8_computation, small_dcmbqc_config):
+        comparison = compare_with_baseline(qft8_computation, small_dcmbqc_config, "oneq")
+        assert comparison.baseline_execution_time > 0
+        assert comparison.distributed_execution_time > 0
+
+    def test_distributed_beats_baseline_on_qft(self, qft8_computation, small_dcmbqc_config):
+        comparison = compare_with_baseline(qft8_computation, small_dcmbqc_config, "oneq")
+        assert comparison.execution_improvement > 1.0
+
+    def test_reuses_existing_result(self, qft8_computation, small_dcmbqc_config, distributed_result):
+        comparison = compare_with_baseline(
+            qft8_computation,
+            small_dcmbqc_config,
+            "oneq",
+            distributed_result=distributed_result,
+        )
+        assert comparison.distributed_execution_time == distributed_result.execution_time
+
+    def test_oneadapt_baseline(self, qft8_computation, small_dcmbqc_config, distributed_result):
+        comparison = compare_with_baseline(
+            qft8_computation,
+            small_dcmbqc_config,
+            "oneadapt",
+            distributed_result=distributed_result,
+        )
+        assert comparison.baseline_execution_time > 0
+
+    def test_unknown_baseline_rejected(self, qft8_computation, small_dcmbqc_config):
+        with pytest.raises(ValueError):
+            compare_with_baseline(qft8_computation, small_dcmbqc_config, "nonexistent")
+
+    def test_accepts_circuit_input(self, ghz_circuit):
+        config = DCMBQCConfig(num_qpus=2, grid_size=4)
+        comparison = compare_with_baseline(ghz_circuit, config)
+        assert comparison.program_name == "ghz"

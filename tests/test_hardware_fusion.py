@@ -1,0 +1,57 @@
+"""Tests for the fusion model."""
+
+import pytest
+
+from repro.hardware.fusion import DEFAULT_FUSION_FAILURE_RATE, FusionModel, FusionOutcome
+from repro.utils.rng import make_rng
+
+
+class TestFusionModel:
+    def test_default_failure_rate_matches_paper(self):
+        assert FusionModel().failure_rate == pytest.approx(0.29)
+        assert DEFAULT_FUSION_FAILURE_RATE == pytest.approx(0.29)
+
+    def test_success_probability(self):
+        model = FusionModel(failure_rate=0.2, photon_loss_rate=0.1)
+        assert model.success_probability == pytest.approx(0.9 * 0.8)
+
+    def test_expected_attempts(self):
+        model = FusionModel(failure_rate=0.5, photon_loss_rate=0.0)
+        assert model.expected_attempts() == pytest.approx(2.0)
+
+    def test_expected_attempts_infinite_when_impossible(self):
+        model = FusionModel(failure_rate=1.0)
+        assert model.expected_attempts() == float("inf")
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            FusionModel(failure_rate=1.5)
+        with pytest.raises(ValueError):
+            FusionModel(photon_loss_rate=-0.1)
+
+    def test_with_loss_returns_new_model(self):
+        base = FusionModel(failure_rate=0.29)
+        lossy = base.with_loss(0.2)
+        assert lossy.photon_loss_rate == pytest.approx(0.2)
+        assert base.photon_loss_rate == pytest.approx(0.0)
+
+
+class TestSampling:
+    def test_deterministic_success(self):
+        model = FusionModel(failure_rate=0.0, photon_loss_rate=0.0)
+        assert model.sample(make_rng(0)) is FusionOutcome.SUCCESS
+
+    def test_deterministic_loss(self):
+        model = FusionModel(failure_rate=0.0, photon_loss_rate=1.0)
+        assert model.sample(make_rng(0)) is FusionOutcome.PHOTON_LOSS
+
+    def test_deterministic_failure(self):
+        model = FusionModel(failure_rate=1.0, photon_loss_rate=0.0)
+        assert model.sample(make_rng(0)) is FusionOutcome.FAILURE
+
+    def test_sampling_statistics(self):
+        model = FusionModel(failure_rate=0.29, photon_loss_rate=0.0)
+        rng = make_rng(42)
+        outcomes = [model.sample(rng) for _ in range(4000)]
+        failure_fraction = outcomes.count(FusionOutcome.FAILURE) / len(outcomes)
+        assert abs(failure_fraction - 0.29) < 0.03

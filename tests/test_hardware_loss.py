@@ -1,0 +1,80 @@
+"""Tests for the delay-line photon loss model (Figure 1)."""
+
+import math
+
+import pytest
+
+from repro.hardware.loss import (
+    DelayLineModel,
+    max_cycles_for_loss_budget,
+    photon_loss_probability,
+)
+
+
+class TestDelayLineModel:
+    def test_zero_cycles_zero_loss(self):
+        assert DelayLineModel().loss_probability(0) == pytest.approx(0.0)
+
+    def test_loss_monotone_in_cycles(self):
+        model = DelayLineModel()
+        losses = [model.loss_probability(c) for c in (0, 100, 1000, 5000)]
+        assert losses == sorted(losses)
+
+    def test_loss_monotone_in_cycle_time(self):
+        assert photon_loss_probability(1000, cycle_time_ns=10) > photon_loss_probability(
+            1000, cycle_time_ns=1
+        )
+
+    def test_survival_plus_loss_is_one(self):
+        model = DelayLineModel(cycle_time_ns=10)
+        assert model.survival_probability(500) + model.loss_probability(500) == pytest.approx(1.0)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            DelayLineModel().loss_probability(-1)
+
+    def test_fibre_length(self):
+        model = DelayLineModel(cycle_time_ns=1.0)
+        # 5000 ns at 2/3 c is roughly one kilometre.
+        assert model.fibre_length_km(5000) == pytest.approx(1.0, rel=0.01)
+
+
+class TestPaperFigure1Anchors:
+    def test_5000_cycles_at_1ns_is_about_5_percent(self):
+        loss = photon_loss_probability(5000, cycle_time_ns=1.0)
+        assert 0.03 < loss < 0.06
+
+    def test_5000_cycles_at_10ns_is_about_37_percent(self):
+        loss = photon_loss_probability(5000, cycle_time_ns=10.0)
+        assert 0.30 < loss < 0.45
+
+    def test_5000_cycles_at_100ns_is_effectively_fatal(self):
+        loss = photon_loss_probability(5000, cycle_time_ns=100.0)
+        assert loss > 0.98
+
+    def test_loss_can_exceed_fusion_failure_rate(self):
+        """At 10 ns/cycle the storage loss overtakes the 29% fusion failure rate."""
+        assert photon_loss_probability(5000, cycle_time_ns=10.0) > 0.29
+
+
+class TestMaxCycles:
+    def test_budget_of_5_percent_is_about_5000_cycles(self):
+        cycles = max_cycles_for_loss_budget(0.05, cycle_time_ns=1.0)
+        assert 4500 < cycles < 5800
+
+    def test_inverse_consistency(self):
+        model = DelayLineModel(cycle_time_ns=1.0)
+        cycles = model.max_cycles(0.05)
+        assert model.loss_probability(cycles) <= 0.05
+        assert model.loss_probability(cycles + 2) > 0.0499
+
+    def test_budget_bounds_checked(self):
+        with pytest.raises(ValueError):
+            max_cycles_for_loss_budget(0.0)
+        with pytest.raises(ValueError):
+            max_cycles_for_loss_budget(1.5)
+
+    def test_faster_clock_allows_more_cycles(self):
+        assert max_cycles_for_loss_budget(0.05, cycle_time_ns=1.0) > max_cycles_for_loss_budget(
+            0.05, cycle_time_ns=10.0
+        )

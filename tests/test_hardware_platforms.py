@@ -1,0 +1,51 @@
+"""Tests for the platform survey (Table I)."""
+
+from repro.hardware.platforms import (
+    CLOCK_THRESHOLD_HZ,
+    FIDELITY_THRESHOLD,
+    PLATFORM_SURVEY,
+    meets_dqc_thresholds,
+)
+
+
+class TestSurveyContents:
+    def test_seven_rows_like_the_paper(self):
+        assert len(PLATFORM_SURVEY) == 7
+
+    def test_photonic_platform_present(self):
+        photonic = [r for r in PLATFORM_SURVEY if r.platform == "Photonic"]
+        assert len(photonic) == 1
+        assert photonic[0].fidelity > 0.99
+
+    def test_fidelities_are_probabilities(self):
+        for record in PLATFORM_SURVEY:
+            assert 0.0 < record.fidelity <= 1.0
+
+    def test_clock_speeds_positive(self):
+        for record in PLATFORM_SURVEY:
+            assert record.clock_speed_hz > 0
+
+    def test_post_selected_flags(self):
+        flagged = {r.platform for r in PLATFORM_SURVEY if r.post_selected}
+        assert "Photonic" in flagged
+
+
+class TestThresholds:
+    def test_photonics_is_the_only_experimental_platform_meeting_both(self):
+        qualifying = [
+            r.platform
+            for r in PLATFORM_SURVEY
+            if r.experimental and meets_dqc_thresholds(r)
+        ]
+        assert qualifying == ["Photonic"]
+
+    def test_trapped_ion_fails_on_clock_speed(self):
+        stephenson = next(r for r in PLATFORM_SURVEY if "Stephenson" in r.platform)
+        assert stephenson.fidelity >= FIDELITY_THRESHOLD
+        assert stephenson.clock_speed_hz < CLOCK_THRESHOLD_HZ
+        assert not meets_dqc_thresholds(stephenson)
+
+    def test_superconducting_fails_on_fidelity(self):
+        superconducting = next(r for r in PLATFORM_SURVEY if r.platform == "Superconducting")
+        assert superconducting.clock_speed_hz >= CLOCK_THRESHOLD_HZ
+        assert not meets_dqc_thresholds(superconducting)

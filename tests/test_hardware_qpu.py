@@ -1,0 +1,81 @@
+"""Tests for QPU and multi-QPU system descriptions."""
+
+import pytest
+
+from repro.hardware.qpu import InterconnectTopology, MultiQPUSystem, QPUSpec
+from repro.hardware.resource_states import ResourceStateType
+
+
+class TestQPUSpec:
+    def test_cells_per_layer(self):
+        assert QPUSpec(grid_size=7).cells_per_layer == 49
+
+    def test_resource_spec_lookup(self):
+        spec = QPUSpec(grid_size=5, rsg_type=ResourceStateType.RING_6)
+        assert spec.resource_spec.routing_uses == 2
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            QPUSpec(grid_size=0)
+        with pytest.raises(ValueError):
+            QPUSpec(grid_size=5, connection_capacity=0)
+
+    def test_with_grid_size(self):
+        original = QPUSpec(grid_size=7, connection_capacity=6)
+        reduced = original.with_grid_size(5)
+        assert reduced.grid_size == 5
+        assert reduced.connection_capacity == 6
+        assert original.grid_size == 7
+
+    def test_default_connection_capacity_is_four(self):
+        assert QPUSpec(grid_size=7).connection_capacity == 4
+
+
+class TestMultiQPUSystem:
+    def test_fully_connected_edge_count(self):
+        system = MultiQPUSystem(4, QPUSpec(grid_size=5))
+        assert system.interconnect_graph().number_of_edges() == 6
+
+    def test_line_topology(self):
+        system = MultiQPUSystem(4, QPUSpec(grid_size=5), InterconnectTopology.LINE)
+        graph = system.interconnect_graph()
+        assert graph.number_of_edges() == 3
+        assert not graph.has_edge(0, 3)
+
+    def test_ring_topology(self):
+        system = MultiQPUSystem(5, QPUSpec(grid_size=5), InterconnectTopology.RING)
+        graph = system.interconnect_graph()
+        assert graph.number_of_edges() == 5
+
+    def test_are_connected(self):
+        system = MultiQPUSystem(4, QPUSpec(grid_size=5), InterconnectTopology.LINE)
+        assert system.are_connected(0, 1)
+        assert not system.are_connected(0, 3)
+        assert system.are_connected(2, 2)
+
+    def test_communication_distance(self):
+        system = MultiQPUSystem(4, QPUSpec(grid_size=5), InterconnectTopology.LINE)
+        assert system.communication_distance(0, 3) == 3
+        assert system.communication_distance(1, 1) == 0
+
+    def test_fully_connected_distance_is_one(self):
+        system = MultiQPUSystem(8, QPUSpec(grid_size=5))
+        assert system.communication_distance(0, 7) == 1
+
+    def test_total_cells(self):
+        system = MultiQPUSystem(8, QPUSpec(grid_size=7))
+        assert system.total_cells_per_layer == 8 * 49
+
+    def test_describe(self):
+        system = MultiQPUSystem(2, QPUSpec(grid_size=5))
+        description = system.describe()
+        assert description["num_qpus"] == 2
+        assert description["topology"] == "fully-connected"
+
+    def test_single_qpu_graph_has_no_edges(self):
+        system = MultiQPUSystem(1, QPUSpec(grid_size=5))
+        assert system.interconnect_graph().number_of_edges() == 0
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            MultiQPUSystem(0, QPUSpec(grid_size=5))

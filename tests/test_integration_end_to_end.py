@@ -1,0 +1,116 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests run the complete paper pipeline (circuit -> pattern ->
+computation graph -> partition -> per-QPU compile -> layer scheduling ->
+runtime replay) on small instances of the paper's benchmark families and
+check the qualitative claims of the evaluation section.
+"""
+
+import pytest
+
+from repro.compiler import OneQCompiler, computation_graph_from_pattern
+from repro.core import DCMBQCCompiler, DCMBQCConfig, compare_with_baseline
+from repro.hardware.resource_states import ResourceStateType
+from repro.mbqc.translate import circuit_to_pattern
+from repro.programs import build_benchmark, qft_circuit, rca_circuit
+from repro.runtime.executor import DistributedRuntime
+
+
+def _computation(program, qubits, seed=2026):
+    return computation_graph_from_pattern(
+        circuit_to_pattern(build_benchmark(program, qubits, seed=seed))
+    )
+
+
+@pytest.fixture(scope="module")
+def qft12():
+    return _computation("QFT", 12)
+
+
+@pytest.fixture(scope="module")
+def rca12():
+    return _computation("RCA", 12)
+
+
+class TestDistributedBeatsBaseline:
+    @pytest.mark.parametrize("program,qubits", [("QFT", 12), ("RCA", 12), ("QAOA", 12)])
+    def test_two_qpus_improve_both_metrics(self, program, qubits):
+        computation = _computation(program, qubits)
+        config = DCMBQCConfig(num_qpus=2, grid_size=6, seed=0)
+        comparison = compare_with_baseline(computation, config, "oneq")
+        assert comparison.execution_improvement > 1.0
+        assert comparison.lifetime_improvement > 0.9
+
+    def test_four_qpus_better_than_two_on_qft(self, qft12):
+        two = compare_with_baseline(
+            qft12, DCMBQCConfig(num_qpus=2, grid_size=6, seed=0), "oneq"
+        )
+        four = compare_with_baseline(
+            qft12, DCMBQCConfig(num_qpus=4, grid_size=6, seed=0), "oneq"
+        )
+        assert four.execution_improvement > two.execution_improvement * 0.9
+        assert four.distributed_execution_time <= two.distributed_execution_time
+
+
+class TestScheduleRealisability:
+    @pytest.mark.parametrize("program", ["QFT", "QAOA", "VQE"])
+    def test_compiled_schedules_replay_cleanly(self, program):
+        computation = _computation(program, 10)
+        result = DCMBQCCompiler(DCMBQCConfig(num_qpus=3, grid_size=5, seed=2)).compile(
+            computation
+        )
+        trace = DistributedRuntime(result).run()
+        assert trace.total_cycles == result.execution_time
+        assert trace.max_storage <= result.required_photon_lifetime
+
+    def test_all_photons_generated_exactly_once(self, qft12):
+        result = DCMBQCCompiler(DCMBQCConfig(num_qpus=4, grid_size=6)).compile(qft12)
+        generated = []
+        for tasks in result.problem.main_tasks:
+            for task in tasks:
+                generated.extend(task.nodes)
+        assert len(generated) == len(set(generated)) == qft12.num_nodes
+
+
+class TestResourceStateEffects:
+    def test_six_ring_helps_the_baseline_most(self, qft12):
+        """The 6-ring's double routing capacity benefits single-QPU mapping."""
+        six = OneQCompiler(grid_size=6, rsg_type=ResourceStateType.RING_6).compile(qft12)
+        four = OneQCompiler(grid_size=6, rsg_type=ResourceStateType.RING_4).compile(qft12)
+        assert six.num_layers <= four.num_layers
+
+    @pytest.mark.parametrize(
+        "rsg", [ResourceStateType.RING_4, ResourceStateType.STAR_5, ResourceStateType.STAR_7]
+    )
+    def test_all_resource_states_supported_end_to_end(self, qft12, rsg):
+        config = DCMBQCConfig(num_qpus=2, grid_size=6, rsg_type=rsg)
+        result = DCMBQCCompiler(config).compile(qft12)
+        assert result.execution_time > 0
+
+
+class TestSensitivityShapes:
+    def test_kmax_shows_diminishing_returns(self, qft12):
+        """Figure 8: increasing K_max helps a lot at first, then flattens."""
+        times = {}
+        for kmax in (1, 4, 12):
+            config = DCMBQCConfig(num_qpus=4, grid_size=6, connection_capacity=kmax, seed=0)
+            times[kmax] = DCMBQCCompiler(config).compile(qft12).execution_time
+        assert times[4] <= times[1]
+        gain_low = times[1] - times[4]
+        gain_high = times[4] - times[12]
+        assert gain_high <= gain_low
+
+    def test_alpha_max_robustness(self, qft12):
+        """Figure 9: performance varies little across alpha_max."""
+        results = []
+        for alpha_max in (1.05, 1.5, 3.0):
+            config = DCMBQCConfig(num_qpus=4, grid_size=6, alpha_max=alpha_max, seed=0)
+            results.append(DCMBQCCompiler(config).compile(qft12).execution_time)
+        spread = (max(results) - min(results)) / max(results)
+        assert spread < 0.5
+
+    def test_bdir_component_does_not_hurt_lifetime(self, rca12):
+        base = DCMBQCConfig(num_qpus=4, grid_size=6, seed=1)
+        with_bdir = DCMBQCCompiler(base).compile(rca12)
+        core_only = DCMBQCCompiler(base.with_updates(use_bdir=False)).compile(rca12)
+        assert with_bdir.required_photon_lifetime <= core_only.required_photon_lifetime

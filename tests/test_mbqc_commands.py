@@ -1,0 +1,81 @@
+"""Tests for measurement-calculus commands."""
+
+import pytest
+
+from repro.mbqc.commands import (
+    CommandKind,
+    CorrectionCommand,
+    EntangleCommand,
+    MeasureCommand,
+    PrepareCommand,
+)
+
+
+class TestPrepare:
+    def test_kind(self):
+        assert PrepareCommand(3).kind is CommandKind.PREPARE
+
+    def test_repr(self):
+        assert "3" in repr(PrepareCommand(3))
+
+
+class TestEntangle:
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            EntangleCommand(2, 2)
+
+    def test_nodes_and_sorted_nodes(self):
+        command = EntangleCommand(5, 2)
+        assert command.nodes == (5, 2)
+        assert command.sorted_nodes() == (2, 5)
+
+    def test_kind(self):
+        assert EntangleCommand(0, 1).kind is CommandKind.ENTANGLE
+
+
+class TestMeasure:
+    def test_domains_become_frozensets(self):
+        command = MeasureCommand(4, 0.5, s_domain=[1, 2, 1], t_domain=(3,))
+        assert command.s_domain == frozenset({1, 2})
+        assert command.t_domain == frozenset({3})
+
+    def test_defaults(self):
+        command = MeasureCommand(0)
+        assert command.angle == 0.0
+        assert command.s_domain == frozenset()
+        assert command.t_domain == frozenset()
+
+    def test_with_domains(self):
+        original = MeasureCommand(1, 0.7)
+        updated = original.with_domains([0], [2])
+        assert updated.node == 1
+        assert updated.angle == 0.7
+        assert updated.s_domain == frozenset({0})
+        assert updated.t_domain == frozenset({2})
+
+    def test_is_pauli_z_flag(self):
+        assert MeasureCommand(1, 0.0).is_pauli_z
+        assert not MeasureCommand(1, 0.3).is_pauli_z
+        assert not MeasureCommand(1, 0.0, s_domain=[0]).is_pauli_z
+
+    def test_kind_and_hashable(self):
+        command = MeasureCommand(1, 0.3, [0])
+        assert command.kind is CommandKind.MEASURE
+        assert hash(command) == hash(MeasureCommand(1, 0.3, [0]))
+
+
+class TestCorrection:
+    def test_x_and_z_kinds(self):
+        assert CorrectionCommand(1, [0], "X").kind is CommandKind.X_CORRECTION
+        assert CorrectionCommand(1, [0], "Z").kind is CommandKind.Z_CORRECTION
+
+    def test_invalid_pauli_rejected(self):
+        with pytest.raises(ValueError):
+            CorrectionCommand(1, [0], "Y")
+
+    def test_domain_frozen(self):
+        command = CorrectionCommand(2, [1, 1, 3])
+        assert command.domain == frozenset({1, 3})
+
+    def test_lowercase_pauli_accepted(self):
+        assert CorrectionCommand(1, [0], "z").pauli == "Z"

@@ -1,0 +1,92 @@
+"""Tests for graph states."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.mbqc.graphstate import GraphState, graph_state_of_pattern
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        state = GraphState.from_edges([(0, 1), (1, 2)], nodes=[3])
+        assert state.num_nodes == 4
+        assert state.num_edges == 2
+
+    def test_nodes_sorted(self):
+        state = GraphState.from_edges([(5, 1), (3, 1)])
+        assert state.nodes == [1, 3, 5]
+
+    def test_neighbors(self):
+        state = GraphState.from_edges([(0, 1), (0, 2)])
+        assert state.neighbors(0) == {1, 2}
+        assert state.neighbors(1) == {0}
+
+    def test_degree_histogram(self):
+        state = GraphState.from_edges([(0, 1), (0, 2), (0, 3)])
+        assert state.degree_histogram() == {3: 1, 1: 3}
+
+    def test_from_pattern(self, small_pattern):
+        state = graph_state_of_pattern(small_pattern)
+        assert state.num_nodes == small_pattern.num_nodes
+        assert state.num_edges == len(small_pattern.edges())
+
+
+class TestStabilizers:
+    def test_stabilizer_structure(self):
+        state = GraphState.from_edges([(0, 1), (1, 2)])
+        stabilizer = state.stabilizer(1)
+        assert stabilizer[1] == "X"
+        assert stabilizer[0] == "Z"
+        assert stabilizer[2] == "Z"
+
+    def test_number_of_stabilizers(self):
+        state = GraphState.from_edges([(0, 1), (1, 2), (2, 3)])
+        assert len(state.stabilizers()) == 4
+
+    @pytest.mark.parametrize(
+        "edges",
+        [
+            [(0, 1)],
+            [(0, 1), (1, 2)],
+            [(0, 1), (1, 2), (2, 0)],
+            [(0, 1), (1, 2), (2, 3), (3, 0)],
+        ],
+    )
+    def test_statevector_is_stabilized(self, edges):
+        state = GraphState.from_edges(edges)
+        for node in state.nodes:
+            assert state.check_stabilizer(node)
+
+    def test_statevector_normalised(self):
+        state = GraphState.from_edges([(0, 1), (1, 2)])
+        assert np.isclose(np.linalg.norm(state.statevector()), 1.0)
+
+    def test_statevector_size_guard(self):
+        big = GraphState.from_edges([(i, i + 1) for i in range(20)])
+        with pytest.raises(ValueError):
+            big.statevector()
+
+    def test_two_qubit_graph_state_value(self):
+        """|G> for a single edge is CZ |++> = (|00>+|01>+|10>-|11>)/2."""
+        state = GraphState.from_edges([(0, 1)]).statevector()
+        expected = np.array([1, 1, 1, -1], dtype=complex) / 2.0
+        assert np.allclose(state, expected)
+
+
+class TestLocalComplement:
+    def test_triangle_from_star(self):
+        star = GraphState.from_edges([(0, 1), (0, 2)])
+        complemented = star.local_complement(0)
+        assert complemented.graph.has_edge(1, 2)
+        assert complemented.graph.has_edge(0, 1)
+
+    def test_involution_on_neighbourhood(self):
+        graph = GraphState.from_edges([(0, 1), (0, 2), (1, 2), (2, 3)])
+        twice = graph.local_complement(0).local_complement(0)
+        assert sorted(twice.graph.edges) == sorted(graph.graph.edges)
+
+    def test_original_not_mutated(self):
+        graph = GraphState.from_edges([(0, 1), (0, 2)])
+        graph.local_complement(0)
+        assert not graph.graph.has_edge(1, 2)

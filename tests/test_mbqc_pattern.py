@@ -1,0 +1,112 @@
+"""Tests for the Pattern container and its validation rules."""
+
+import pytest
+
+from repro.mbqc.pattern import Pattern
+from repro.utils.errors import ValidationError
+
+
+def _j_pattern() -> Pattern:
+    """The elementary J(0.5) pattern on one wire: input 0, output 1."""
+    pattern = Pattern(input_nodes=[0], output_nodes=[1], name="j")
+    pattern.prepare(1).entangle(0, 1).measure(0, -0.5).correct(1, [0], "X")
+    return pattern
+
+
+class TestConstruction:
+    def test_builder_methods(self):
+        pattern = _j_pattern()
+        assert pattern.num_nodes == 2
+        assert pattern.measured_nodes == [0]
+        assert pattern.prepared_nodes == [1]
+
+    def test_edges_deduplicated_and_sorted(self):
+        pattern = Pattern(input_nodes=[0, 1], output_nodes=[0, 1])
+        pattern.entangle(1, 0).entangle(0, 1)
+        assert pattern.edges() == [(0, 1)]
+
+    def test_neighbors(self):
+        pattern = _j_pattern()
+        assert pattern.neighbors(0) == {1}
+        assert pattern.neighbors(1) == {0}
+
+    def test_measurement_angle(self):
+        pattern = _j_pattern()
+        assert pattern.measurement_angle(0) == -0.5
+        assert pattern.measurement_angle(1) is None
+
+    def test_statistics(self):
+        stats = _j_pattern().statistics()
+        assert stats["nodes"] == 2
+        assert stats["edges"] == 1
+        assert stats["measurements"] == 1
+        assert stats["corrections"] == 1
+
+
+class TestValidation:
+    def test_valid_pattern_passes(self):
+        _j_pattern().validate()
+
+    def test_measuring_unprepared_node_rejected(self):
+        pattern = Pattern(input_nodes=[0], output_nodes=[0])
+        pattern.measure(7)
+        with pytest.raises(ValidationError):
+            pattern.validate()
+
+    def test_double_measurement_rejected(self):
+        pattern = Pattern(input_nodes=[0, 1], output_nodes=[1])
+        pattern.measure(0).measure(0)
+        with pytest.raises(ValidationError):
+            pattern.validate()
+
+    def test_measuring_output_rejected(self):
+        pattern = Pattern(input_nodes=[0], output_nodes=[0])
+        pattern.measure(0)
+        with pytest.raises(ValidationError):
+            pattern.validate()
+
+    def test_entangling_measured_node_rejected(self):
+        pattern = Pattern(input_nodes=[0, 1], output_nodes=[1])
+        pattern.measure(0).entangle(0, 1)
+        with pytest.raises(ValidationError):
+            pattern.validate()
+
+    def test_dependency_on_unmeasured_node_rejected(self):
+        pattern = Pattern(input_nodes=[0, 1], output_nodes=[1])
+        pattern.measure(0, s_domain=[1])
+        with pytest.raises(ValidationError):
+            pattern.validate()
+
+    def test_double_preparation_rejected(self):
+        pattern = Pattern(input_nodes=[0], output_nodes=[0, 1])
+        pattern.prepare(1).prepare(1)
+        with pytest.raises(ValidationError):
+            pattern.validate()
+
+    def test_unprepared_output_rejected(self):
+        pattern = Pattern(input_nodes=[0], output_nodes=[0, 5])
+        with pytest.raises(ValidationError):
+            pattern.validate()
+
+    def test_correction_on_measured_node_rejected(self):
+        pattern = Pattern(input_nodes=[0, 1], output_nodes=[1])
+        pattern.measure(0).correct(0, [])
+        with pytest.raises(ValidationError):
+            pattern.validate()
+
+
+class TestStandardFormCheck:
+    def test_standard_form_true(self):
+        pattern = Pattern(input_nodes=[0], output_nodes=[1])
+        pattern.prepare(1).entangle(0, 1).measure(0).correct(1, [0])
+        assert pattern.is_standard_form()
+
+    def test_standard_form_false(self):
+        pattern = _j_pattern()
+        pattern.prepare(2)  # N after M breaks standard form
+        assert not pattern.is_standard_form()
+
+    def test_translated_pattern_not_standard_but_standardizable(self, small_pattern):
+        from repro.mbqc.translate import standardize
+
+        assert standardize(small_pattern).is_standard_form()

@@ -1,0 +1,65 @@
+"""Tests for signal shifting."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.equivalence import random_product_state, states_equivalent_up_to_phase
+from repro.circuit.simulator import StatevectorSimulator
+from repro.mbqc.commands import MeasureCommand
+from repro.mbqc.signal_shift import signal_shift
+from repro.mbqc.simulator import simulate_pattern
+from repro.mbqc.translate import circuit_to_pattern
+
+
+class TestStructure:
+    def test_no_t_domains_remain(self, small_pattern):
+        shifted = signal_shift(small_pattern)
+        for command in shifted.measure_commands:
+            assert command.t_domain == frozenset()
+
+    def test_original_pattern_untouched(self, small_pattern):
+        t_domains_before = [m.t_domain for m in small_pattern.measure_commands]
+        signal_shift(small_pattern)
+        assert [m.t_domain for m in small_pattern.measure_commands] == t_domains_before
+
+    def test_node_and_edge_sets_preserved(self, small_pattern):
+        shifted = signal_shift(small_pattern)
+        assert shifted.nodes == small_pattern.nodes
+        assert shifted.edges() == small_pattern.edges()
+
+    def test_validates(self, small_pattern):
+        signal_shift(small_pattern).validate()
+
+    def test_idempotent(self, small_pattern):
+        once = signal_shift(small_pattern)
+        twice = signal_shift(once)
+        assert [m.s_domain for m in twice.measure_commands] == [
+            m.s_domain for m in once.measure_commands
+        ]
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_shifted_pattern_computes_the_same_unitary(self, small_circuit, seed):
+        pattern = circuit_to_pattern(small_circuit)
+        shifted = signal_shift(pattern)
+        probe = random_product_state(small_circuit.num_qubits, seed=23)
+        simulator = StatevectorSimulator(small_circuit.num_qubits)
+        simulator.set_state(probe)
+        simulator.run(small_circuit)
+        expected = simulator.state
+        produced = simulate_pattern(shifted, input_state=probe, seed=seed)
+        assert states_equivalent_up_to_phase(produced, expected)
+
+    def test_shift_rewrites_downstream_domains(self):
+        """A measurement whose t-domain is dropped re-appears in children domains."""
+        circuit = QuantumCircuit(2).cx(0, 1).t(1).cx(0, 1)
+        pattern = circuit_to_pattern(circuit)
+        has_t = any(m.t_domain for m in pattern.measure_commands)
+        shifted = signal_shift(pattern)
+        if has_t:
+            # Total dependency information cannot be lost: some s-domain must
+            # have absorbed the shifted nodes.
+            original_s = set().union(*(m.s_domain for m in pattern.measure_commands))
+            shifted_s = set().union(*(m.s_domain for m in shifted.measure_commands))
+            assert shifted_s >= original_s or shifted_s != original_s

@@ -1,0 +1,98 @@
+"""Tests for the pattern statevector simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import QuantumCircuit, StatevectorSimulator
+from repro.circuit.equivalence import states_equivalent_up_to_phase
+from repro.mbqc.pattern import Pattern
+from repro.mbqc.simulator import PatternSimulator, simulate_pattern
+from repro.mbqc.translate import circuit_to_pattern
+from repro.utils.errors import ValidationError
+
+
+class TestElementaryPatterns:
+    def test_empty_pattern_identity(self):
+        pattern = Pattern(input_nodes=[0], output_nodes=[0])
+        state = simulate_pattern(pattern, input_state=np.array([0.0, 1.0]))
+        assert states_equivalent_up_to_phase(state, np.array([0.0, 1.0]))
+
+    def test_j_zero_is_hadamard(self):
+        """The pattern E(0,1) M_0^0 X_1^{s0} implements H."""
+        pattern = Pattern(input_nodes=[0], output_nodes=[1])
+        pattern.prepare(1).entangle(0, 1).measure(0, 0.0).correct(1, [0], "X")
+        for seed in range(4):
+            state = simulate_pattern(pattern, input_state=np.array([0.0, 1.0]), seed=seed)
+            expected = np.array([1.0, -1.0]) / math.sqrt(2)
+            assert states_equivalent_up_to_phase(state, expected)
+
+    def test_cz_pattern(self):
+        pattern = Pattern(input_nodes=[0, 1], output_nodes=[0, 1])
+        pattern.entangle(0, 1)
+        plus_plus = np.ones(4) / 2.0
+        state = simulate_pattern(pattern, input_state=plus_plus)
+        expected = np.array([1, 1, 1, -1]) / 2.0
+        assert states_equivalent_up_to_phase(state, expected)
+
+    def test_outcomes_recorded(self):
+        pattern = Pattern(input_nodes=[0], output_nodes=[1])
+        pattern.prepare(1).entangle(0, 1).measure(0, 0.0).correct(1, [0], "X")
+        simulator = PatternSimulator(pattern, seed=5)
+        simulator.run()
+        assert set(simulator.outcomes) == {0}
+        assert simulator.outcomes[0] in (0, 1)
+
+    def test_forced_outcome_respected(self):
+        pattern = Pattern(input_nodes=[0], output_nodes=[1])
+        pattern.prepare(1).entangle(0, 1).measure(0, 0.0).correct(1, [0], "X")
+        simulator = PatternSimulator(pattern, forced_outcomes={0: 1})
+        simulator.run()
+        assert simulator.outcomes[0] == 1
+
+
+class TestErrorHandling:
+    def test_wrong_input_dimension(self):
+        pattern = Pattern(input_nodes=[0, 1], output_nodes=[0, 1])
+        with pytest.raises(ValueError):
+            PatternSimulator(pattern, input_state=np.array([1.0, 0.0]))
+
+    def test_invalid_pattern_rejected_up_front(self):
+        pattern = Pattern(input_nodes=[0], output_nodes=[0])
+        pattern.measure(3)
+        with pytest.raises(ValidationError):
+            PatternSimulator(pattern)
+
+    def test_output_mismatch_detected(self):
+        # Declared output 5 is never prepared -> validation error.
+        pattern = Pattern(input_nodes=[0], output_nodes=[5])
+        with pytest.raises(ValidationError):
+            simulate_pattern(pattern)
+
+
+class TestAgainstCircuits:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_outcomes_deterministic_result(self, ghz_circuit, seed):
+        pattern = circuit_to_pattern(ghz_circuit)
+        expected = np.zeros(8, dtype=complex)
+        expected[0] = expected[7] = 1 / math.sqrt(2)
+        plus = np.ones(2) / math.sqrt(2)
+        probe = np.kron(np.kron([1, 0], [1, 0]), [1, 0]).astype(complex)
+        simulator = StatevectorSimulator(3)
+        simulator.set_state(probe)
+        simulator.run(ghz_circuit)
+        produced = simulate_pattern(pattern, input_state=probe, seed=seed)
+        assert states_equivalent_up_to_phase(produced, simulator.state)
+
+    def test_probability_distribution_preserved(self, small_circuit):
+        """Born-rule statistics of the output state match the circuit."""
+        pattern = circuit_to_pattern(small_circuit)
+        plus = np.ones(2) / math.sqrt(2)
+        probe = np.kron(np.kron(plus, plus), plus)
+        simulator = StatevectorSimulator(3)
+        simulator.set_state(probe)
+        simulator.run(small_circuit)
+        expected_probs = np.abs(simulator.state) ** 2
+        produced = simulate_pattern(pattern, input_state=probe, seed=11)
+        assert np.allclose(np.abs(produced) ** 2, expected_probs, atol=1e-8)

@@ -1,0 +1,65 @@
+"""Tests for execution-time and improvement-factor metrics."""
+
+import math
+
+import pytest
+
+from repro.metrics.exec_time import execution_time_of_layers, makespan
+from repro.metrics.improvement import geometric_mean_improvement, improvement_factor
+
+
+class TestExecutionTime:
+    def test_logical_layers(self):
+        assert execution_time_of_layers(46) == 46
+
+    def test_pl_ratio(self):
+        assert execution_time_of_layers(10, pl_ratio=2.5) == 25
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            execution_time_of_layers(-1)
+        with pytest.raises(ValueError):
+            execution_time_of_layers(5, pl_ratio=0)
+
+
+class TestMakespan:
+    def test_empty(self):
+        assert makespan({}) == 0
+
+    def test_unit_durations(self):
+        assert makespan({"a": 0, "b": 4}) == 5
+
+    def test_custom_durations(self):
+        assert makespan({"a": 0, "b": 4}, durations={"b": 3}) == 7
+
+
+class TestImprovementFactor:
+    def test_simple_ratio(self):
+        assert improvement_factor(100, 25) == pytest.approx(4.0)
+
+    def test_regression_is_below_one(self):
+        assert improvement_factor(10, 20) == pytest.approx(0.5)
+
+    def test_zero_over_zero_is_one(self):
+        assert improvement_factor(0, 0) == 1.0
+
+    def test_zero_denominator_is_infinite(self):
+        assert improvement_factor(5, 0) == math.inf
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            improvement_factor(-1, 1)
+
+
+class TestGeometricMean:
+    def test_identical_factors(self):
+        assert geometric_mean_improvement([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_mixed_factors(self):
+        assert geometric_mean_improvement([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_ignores_infinities(self):
+        assert geometric_mean_improvement([2.0, math.inf]) == pytest.approx(2.0)
+
+    def test_empty_is_one(self):
+        assert geometric_mean_improvement([]) == 1.0

@@ -1,0 +1,107 @@
+"""Tests for modularity and community detection."""
+
+import networkx as nx
+import pytest
+
+from repro.partition.community import greedy_modularity_communities, louvain_communities
+from repro.partition.modularity import modularity, modularity_of_communities
+
+
+def _two_cliques(size=6, bridge=True):
+    graph = nx.disjoint_union(nx.complete_graph(size), nx.complete_graph(size))
+    if bridge:
+        graph.add_edge(0, size)
+    return graph
+
+
+class TestModularity:
+    def test_empty_graph(self):
+        assert modularity(nx.Graph(), {}) == 0.0
+
+    def test_single_community_is_zero(self):
+        graph = nx.complete_graph(5)
+        assignment = {node: 0 for node in graph}
+        assert modularity(graph, assignment) == pytest.approx(0.0)
+
+    def test_two_cliques_split_has_high_modularity(self):
+        graph = _two_cliques()
+        assignment = {node: (0 if node < 6 else 1) for node in graph}
+        assert modularity(graph, assignment) > 0.4
+
+    def test_bad_split_has_lower_modularity(self):
+        graph = _two_cliques()
+        good = {node: (0 if node < 6 else 1) for node in graph}
+        bad = {node: node % 2 for node in graph}
+        assert modularity(graph, good) > modularity(graph, bad)
+
+    def test_matches_networkx(self):
+        graph = nx.karate_club_graph()
+        assignment = {node: (0 if node < 17 else 1) for node in graph}
+        communities = [
+            {n for n in graph if assignment[n] == 0},
+            {n for n in graph if assignment[n] == 1},
+        ]
+        expected = nx.community.modularity(graph, communities)
+        assert modularity(graph, assignment) == pytest.approx(expected, abs=1e-9)
+
+    def test_modularity_of_communities_wrapper(self):
+        graph = _two_cliques()
+        value = modularity_of_communities(graph, [set(range(6)), set(range(6, 12))])
+        assert value > 0.4
+
+
+class TestLouvain:
+    def test_partitions_cover_all_nodes(self):
+        graph = nx.karate_club_graph()
+        communities = louvain_communities(graph, seed=1)
+        covered = set().union(*communities)
+        assert covered == set(graph.nodes)
+        assert sum(len(c) for c in communities) == graph.number_of_nodes()
+
+    def test_two_cliques_found(self):
+        graph = _two_cliques()
+        communities = louvain_communities(graph, seed=0)
+        assert len(communities) == 2
+        assert {frozenset(c) for c in communities} == {
+            frozenset(range(6)),
+            frozenset(range(6, 12)),
+        }
+
+    def test_positive_modularity_on_structured_graph(self):
+        graph = nx.karate_club_graph()
+        communities = louvain_communities(graph, seed=3)
+        assert modularity_of_communities(graph, communities) > 0.3
+
+    def test_comparable_to_networkx_louvain(self):
+        graph = nx.karate_club_graph()
+        ours = modularity_of_communities(graph, louvain_communities(graph, seed=3))
+        theirs = nx.community.modularity(
+            graph, nx.community.louvain_communities(graph, seed=3)
+        )
+        assert ours > 0.8 * theirs
+
+    def test_edgeless_graph_gives_singletons(self):
+        graph = nx.empty_graph(4)
+        communities = louvain_communities(graph)
+        assert len(communities) == 4
+
+    def test_empty_graph(self):
+        assert louvain_communities(nx.Graph()) == []
+
+
+class TestGreedyCommunities:
+    def test_two_cliques(self):
+        graph = _two_cliques()
+        communities = greedy_modularity_communities(graph)
+        assert {frozenset(c) for c in communities} == {
+            frozenset(range(6)),
+            frozenset(range(6, 12)),
+        }
+
+    def test_target_parts_respected(self):
+        graph = nx.path_graph(8)
+        communities = greedy_modularity_communities(graph, target_parts=2)
+        assert len(communities) >= 2
+
+    def test_empty_graph(self):
+        assert greedy_modularity_communities(nx.Graph()) == []

@@ -1,0 +1,63 @@
+"""Tests for the QFT benchmark generator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import simulate_circuit
+from repro.programs.qft import qft_circuit
+
+
+class TestStructure:
+    def test_two_qubit_gate_count(self):
+        circuit = qft_circuit(8)
+        assert circuit.num_two_qubit_gates == 8 * 7 // 2
+
+    def test_hadamard_count(self):
+        circuit = qft_circuit(6)
+        assert circuit.count_gates()["H"] == 6
+
+    def test_swaps_optional(self):
+        without = qft_circuit(6)
+        with_swaps = qft_circuit(6, include_swaps=True)
+        assert "SWAP" not in without.count_gates()
+        assert with_swaps.count_gates()["SWAP"] == 3
+
+    def test_single_qubit_case(self):
+        circuit = qft_circuit(1)
+        assert circuit.count_gates() == {"H": 1}
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            qft_circuit(0)
+
+
+class TestSemantics:
+    def _reference_qft_matrix(self, n: int) -> np.ndarray:
+        dim = 2**n
+        omega = np.exp(2j * math.pi / dim)
+        return np.array(
+            [[omega ** (row * col) for col in range(dim)] for row in range(dim)]
+        ) / math.sqrt(dim)
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_matches_dft_on_basis_states(self, n):
+        """QFT with final swaps implements the DFT matrix (up to bit order)."""
+        from repro.circuit import QuantumCircuit, StatevectorSimulator
+
+        dft = self._reference_qft_matrix(n)
+        circuit = qft_circuit(n, include_swaps=True)
+        for basis_index in range(2**n):
+            simulator = StatevectorSimulator(n)
+            state = np.zeros(2**n, dtype=complex)
+            state[basis_index] = 1.0
+            simulator.set_state(state)
+            simulator.run(circuit)
+            expected = dft[:, basis_index]
+            overlap = abs(np.vdot(expected, simulator.state))
+            assert np.isclose(overlap, 1.0, atol=1e-8)
+
+    def test_uniform_superposition_from_zero(self):
+        state = simulate_circuit(qft_circuit(3, include_swaps=True))
+        assert np.allclose(np.abs(state) ** 2, np.full(8, 1 / 8))

@@ -1,0 +1,76 @@
+"""Tests for the Cuccaro ripple-carry adder generator."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import StatevectorSimulator
+from repro.programs.rca import rca_adder_for_bits, rca_circuit
+
+
+def _run_adder(num_bits: int, a: int, b: int, carry_in: int = 0):
+    """Simulate the adder on classical inputs and decode the result."""
+    circuit = rca_adder_for_bits(num_bits)
+    width = circuit.num_qubits
+    bits = [0] * width
+    bits[0] = carry_in
+    for i in range(num_bits):
+        bits[1 + 2 * i] = (b >> i) & 1
+        bits[2 + 2 * i] = (a >> i) & 1
+    basis = 0
+    for qubit, value in enumerate(bits):
+        if value:
+            basis |= 1 << (width - 1 - qubit)
+    simulator = StatevectorSimulator(width)
+    state = np.zeros(2**width, dtype=complex)
+    state[basis] = 1.0
+    simulator.set_state(state)
+    simulator.run(circuit)
+    out_index = int(np.argmax(np.abs(simulator.state) ** 2))
+    out_bits = [(out_index >> (width - 1 - q)) & 1 for q in range(width)]
+    sum_value = sum(out_bits[1 + 2 * i] << i for i in range(num_bits))
+    sum_value += out_bits[width - 1] << num_bits
+    a_out = sum(out_bits[2 + 2 * i] << i for i in range(num_bits))
+    return sum_value, a_out
+
+
+class TestAdderSemantics:
+    @pytest.mark.parametrize(
+        "a,b",
+        [(0, 0), (1, 0), (0, 1), (1, 1), (2, 3), (3, 3), (2, 2)],
+    )
+    def test_two_bit_addition(self, a, b):
+        total, a_register = _run_adder(2, a, b)
+        assert total == a + b
+        assert a_register == a  # the a register is restored
+
+    @pytest.mark.parametrize("a,b", [(5, 3), (7, 7), (4, 6), (0, 7)])
+    def test_three_bit_addition(self, a, b):
+        total, a_register = _run_adder(3, a, b)
+        assert total == a + b
+        assert a_register == a
+
+    def test_carry_in(self):
+        total, _ = _run_adder(2, 1, 1, carry_in=1)
+        assert total == 3
+
+
+class TestStructure:
+    def test_width_formula(self):
+        assert rca_adder_for_bits(3).num_qubits == 8
+        assert rca_adder_for_bits(7).num_qubits == 16
+
+    def test_rca_circuit_width_matches_request(self):
+        assert rca_circuit(16).num_qubits == 16
+        assert rca_circuit(36).num_qubits == 36
+        assert rca_circuit(81).num_qubits == 81
+
+    def test_gate_families(self):
+        histogram = rca_adder_for_bits(4).count_gates()
+        assert histogram["CCX"] == 8  # one per MAJ and one per UMA block
+        assert histogram["CX"] >= 2 * 8 + 1
+
+    def test_minimum_width(self):
+        with pytest.raises(ValueError):
+            rca_circuit(3)
+        with pytest.raises(ValueError):
+            rca_adder_for_bits(0)

@@ -1,0 +1,87 @@
+"""Tests for the benchmark registry (Table II)."""
+
+import pytest
+
+from repro.programs.registry import (
+    PAPER_TABLE2,
+    BenchmarkSpec,
+    benchmark_names,
+    build_benchmark,
+    paper_grid_size,
+)
+
+
+class TestPaperTable:
+    def test_all_four_program_families_present(self):
+        families = {spec.program for spec in PAPER_TABLE2}
+        assert families == {"VQE", "QAOA", "QFT", "RCA"}
+
+    def test_labels(self):
+        spec = PAPER_TABLE2[0]
+        assert spec.label == f"{spec.program}-{spec.num_qubits}"
+
+    def test_row_count_matches_paper(self):
+        assert len(PAPER_TABLE2) == 15
+
+    def test_largest_instance_is_qaoa_196(self):
+        largest = max(PAPER_TABLE2, key=lambda s: s.num_fusions)
+        assert largest.program == "QAOA"
+        assert largest.num_qubits == 196
+
+
+class TestPaperGridSize:
+    @pytest.mark.parametrize(
+        "qubits,grid",
+        [(16, 7), (36, 11), (81, 17), (144, 23), (64, 15), (121, 21), (196, 27), (100, 19)],
+    )
+    def test_table_values(self, qubits, grid):
+        assert paper_grid_size(qubits) == grid
+
+    def test_unlisted_size_uses_formula(self):
+        assert paper_grid_size(25) == 9
+        assert paper_grid_size(49) == 13
+
+    def test_grid_is_odd_and_positive(self):
+        for qubits in (4, 9, 25, 49, 60):
+            grid = paper_grid_size(qubits)
+            assert grid >= 3
+            assert grid % 2 == 1
+
+
+class TestBuildBenchmark:
+    @pytest.mark.parametrize("program", ["QAOA", "VQE", "QFT", "RCA"])
+    def test_builds_each_family(self, program):
+        circuit = build_benchmark(program, 16)
+        assert circuit.num_qubits == 16
+        assert circuit.num_gates > 0
+
+    def test_case_insensitive(self):
+        assert build_benchmark("qft", 16).num_qubits == 16
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(KeyError):
+            build_benchmark("GROVER", 16)
+
+    def test_deterministic_per_seed(self):
+        a = build_benchmark("QAOA", 16, seed=5)
+        b = build_benchmark("QAOA", 16, seed=5)
+        assert [g.name for g in a.gates] == [g.name for g in b.gates]
+        assert [g.params for g in a.gates] == [g.params for g in b.gates]
+
+    def test_seed_changes_random_programs(self):
+        a = build_benchmark("QAOA", 16, seed=5)
+        b = build_benchmark("QAOA", 16, seed=6)
+        assert [g.qubits for g in a.gates] != [g.qubits for g in b.gates]
+
+    def test_benchmark_names_order(self):
+        assert benchmark_names() == ["VQE", "QAOA", "QFT", "RCA"]
+
+    def test_vqe_two_qubit_count_matches_paper(self):
+        circuit = build_benchmark("VQE", 16)
+        spec = next(s for s in PAPER_TABLE2 if s.label == "VQE-16")
+        assert circuit.num_two_qubit_gates == spec.num_2q_gates
+
+    def test_qft_two_qubit_count_matches_paper(self):
+        circuit = build_benchmark("QFT", 16)
+        spec = next(s for s in PAPER_TABLE2 if s.label == "QFT-16")
+        assert circuit.num_two_qubit_gates == spec.num_2q_gates

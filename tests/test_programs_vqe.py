@@ -1,0 +1,69 @@
+"""Tests for the VQE ansatz generator."""
+
+import pytest
+
+from repro.programs.vqe import full_entanglement_schedule, vqe_circuit
+
+
+class TestFullEntanglementSchedule:
+    def test_all_pairs_once(self):
+        pairs = full_entanglement_schedule(8)
+        assert len(pairs) == 8 * 7 // 2
+        assert len(set(pairs)) == len(pairs)
+
+    def test_odd_number_of_qubits(self):
+        pairs = full_entanglement_schedule(5)
+        assert len(pairs) == 5 * 4 // 2
+
+    def test_first_round_is_a_matching(self):
+        pairs = full_entanglement_schedule(6)
+        first_round = pairs[:3]
+        used = set()
+        for a, b in first_round:
+            assert a not in used and b not in used
+            used.update((a, b))
+
+    def test_small_cases(self):
+        assert full_entanglement_schedule(2) == [(0, 1)]
+        assert full_entanglement_schedule(1) == []
+
+
+class TestVqeCircuit:
+    def test_two_qubit_gate_count_quadratic(self):
+        circuit = vqe_circuit(8, layers=1, seed=0)
+        assert circuit.num_two_qubit_gates == 8 * 7 // 2
+
+    def test_layers_multiply_entanglers(self):
+        single = vqe_circuit(6, layers=1, seed=0)
+        double = vqe_circuit(6, layers=2, seed=0)
+        assert double.num_two_qubit_gates == 2 * single.num_two_qubit_gates
+
+    def test_rotation_count(self):
+        circuit = vqe_circuit(5, layers=2, seed=0)
+        histogram = circuit.count_gates()
+        # One RY and one RZ per qubit per rotation block; layers + 1 blocks.
+        assert histogram["RY"] == 5 * 3
+        assert histogram["RZ"] == 5 * 3
+
+    def test_deterministic_per_seed(self):
+        a = vqe_circuit(4, seed=9)
+        b = vqe_circuit(4, seed=9)
+        assert [g.params for g in a.gates] == [g.params for g in b.gates]
+
+    def test_explicit_angles(self):
+        angles = [0.1] * (2 * 4 * 2)
+        circuit = vqe_circuit(4, layers=1, angles=angles)
+        rotation_params = [g.params[0] for g in circuit.gates if g.name in ("RY", "RZ")]
+        assert all(p == 0.1 for p in rotation_params)
+
+    def test_wrong_angle_count_rejected(self):
+        with pytest.raises(ValueError):
+            vqe_circuit(4, layers=1, angles=[0.1, 0.2])
+
+    def test_too_few_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            vqe_circuit(1)
+
+    def test_zero_layers_rejected(self):
+        with pytest.raises(ValueError):
+            vqe_circuit(4, layers=0)

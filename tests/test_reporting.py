@@ -1,0 +1,94 @@
+"""Tests for the experiment drivers and table rendering."""
+
+import pytest
+
+from repro.reporting.experiments import (
+    BenchmarkScale,
+    benchmark_sizes,
+    build_computation,
+    figure1_series,
+    figure9_series,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    table6_rows,
+)
+from repro.reporting.render import (
+    render_comparison_table,
+    render_series,
+    render_table1,
+    render_table2,
+    render_table6,
+)
+
+
+class TestBenchmarkScale:
+    def test_sizes_per_scale(self):
+        assert len(benchmark_sizes(BenchmarkScale.SMOKE)) == 4
+        assert len(benchmark_sizes(BenchmarkScale.REDUCED)) == 5
+        assert len(benchmark_sizes(BenchmarkScale.PAPER)) == 15
+
+    def test_from_environment_default(self, monkeypatch):
+        monkeypatch.delenv("DCMBQC_FULL_BENCH", raising=False)
+        monkeypatch.delenv("DCMBQC_BENCH_SCALE", raising=False)
+        assert BenchmarkScale.from_environment() is BenchmarkScale.REDUCED
+
+    def test_from_environment_full(self, monkeypatch):
+        monkeypatch.setenv("DCMBQC_FULL_BENCH", "1")
+        assert BenchmarkScale.from_environment() is BenchmarkScale.PAPER
+
+    def test_from_environment_named_scale(self, monkeypatch):
+        monkeypatch.delenv("DCMBQC_FULL_BENCH", raising=False)
+        monkeypatch.setenv("DCMBQC_BENCH_SCALE", "smoke")
+        assert BenchmarkScale.from_environment() is BenchmarkScale.SMOKE
+
+    def test_build_computation_is_cached(self):
+        first = build_computation("QFT", 8)
+        second = build_computation("QFT", 8)
+        assert first is second
+
+
+class TestStaticTables:
+    def test_table1_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 7
+        assert any(row["platform"] == "Photonic" for row in rows)
+        assert render_table1(rows).startswith("Table I")
+
+    def test_table2_rows_smoke_scale(self):
+        rows = table2_rows(BenchmarkScale.SMOKE)
+        assert len(rows) == 4
+        for row in rows:
+            assert row["num_fusions"] > 0
+        rendered = render_table2(rows)
+        assert "Benchmark programs" in rendered
+
+    def test_figure1_series_values(self):
+        rows = figure1_series(cycle_times_ns=(1.0,), cycle_counts=(1000, 5000))
+        assert len(rows) == 2
+        assert rows[1]["loss_probability"] > rows[0]["loss_probability"]
+        assert "loss_probability" in render_series(rows, "Figure 1")
+
+
+class TestCompilationDrivenTables:
+    def test_table3_smoke_scale(self):
+        rows = table3_rows(BenchmarkScale.SMOKE)
+        assert len(rows) == 4
+        for row in rows:
+            assert row.baseline_exec > 0 and row.our_exec > 0
+        rendered = render_comparison_table(rows, "Table III")
+        assert "Improv." in rendered
+
+    def test_table6_single_size(self):
+        rows = table6_rows(qft_sizes=(12,), num_qpus=2)
+        assert len(rows) == 1
+        assert rows[0]["bdir_lifetime"] <= rows[0]["list_lifetime"]
+        assert "BDIR" in render_table6(rows)
+
+    def test_figure9_partition_stability(self):
+        rows = figure9_series(program_qubits=10, alpha_values=(1.1, 2.0), num_qpus=2)
+        assert len(rows) == 2
+        assert all(row["cut_size"] >= 0 for row in rows)
+
+    def test_render_series_empty(self):
+        assert "(empty)" in render_series([], "empty figure")

@@ -1,0 +1,93 @@
+"""Tests for the distributed runtime and reliability estimation."""
+
+import pytest
+
+from repro.hardware.loss import DelayLineModel
+from repro.runtime.executor import DistributedRuntime
+from repro.runtime.reliability import estimate_program_reliability
+from repro.utils.errors import ValidationError
+
+
+class TestValidation:
+    def test_valid_result_passes(self, distributed_result):
+        DistributedRuntime(distributed_result).validate()
+
+    def test_corrupted_schedule_detected(self, distributed_result):
+        runtime = DistributedRuntime(distributed_result)
+        key = distributed_result.problem.main_tasks[0][1].key
+        original = distributed_result.schedule.start_times[key]
+        distributed_result.schedule.start_times[key] = 0  # collide with index 0
+        try:
+            with pytest.raises(Exception):
+                runtime.validate()
+        finally:
+            distributed_result.schedule.start_times[key] = original
+
+
+class TestExecutionTrace:
+    def test_total_cycles_matches_makespan(self, distributed_result):
+        trace = DistributedRuntime(distributed_result).run()
+        assert trace.total_cycles == distributed_result.evaluation.makespan
+
+    def test_max_storage_bounded_by_reported_lifetime(self, distributed_result):
+        trace = DistributedRuntime(distributed_result).run()
+        assert trace.max_storage <= distributed_result.required_photon_lifetime
+
+    def test_fusee_records_match_metric(self, distributed_result):
+        trace = DistributedRuntime(distributed_result).run()
+        fusee_waits = [r.storage_cycles for r in trace.storage_records if r.reason == "fusee"]
+        assert max(fusee_waits) == distributed_result.evaluation.lifetime_report.tau_fusee
+
+    def test_sync_events_match_connectors(self, distributed_result):
+        trace = DistributedRuntime(distributed_result).run()
+        assert trace.sync_events == distributed_result.num_connectors
+
+    def test_worst_photons_sorted(self, distributed_result):
+        trace = DistributedRuntime(distributed_result).run()
+        worst = trace.worst_photons(3)
+        waits = [record.storage_cycles for record in worst]
+        assert waits == sorted(waits, reverse=True)
+
+    def test_utilisation_in_unit_interval(self, distributed_result):
+        trace = DistributedRuntime(distributed_result).run()
+        utilisation = trace.utilisation(distributed_result.config.num_qpus)
+        assert 0.0 < utilisation <= 1.0
+
+    def test_storage_records_non_negative(self, distributed_result):
+        trace = DistributedRuntime(distributed_result).run()
+        assert all(record.storage_cycles >= 0 for record in trace.storage_records)
+
+
+class TestLossExposure:
+    def test_probabilities_in_unit_interval(self, distributed_result):
+        exposure = DistributedRuntime(distributed_result).loss_exposure()
+        assert exposure
+        assert all(0.0 <= p < 1.0 for p in exposure.values())
+
+    def test_slower_clock_increases_loss(self, distributed_result):
+        runtime = DistributedRuntime(distributed_result)
+        fast = runtime.loss_exposure(DelayLineModel(cycle_time_ns=1.0))
+        slow = runtime.loss_exposure(DelayLineModel(cycle_time_ns=100.0))
+        assert max(slow.values()) >= max(fast.values())
+
+
+class TestReliability:
+    def test_estimate_fields(self, distributed_result):
+        estimate = estimate_program_reliability(distributed_result)
+        assert 0.0 < estimate.survival_probability <= 1.0
+        assert estimate.worst_photon_loss < 1.0
+        assert estimate.expected_photon_losses >= estimate.worst_photon_loss
+        assert estimate.max_storage_cycles <= distributed_result.required_photon_lifetime
+
+    def test_fusion_success_probability_reported(self, distributed_result):
+        estimate = estimate_program_reliability(distributed_result)
+        assert estimate.fusion_success_probability == pytest.approx(0.71)
+
+    def test_slow_clock_reduces_survival(self, distributed_result):
+        fast = estimate_program_reliability(
+            distributed_result, delay_line=DelayLineModel(cycle_time_ns=1.0)
+        )
+        slow = estimate_program_reliability(
+            distributed_result, delay_line=DelayLineModel(cycle_time_ns=100.0)
+        )
+        assert slow.survival_probability <= fast.survival_probability

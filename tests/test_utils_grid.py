@@ -1,0 +1,123 @@
+"""Tests for grid geometry helpers."""
+
+import pytest
+
+from repro.utils.grid import (
+    GridPoint,
+    grid_points,
+    l_shaped_path,
+    manhattan_distance,
+    neighbors4,
+    spiral_order,
+)
+
+
+class TestGridPoint:
+    def test_shifted(self):
+        assert GridPoint(1, 2).shifted(2, -1) == GridPoint(3, 1)
+
+    def test_in_bounds_inside(self):
+        assert GridPoint(0, 0).in_bounds(3)
+        assert GridPoint(2, 2).in_bounds(3)
+
+    def test_in_bounds_outside(self):
+        assert not GridPoint(3, 0).in_bounds(3)
+        assert not GridPoint(-1, 0).in_bounds(3)
+        assert not GridPoint(0, 5).in_bounds(3)
+
+    def test_ordering_is_lexicographic(self):
+        assert GridPoint(0, 5) < GridPoint(1, 0)
+        assert GridPoint(1, 1) < GridPoint(1, 2)
+
+    def test_hashable(self):
+        assert len({GridPoint(0, 0), GridPoint(0, 0), GridPoint(1, 0)}) == 2
+
+
+class TestManhattanDistance:
+    def test_zero_for_same_point(self):
+        assert manhattan_distance(GridPoint(2, 3), GridPoint(2, 3)) == 0
+
+    def test_axis_aligned(self):
+        assert manhattan_distance(GridPoint(0, 0), GridPoint(0, 4)) == 4
+        assert manhattan_distance(GridPoint(0, 0), GridPoint(3, 0)) == 3
+
+    def test_diagonal(self):
+        assert manhattan_distance(GridPoint(1, 1), GridPoint(4, 5)) == 7
+
+    def test_symmetric(self):
+        a, b = GridPoint(0, 2), GridPoint(5, 1)
+        assert manhattan_distance(a, b) == manhattan_distance(b, a)
+
+
+class TestGridPoints:
+    def test_count(self):
+        assert len(list(grid_points(4))) == 16
+
+    def test_row_major_order(self):
+        points = list(grid_points(2))
+        assert points == [GridPoint(0, 0), GridPoint(0, 1), GridPoint(1, 0), GridPoint(1, 1)]
+
+    def test_empty_grid(self):
+        assert list(grid_points(0)) == []
+
+
+class TestNeighbors4:
+    def test_interior_cell_has_four_neighbors(self):
+        assert len(neighbors4(GridPoint(1, 1), 3)) == 4
+
+    def test_corner_cell_has_two_neighbors(self):
+        assert len(neighbors4(GridPoint(0, 0), 3)) == 2
+
+    def test_edge_cell_has_three_neighbors(self):
+        assert len(neighbors4(GridPoint(0, 1), 3)) == 3
+
+    def test_neighbors_are_in_bounds(self):
+        for point in grid_points(3):
+            for neighbor in neighbors4(point, 3):
+                assert neighbor.in_bounds(3)
+
+
+class TestLShapedPath:
+    def test_includes_both_endpoints(self):
+        path = l_shaped_path(GridPoint(0, 0), GridPoint(2, 3))
+        assert path[0] == GridPoint(0, 0)
+        assert path[-1] == GridPoint(2, 3)
+
+    def test_length_is_manhattan_plus_one(self):
+        a, b = GridPoint(1, 1), GridPoint(3, 4)
+        path = l_shaped_path(a, b)
+        assert len(path) == manhattan_distance(a, b) + 1
+
+    def test_single_point_path(self):
+        assert l_shaped_path(GridPoint(2, 2), GridPoint(2, 2)) == [GridPoint(2, 2)]
+
+    def test_steps_are_adjacent(self):
+        path = l_shaped_path(GridPoint(4, 0), GridPoint(0, 3))
+        for first, second in zip(path, path[1:]):
+            assert manhattan_distance(first, second) == 1
+
+    def test_reverse_direction(self):
+        path = l_shaped_path(GridPoint(3, 3), GridPoint(1, 0))
+        assert path[0] == GridPoint(3, 3)
+        assert path[-1] == GridPoint(1, 0)
+
+
+class TestSpiralOrder:
+    def test_covers_all_cells_exactly_once(self):
+        order = spiral_order(5)
+        assert len(order) == 25
+        assert len(set(order)) == 25
+
+    def test_starts_near_centre(self):
+        order = spiral_order(5)
+        assert order[0] == GridPoint(2, 2)
+
+    def test_distances_non_decreasing(self):
+        centre = GridPoint(2, 2)
+        order = spiral_order(5)
+        distances = [manhattan_distance(p, centre) for p in order]
+        assert distances == sorted(distances)
+
+    def test_empty_and_single(self):
+        assert spiral_order(0) == []
+        assert spiral_order(1) == [GridPoint(0, 0)]

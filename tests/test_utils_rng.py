@@ -1,0 +1,39 @@
+"""Tests for seeded randomness helpers."""
+
+import numpy as np
+
+from repro.utils.rng import derive_seed, make_rng
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        assert make_rng(5).integers(0, 1000, 10).tolist() == make_rng(5).integers(0, 1000, 10).tolist()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(5).integers(0, 10**9) != make_rng(6).integers(0, 10**9)
+
+    def test_passthrough_generator(self):
+        generator = np.random.default_rng(0)
+        assert make_rng(generator) is generator
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "qaoa", 16) == derive_seed(7, "qaoa", 16)
+
+    def test_labels_matter(self):
+        assert derive_seed(7, "qaoa", 16) != derive_seed(7, "vqe", 16)
+
+    def test_base_seed_matters(self):
+        assert derive_seed(7, "qaoa", 16) != derive_seed(8, "qaoa", 16)
+
+    def test_order_of_labels_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_result_is_non_negative_int(self):
+        value = derive_seed(3, "x")
+        assert isinstance(value, int)
+        assert value >= 0

@@ -1,0 +1,50 @@
+"""Tests for the plain-text table renderer."""
+
+import pytest
+
+from repro.utils.tables import Table, format_float
+
+
+class TestFormatFloat:
+    def test_two_decimals(self):
+        assert format_float(3.14159) == "3.14"
+
+    def test_integer_valued_float_drops_decimals(self):
+        assert format_float(4.0) == "4"
+
+    def test_custom_digits(self):
+        assert format_float(0.12345, digits=3) == "0.123"
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        table = Table(title="Demo", columns=["a", "b"])
+        table.add_row([1, 2.5])
+        rendered = table.render()
+        assert "Demo" in rendered
+        assert "a" in rendered and "b" in rendered
+        assert "2.5" in rendered
+
+    def test_row_length_mismatch_raises(self):
+        table = Table(title="", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_column_alignment(self):
+        table = Table(title="", columns=["name", "v"])
+        table.add_row(["longer-name", 1])
+        table.add_row(["x", 22])
+        lines = table.render().splitlines()
+        data_lines = lines[-2:]
+        assert len(data_lines[0].split("|")[0]) == len(data_lines[1].split("|")[0])
+
+    def test_float_rows_use_format_float(self):
+        table = Table(title="", columns=["v"])
+        table.add_row([2.0])
+        assert "2" in table.render()
+        assert "2.00" not in table.render()
+
+    def test_str_matches_render(self):
+        table = Table(title="t", columns=["c"])
+        table.add_row([1])
+        assert str(table) == table.render()
