@@ -12,6 +12,7 @@ the output can be diffed against the values recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -25,6 +26,19 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 def bench_scale() -> BenchmarkScale:
     """Benchmark scale selected via environment variables."""
     return BenchmarkScale.from_environment()
+
+
+@pytest.fixture(scope="session")
+def bench_workers() -> int:
+    """Sweep-engine worker count (``DCMBQC_BENCH_WORKERS``, default serial).
+
+    At ``DCMBQC_FULL_BENCH=1`` the Table III/IV grids take minutes per
+    point; raising the worker count fans them out across processes.
+    """
+    try:
+        return max(1, int(os.environ.get("DCMBQC_BENCH_WORKERS", "1")))
+    except ValueError:
+        return 1
 
 
 @pytest.fixture(scope="session")

@@ -13,8 +13,14 @@ from repro.reporting.experiments import table3_rows
 from repro.reporting.render import render_comparison_table
 
 
-def test_table3_four_qpus_vs_oneq(benchmark, bench_scale, record_table):
-    rows = benchmark.pedantic(table3_rows, args=(bench_scale,), rounds=1, iterations=1)
+def test_table3_four_qpus_vs_oneq(benchmark, bench_scale, bench_workers, record_table):
+    rows = benchmark.pedantic(
+        table3_rows,
+        args=(bench_scale,),
+        kwargs={"workers": bench_workers},
+        rounds=1,
+        iterations=1,
+    )
     record_table(
         "table3_4qpu_vs_oneq",
         render_comparison_table(rows, "Table III — DC-MBQC vs OneQ (4 QPUs, 5-star)"),

@@ -11,8 +11,14 @@ from repro.reporting.experiments import table3_rows, table4_rows
 from repro.reporting.render import render_comparison_table
 
 
-def test_table4_eight_qpus_vs_oneq(benchmark, bench_scale, record_table):
-    rows = benchmark.pedantic(table4_rows, args=(bench_scale,), rounds=1, iterations=1)
+def test_table4_eight_qpus_vs_oneq(benchmark, bench_scale, bench_workers, record_table):
+    rows = benchmark.pedantic(
+        table4_rows,
+        args=(bench_scale,),
+        kwargs={"workers": bench_workers},
+        rounds=1,
+        iterations=1,
+    )
     record_table(
         "table4_8qpu_vs_oneq",
         render_comparison_table(rows, "Table IV — DC-MBQC vs OneQ (8 QPUs, 4-ring)"),

@@ -1,21 +1,25 @@
 """Command-line interface for the DC-MBQC reproduction.
 
-Three subcommands cover the common workflows::
+Four subcommands cover the common workflows::
 
     python -m repro.cli compile --program QFT --qubits 16 --qpus 4
     python -m repro.cli compare --program VQE --qubits 16 --qpus 8 --rsg 4-ring
     python -m repro.cli experiment --name table3
+    python -m repro.cli sweep --grid table3 --workers 8 --out results/table3
 
 ``compile`` runs the distributed compiler and prints the schedule summary,
 ``compare`` additionally compiles the monolithic baseline and reports the
-improvement factors, and ``experiment`` regenerates one of the paper's
-tables or figures.
+improvement factors, ``experiment`` regenerates one of the paper's tables or
+figures in-process, and ``sweep`` evaluates the same grids through the
+parallel sweep engine with a resumable on-disk result store (re-running the
+same command skips every completed point; ``--csv`` exports the run table).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core import DCMBQCCompiler, DCMBQCConfig, compare_with_baseline
@@ -23,8 +27,76 @@ from repro.hardware.resource_states import ResourceStateType
 from repro.programs import build_benchmark
 from repro.programs.registry import paper_grid_size
 from repro.reporting import experiments, render
+from repro.sweep import GRID_REGISTRY, ResultStore, SweepRunner
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXPERIMENT_REGISTRY"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One entry of the experiment registry.
+
+    Attributes:
+        driver: ``scale -> rows`` function producing the artefact's data.
+        renderer: ``rows -> str`` function producing the paper-style table.
+    """
+
+    driver: Callable[[experiments.BenchmarkScale], Sequence]
+    renderer: Callable[[Sequence], str]
+
+
+#: Experiment name → (driver, renderer); single source of truth for the
+#: ``experiment --name`` dispatch and reused for the ``sweep --grid`` choices.
+EXPERIMENT_REGISTRY: Dict[str, ExperimentSpec] = {
+    "table1": ExperimentSpec(
+        lambda scale: experiments.table1_rows(), render.render_table1
+    ),
+    "table2": ExperimentSpec(experiments.table2_rows, render.render_table2),
+    "table3": ExperimentSpec(
+        experiments.table3_rows,
+        lambda rows: render.render_comparison_table(
+            rows, "Table III — 4 QPUs, 5-star RSG, vs OneQ"
+        ),
+    ),
+    "table4": ExperimentSpec(
+        experiments.table4_rows,
+        lambda rows: render.render_comparison_table(
+            rows, "Table IV — 8 QPUs, 4-ring RSG, vs OneQ"
+        ),
+    ),
+    "table5": ExperimentSpec(
+        experiments.table5_rows,
+        lambda rows: render.render_series(rows, "Table V — vs OneAdapt"),
+    ),
+    "table6": ExperimentSpec(
+        lambda scale: experiments.table6_rows(), render.render_table6
+    ),
+    "figure1": ExperimentSpec(
+        lambda scale: experiments.figure1_series(),
+        lambda rows: render.render_series(rows, "Figure 1 — photon loss"),
+    ),
+    "figure7": ExperimentSpec(
+        lambda scale: experiments.figure7_series(),
+        lambda rows: render.render_series(rows, "Figure 7 — resource states"),
+    ),
+    "figure8": ExperimentSpec(
+        lambda scale: experiments.figure8_series(),
+        lambda rows: render.render_series(rows, "Figure 8 — K_max sensitivity"),
+    ),
+    "figure9": ExperimentSpec(
+        lambda scale: experiments.figure9_series(),
+        lambda rows: render.render_series(rows, "Figure 9 — alpha_max robustness"),
+    ),
+    "figure10": ExperimentSpec(
+        lambda scale: experiments.figure10_series(),
+        lambda rows: render.render_series(rows, "Figure 10 — compile-time scaling"),
+    ),
+}
+
+#: Experiments that can also run as parallel sweeps (grid factory exists).
+SWEEPABLE_GRIDS: List[str] = [
+    name for name in EXPERIMENT_REGISTRY if name in GRID_REGISTRY
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,26 +126,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment_parser = subparsers.add_parser("experiment", help="regenerate a paper table/figure")
     experiment_parser.add_argument(
-        "--name",
-        required=True,
-        choices=[
-            "table1",
-            "table2",
-            "table3",
-            "table4",
-            "table5",
-            "table6",
-            "figure1",
-            "figure7",
-            "figure8",
-            "figure9",
-            "figure10",
-        ],
+        "--name", required=True, choices=list(EXPERIMENT_REGISTRY)
     )
     experiment_parser.add_argument(
         "--scale",
         default="reduced",
         choices=[scale.value for scale in experiments.BenchmarkScale],
+    )
+
+    def positive_int(value: str) -> int:
+        count = int(value)
+        if count < 1:
+            raise argparse.ArgumentTypeError("must be at least 1")
+        return count
+
+    def non_negative_int(value: str) -> int:
+        count = int(value)
+        if count < 0:
+            raise argparse.ArgumentTypeError("must be non-negative")
+        return count
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a parameter grid through the parallel sweep engine"
+    )
+    sweep_parser.add_argument("--grid", required=True, choices=SWEEPABLE_GRIDS)
+    sweep_parser.add_argument("--workers", type=positive_int, default=1)
+    sweep_parser.add_argument(
+        "--out", required=True, help="result-store directory (or .jsonl path)"
+    )
+    sweep_parser.add_argument(
+        "--scale",
+        default="reduced",
+        choices=[scale.value for scale in experiments.BenchmarkScale],
+    )
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    sweep_parser.add_argument(
+        "--retries", type=non_negative_int, default=1, help="retries per failed point"
+    )
+    sweep_parser.add_argument(
+        "--csv", default=None, help="export the run table to this CSV after the sweep"
     )
     return parser
 
@@ -91,7 +182,7 @@ def _config_from_args(args: argparse.Namespace) -> DCMBQCConfig:
 
 
 def _run_compile(args: argparse.Namespace) -> int:
-    circuit = build_benchmark(args.program, args.qubits, seed=2026)
+    circuit = build_benchmark(args.program, args.qubits, seed=args.seed)
     config = _config_from_args(args)
     result = DCMBQCCompiler(config).compile(circuit)
     summary = result.summary()
@@ -102,7 +193,7 @@ def _run_compile(args: argparse.Namespace) -> int:
 
 
 def _run_compare(args: argparse.Namespace) -> int:
-    circuit = build_benchmark(args.program, args.qubits, seed=2026)
+    circuit = build_benchmark(args.program, args.qubits, seed=args.seed)
     config = _config_from_args(args)
     comparison = compare_with_baseline(circuit, config, baseline=args.baseline)
     row = comparison.as_row()
@@ -114,34 +205,39 @@ def _run_compare(args: argparse.Namespace) -> int:
 
 def _run_experiment(args: argparse.Namespace) -> int:
     scale = experiments.BenchmarkScale(args.scale)
-    name = args.name
-    if name == "table1":
-        print(render.render_table1(experiments.table1_rows()))
-    elif name == "table2":
-        print(render.render_table2(experiments.table2_rows(scale)))
-    elif name == "table3":
-        rows = experiments.table3_rows(scale)
-        print(render.render_comparison_table(rows, "Table III — 4 QPUs, 5-star RSG, vs OneQ"))
-    elif name == "table4":
-        rows = experiments.table4_rows(scale)
-        print(render.render_comparison_table(rows, "Table IV — 8 QPUs, 4-ring RSG, vs OneQ"))
-    elif name == "table5":
-        print(render.render_series(experiments.table5_rows(scale), "Table V — vs OneAdapt"))
-    elif name == "table6":
-        print(render.render_table6(experiments.table6_rows()))
-    elif name == "figure1":
-        print(render.render_series(experiments.figure1_series(), "Figure 1 — photon loss"))
-    elif name == "figure7":
-        print(render.render_series(experiments.figure7_series(), "Figure 7 — resource states"))
-    elif name == "figure8":
-        print(render.render_series(experiments.figure8_series(), "Figure 8 — K_max sensitivity"))
-    elif name == "figure9":
-        print(render.render_series(experiments.figure9_series(), "Figure 9 — alpha_max robustness"))
-    elif name == "figure10":
-        print(render.render_series(experiments.figure10_series(), "Figure 10 — compile-time scaling"))
-    else:  # pragma: no cover - argparse enforces choices
-        raise ValueError(name)
+    spec = EXPERIMENT_REGISTRY[args.name]
+    print(spec.renderer(spec.driver(scale)))
     return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    scale = experiments.BenchmarkScale(args.scale)
+    grid = GRID_REGISTRY[args.grid](scale, seed=args.seed)
+    try:
+        store = ResultStore(args.out)
+    except OSError as exc:
+        print(f"error: cannot open result store at {args.out}: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(point, record, finished, total) -> None:
+        status = record.get("status", "?")
+        duration = record.get("duration_s")
+        timing = f" ({duration:.2f}s)" if isinstance(duration, float) else ""
+        print(f"[{finished}/{total}] {status} {point.task} {point.label}{timing}")
+
+    runner = SweepRunner(workers=args.workers, retries=args.retries, progress=progress)
+    outcome = runner.run(grid, store)
+    summary = outcome.summary()
+    print(
+        f"Sweep {args.grid} (scale={scale.value}, workers={args.workers}): "
+        f"{summary['total']} points, {summary['completed']} completed, "
+        f"{summary['skipped']} skipped, {summary['failed']} failed"
+    )
+    print(f"store: {store.path}")
+    if args.csv:
+        count = store.export_csv(args.csv)
+        print(f"exported {count} rows to {args.csv}")
+    return 1 if outcome.failed else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -152,6 +248,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compile": _run_compile,
         "compare": _run_compare,
         "experiment": _run_experiment,
+        "sweep": _run_sweep,
     }
     return handlers[args.command](args)
 

@@ -1,8 +1,13 @@
 """Experiment drivers for every table and figure of the paper.
 
-The functions here are deliberately *data in, rows out*: they run the
-relevant compilations and return lists of dictionaries, leaving rendering to
-:mod:`repro.reporting.render` and pacing/scaling decisions to the caller.
+The functions here are deliberately *data in, rows out*: they declare the
+parameter grid of the relevant artefact (via :mod:`repro.sweep.grids`), run
+it through the sweep engine, and return lists of dictionaries, leaving
+rendering to :mod:`repro.reporting.render` and pacing/scaling decisions to
+the caller.  Every driver accepts ``workers``/``store`` so large grids can
+be fanned out across processes and resumed from a durable run table —
+``python -m repro.cli sweep`` exposes the same machinery on the command
+line.
 
 Because the reproduction's single-QPU mapping engine is a reimplementation
 (not the authors' OneQ binary), the functions default to reduced benchmark
@@ -13,24 +18,18 @@ evaluates the paper's full sizes.
 
 from __future__ import annotations
 
-import enum
-import os
-import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-from repro.compiler import OneQCompiler, computation_graph_from_pattern
-from repro.compiler.compgraph import ComputationGraph
-from repro.core import DCMBQCCompiler, DCMBQCConfig, compare_with_baseline
 from repro.hardware.loss import photon_loss_probability
 from repro.hardware.platforms import PLATFORM_SURVEY, meets_dqc_thresholds
-from repro.hardware.resource_states import ResourceStateType
-from repro.mbqc.translate import circuit_to_pattern
-from repro.metrics.improvement import improvement_factor
 from repro.programs import build_benchmark
 from repro.programs.registry import PAPER_TABLE2, paper_grid_size
-from repro.scheduling.bdir import BDIRConfig, BDIRScheduler
-from repro.scheduling.list_scheduler import list_schedule
+from repro.sweep import grids
+from repro.sweep.cache import build_computation
+from repro.sweep.grids import BenchmarkScale, benchmark_sizes
+from repro.sweep.runner import run_grid
+from repro.sweep.store import ResultStore
 
 __all__ = [
     "BenchmarkScale",
@@ -51,31 +50,6 @@ __all__ = [
 ]
 
 
-class BenchmarkScale(str, enum.Enum):
-    """How large the benchmark instances should be.
-
-    ``SMOKE`` uses the smallest sizes (CI-friendly, seconds), ``REDUCED``
-    uses the paper's smallest published size per family plus one medium
-    instance (the default for the benchmark harness), and ``PAPER`` uses the
-    full Table II grid (minutes to hours).
-    """
-
-    SMOKE = "smoke"
-    REDUCED = "reduced"
-    PAPER = "paper"
-
-    @classmethod
-    def from_environment(cls) -> "BenchmarkScale":
-        """Pick the scale from ``DCMBQC_FULL_BENCH`` / ``DCMBQC_BENCH_SCALE``."""
-        if os.environ.get("DCMBQC_FULL_BENCH", "") == "1":
-            return cls.PAPER
-        name = os.environ.get("DCMBQC_BENCH_SCALE", "").lower()
-        for member in cls:
-            if member.value == name:
-                return member
-        return cls.REDUCED
-
-
 @dataclass(frozen=True)
 class ComparisonRow:
     """One row of a Table III/IV/V-style comparison."""
@@ -94,34 +68,19 @@ class ComparisonRow:
         """Paper-style row label."""
         return f"{self.program}-{self.num_qubits}"
 
-
-def benchmark_sizes(scale: BenchmarkScale) -> List[Tuple[str, int]]:
-    """Return the (program, qubits) pairs evaluated at a given scale."""
-    if scale is BenchmarkScale.PAPER:
-        return [(spec.program, spec.num_qubits) for spec in PAPER_TABLE2]
-    if scale is BenchmarkScale.REDUCED:
-        return [
-            ("VQE", 16),
-            ("QAOA", 16),
-            ("QFT", 16),
-            ("RCA", 16),
-            ("QFT", 25),
-        ]
-    return [("VQE", 8), ("QAOA", 8), ("QFT", 8), ("RCA", 8)]
-
-
-_COMPUTATION_CACHE: Dict[Tuple[str, int, int], ComputationGraph] = {}
-
-
-def build_computation(program: str, num_qubits: int, seed: int = 2026) -> ComputationGraph:
-    """Build (and cache) the computation graph of one benchmark instance."""
-    key = (program.upper(), num_qubits, seed)
-    if key not in _COMPUTATION_CACHE:
-        circuit = build_benchmark(program, num_qubits, seed=seed)
-        _COMPUTATION_CACHE[key] = computation_graph_from_pattern(
-            circuit_to_pattern(circuit)
+    @classmethod
+    def from_result(cls, result: Dict[str, object]) -> "ComparisonRow":
+        """Build a row from a ``compare`` sweep-task result dict."""
+        return cls(
+            program=str(result["program"]),
+            num_qubits=int(result["num_qubits"]),
+            baseline_exec=int(result["baseline_exec"]),
+            our_exec=int(result["our_exec"]),
+            exec_improvement=float(result["exec_improvement"]),
+            baseline_lifetime=int(result["baseline_lifetime"]),
+            our_lifetime=int(result["our_lifetime"]),
+            lifetime_improvement=float(result["lifetime_improvement"]),
         )
-    return _COMPUTATION_CACHE[key]
 
 
 # --------------------------------------------------------------------------- #
@@ -174,78 +133,53 @@ def table2_rows(scale: BenchmarkScale = BenchmarkScale.REDUCED) -> List[Dict[str
 # --------------------------------------------------------------------------- #
 
 
-def _comparison_rows(
-    scale: BenchmarkScale,
-    num_qpus: int,
-    rsg_type: ResourceStateType,
-    baseline: str,
-    use_bdir: bool = True,
-    seed: int = 0,
-) -> List[ComparisonRow]:
-    rows: List[ComparisonRow] = []
-    for program, qubits in benchmark_sizes(scale):
-        computation = build_computation(program, qubits)
-        config = DCMBQCConfig(
-            num_qpus=num_qpus,
-            grid_size=paper_grid_size(qubits),
-            rsg_type=rsg_type,
-            use_bdir=use_bdir,
-            seed=seed,
-        )
-        comparison = compare_with_baseline(computation, config, baseline=baseline)
-        rows.append(
-            ComparisonRow(
-                program=program,
-                num_qubits=qubits,
-                baseline_exec=comparison.baseline_execution_time,
-                our_exec=comparison.distributed_execution_time,
-                exec_improvement=comparison.execution_improvement,
-                baseline_lifetime=comparison.baseline_lifetime,
-                our_lifetime=comparison.distributed_lifetime,
-                lifetime_improvement=comparison.lifetime_improvement,
-            )
-        )
-    return rows
-
-
 def table3_rows(
-    scale: BenchmarkScale = BenchmarkScale.REDUCED, seed: int = 0
+    scale: BenchmarkScale = BenchmarkScale.REDUCED,
+    seed: int = 0,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> List[ComparisonRow]:
     """Table III: DC-MBQC vs OneQ with 4 QPUs and 5-star resource states."""
-    return _comparison_rows(scale, 4, ResourceStateType.STAR_5, "oneq", seed=seed)
+    outcome = run_grid(grids.table3_grid(scale, seed=seed), workers=workers, store=store)
+    return [ComparisonRow.from_result(result) for result in outcome.results()]
 
 
 def table4_rows(
-    scale: BenchmarkScale = BenchmarkScale.REDUCED, seed: int = 0
+    scale: BenchmarkScale = BenchmarkScale.REDUCED,
+    seed: int = 0,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> List[ComparisonRow]:
     """Table IV: DC-MBQC vs OneQ with 8 QPUs and 4-ring resource states."""
-    return _comparison_rows(scale, 8, ResourceStateType.RING_4, "oneq", seed=seed)
+    outcome = run_grid(grids.table4_grid(scale, seed=seed), workers=workers, store=store)
+    return [ComparisonRow.from_result(result) for result in outcome.results()]
 
 
 def table5_rows(
     scale: BenchmarkScale = BenchmarkScale.REDUCED,
     num_qpus_list: Sequence[int] = (4, 8),
     seed: int = 0,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> List[Dict[str, object]]:
     """Table V: DC-MBQC vs an OneAdapt-style baseline for 4 and 8 QPUs."""
+    grid = grids.table5_grid(scale, seed=seed, num_qpus_list=num_qpus_list)
+    outcome = run_grid(grid, workers=workers, store=store)
     rows: List[Dict[str, object]] = []
-    for num_qpus in num_qpus_list:
-        for comparison in _comparison_rows(
-            scale, num_qpus, ResourceStateType.STAR_5, "oneadapt", seed=seed
-        ):
-            row = {"num_qpus": num_qpus}
-            row.update(
-                {
-                    "program": comparison.label,
-                    "oneadapt_exec": comparison.baseline_exec,
-                    "our_exec": comparison.our_exec,
-                    "exec_improvement": round(comparison.exec_improvement, 2),
-                    "oneadapt_lifetime": comparison.baseline_lifetime,
-                    "our_lifetime": comparison.our_lifetime,
-                    "lifetime_improvement": round(comparison.lifetime_improvement, 2),
-                }
-            )
-            rows.append(row)
+    for point, result in zip(outcome.points, outcome.results()):
+        comparison = ComparisonRow.from_result(result)
+        rows.append(
+            {
+                "num_qpus": point.num_qpus,
+                "program": comparison.label,
+                "oneadapt_exec": comparison.baseline_exec,
+                "our_exec": comparison.our_exec,
+                "exec_improvement": round(comparison.exec_improvement, 2),
+                "oneadapt_lifetime": comparison.baseline_lifetime,
+                "our_lifetime": comparison.our_lifetime,
+                "lifetime_improvement": round(comparison.lifetime_improvement, 2),
+            }
+        )
     return rows
 
 
@@ -258,37 +192,12 @@ def table6_rows(
     qft_sizes: Sequence[int] = (16, 25, 36),
     num_qpus: int = 4,
     seed: int = 0,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> List[Dict[str, object]]:
     """Table VI: required lifetime of list scheduling vs BDIR on QFT programs."""
-    rows = []
-    for qubits in qft_sizes:
-        computation = build_computation("QFT", qubits)
-        config = DCMBQCConfig(
-            num_qpus=num_qpus,
-            grid_size=paper_grid_size(qubits),
-            use_bdir=False,
-            seed=seed,
-        )
-        compiler = DCMBQCCompiler(config)
-        partition = compiler.partition(computation)
-        schedules = compiler.compile_partitions(computation, partition)
-        problem, _ = compiler.build_scheduling_problem(computation, partition, schedules)
-
-        baseline_schedule = list_schedule(problem)
-        baseline_lifetime = problem.evaluate(baseline_schedule).tau_photon
-        refined = BDIRScheduler(problem, BDIRConfig(seed=seed)).refine(baseline_schedule)
-        bdir_lifetime = problem.evaluate(refined).tau_photon
-        rows.append(
-            {
-                "program": f"QFT-{qubits}",
-                "list_lifetime": baseline_lifetime,
-                "bdir_lifetime": bdir_lifetime,
-                "improvement_percent": round(
-                    100.0 * (baseline_lifetime - bdir_lifetime) / max(1, baseline_lifetime), 2
-                ),
-            }
-        )
-    return rows
+    grid = grids.table6_grid(seed=seed, qft_sizes=qft_sizes, num_qpus=num_qpus)
+    return run_grid(grid, workers=workers, store=store).results()
 
 
 # --------------------------------------------------------------------------- #
@@ -321,27 +230,24 @@ def figure7_series(
     num_qpus: int = 4,
     programs: Sequence[str] = ("QAOA", "VQE", "QFT", "RCA"),
     seed: int = 0,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> List[Dict[str, object]]:
     """Figure 7: improvement factors for each resource-state shape."""
+    grid = grids.figure7_grid(
+        seed=seed, program_qubits=program_qubits, num_qpus=num_qpus, programs=programs
+    )
+    outcome = run_grid(grid, workers=workers, store=store)
     rows = []
-    for program in programs:
-        computation = build_computation(program, program_qubits)
-        for rsg in ResourceStateType:
-            config = DCMBQCConfig(
-                num_qpus=num_qpus,
-                grid_size=paper_grid_size(program_qubits),
-                rsg_type=rsg,
-                seed=seed,
-            )
-            comparison = compare_with_baseline(computation, config, "oneq")
-            rows.append(
-                {
-                    "program": program,
-                    "rsg_type": rsg.value,
-                    "exec_improvement": round(comparison.execution_improvement, 2),
-                    "lifetime_improvement": round(comparison.lifetime_improvement, 2),
-                }
-            )
+    for point, result in zip(outcome.points, outcome.results()):
+        rows.append(
+            {
+                "program": point.program,
+                "rsg_type": point.rsg_type,
+                "exec_improvement": round(float(result["exec_improvement"]), 2),
+                "lifetime_improvement": round(float(result["lifetime_improvement"]), 2),
+            }
+        )
     return rows
 
 
@@ -350,38 +256,27 @@ def figure8_series(
     kmax_values: Sequence[int] = (1, 2, 4, 8, 16),
     num_qpus: int = 4,
     seed: int = 0,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> List[Dict[str, object]]:
     """Figure 8: sensitivity to the connection capacity K_max (QFT programs)."""
+    grid = grids.figure8_grid(
+        seed=seed,
+        program_qubits=program_qubits,
+        kmax_values=kmax_values,
+        num_qpus=num_qpus,
+    )
+    outcome = run_grid(grid, workers=workers, store=store)
     rows = []
-    for qubits in program_qubits:
-        computation = build_computation("QFT", qubits)
-        baseline = OneQCompiler(grid_size=paper_grid_size(qubits), seed=seed).compile(
-            computation
+    for result in outcome.results():
+        rows.append(
+            {
+                "program": result["program"],
+                "kmax": result["kmax"],
+                "exec_improvement": round(float(result["exec_improvement"]), 2),
+                "lifetime_improvement": round(float(result["lifetime_improvement"]), 2),
+            }
         )
-        for kmax in kmax_values:
-            config = DCMBQCConfig(
-                num_qpus=num_qpus,
-                grid_size=paper_grid_size(qubits),
-                connection_capacity=kmax,
-                seed=seed,
-            )
-            result = DCMBQCCompiler(config).compile(computation)
-            rows.append(
-                {
-                    "program": f"QFT-{qubits}",
-                    "kmax": kmax,
-                    "exec_improvement": round(
-                        improvement_factor(baseline.execution_time, result.execution_time), 2
-                    ),
-                    "lifetime_improvement": round(
-                        improvement_factor(
-                            baseline.required_photon_lifetime,
-                            result.required_photon_lifetime,
-                        ),
-                        2,
-                    ),
-                }
-            )
     return rows
 
 
@@ -390,34 +285,25 @@ def figure9_series(
     alpha_values: Sequence[float] = (1.05, 1.2, 1.5, 2.0, 3.0, 4.0),
     num_qpus: int = 4,
     seed: int = 0,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> List[Dict[str, object]]:
     """Figure 9: robustness to the maximum imbalance factor alpha_max."""
-    computation = build_computation("QFT", program_qubits)
-    baseline = OneQCompiler(grid_size=paper_grid_size(program_qubits), seed=seed).compile(
-        computation
+    grid = grids.figure9_grid(
+        seed=seed,
+        program_qubits=program_qubits,
+        alpha_values=alpha_values,
+        num_qpus=num_qpus,
     )
+    outcome = run_grid(grid, workers=workers, store=store)
     rows = []
-    for alpha_max in alpha_values:
-        config = DCMBQCConfig(
-            num_qpus=num_qpus,
-            grid_size=paper_grid_size(program_qubits),
-            alpha_max=alpha_max,
-            seed=seed,
-        )
-        result = DCMBQCCompiler(config).compile(computation)
+    for result in outcome.results():
         rows.append(
             {
-                "alpha_max": alpha_max,
-                "cut_size": result.num_connectors,
-                "exec_improvement": round(
-                    improvement_factor(baseline.execution_time, result.execution_time), 2
-                ),
-                "lifetime_improvement": round(
-                    improvement_factor(
-                        baseline.required_photon_lifetime, result.required_photon_lifetime
-                    ),
-                    2,
-                ),
+                "alpha_max": result["alpha_max"],
+                "cut_size": result["cut_size"],
+                "exec_improvement": round(float(result["exec_improvement"]), 2),
+                "lifetime_improvement": round(float(result["lifetime_improvement"]), 2),
             }
         )
     return rows
@@ -427,35 +313,9 @@ def figure10_series(
     qft_sizes: Sequence[int] = (8, 12, 16, 25),
     num_qpus: int = 8,
     seed: int = 0,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> List[Dict[str, object]]:
     """Figure 10: compilation-runtime scaling of the three compiler variants."""
-    rows = []
-    for qubits in qft_sizes:
-        computation = build_computation("QFT", qubits)
-        grid = paper_grid_size(qubits)
-
-        start = time.perf_counter()
-        OneQCompiler(grid_size=grid, seed=seed).compile(computation)
-        baseline_runtime = time.perf_counter() - start
-
-        start = time.perf_counter()
-        DCMBQCCompiler(
-            DCMBQCConfig(num_qpus=num_qpus, grid_size=grid, use_bdir=False, seed=seed)
-        ).compile(computation)
-        core_runtime = time.perf_counter() - start
-
-        start = time.perf_counter()
-        DCMBQCCompiler(
-            DCMBQCConfig(num_qpus=num_qpus, grid_size=grid, use_bdir=True, seed=seed)
-        ).compile(computation)
-        full_runtime = time.perf_counter() - start
-
-        rows.append(
-            {
-                "qubits": qubits,
-                "baseline_oneq_seconds": round(baseline_runtime, 4),
-                "dcmbqc_core_seconds": round(core_runtime, 4),
-                "dcmbqc_core_bdir_seconds": round(full_runtime, 4),
-            }
-        )
-    return rows
+    grid = grids.figure10_grid(seed=seed, qft_sizes=qft_sizes, num_qpus=num_qpus)
+    return run_grid(grid, workers=workers, store=store).results()

@@ -1,0 +1,178 @@
+"""Declarative parameter grids for experiment sweeps.
+
+A sweep is described by a :class:`ParameterGrid`: a task name, a set of
+*axes* (parameter name → sequence of values, expanded as a cartesian
+product), and *fixed* parameter overrides shared by every point.  Expansion
+yields hashable :class:`SweepPoint` instances whose :meth:`SweepPoint.cache_key`
+is stable across processes and interpreter runs, so an on-disk result store
+can skip points that already completed.
+
+The special axis name ``"instance"`` takes ``(program, num_qubits)`` pairs
+and varies both fields together — the paper's benchmark list is a curated
+set of pairs, not a product of programs and sizes.  Axis declaration order
+controls loop nesting: the last axis varies fastest, exactly like nested
+``for`` loops written in the same order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, fields
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["SweepPoint", "ParameterGrid"]
+
+#: Default K_max, kept in sync with ``repro.hardware.qpu.DEFAULT_CONNECTION_CAPACITY``
+#: (not imported so this module stays dependency-free and cheap to unpickle).
+_DEFAULT_K_MAX = 4
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully-specified experiment in a sweep.
+
+    Attributes:
+        task: Name of the task function in :data:`repro.sweep.tasks.TASK_REGISTRY`
+            that evaluates this point.
+        program / num_qubits: Benchmark instance.
+        num_qpus: QPU count for the distributed compiler.
+        rsg_type: Resource-state shape name (``"5-star"`` etc.); stored as a
+            string so points serialise to JSON without custom hooks.
+        k_max: Connection capacity of the interconnect layer.
+        alpha_max: Maximum imbalance factor for adaptive partitioning.
+        use_bdir: Whether BDIR refinement runs.
+        baseline: Monolithic baseline for comparison tasks.
+        seed: Master seed of every stochastic compiler component.
+        circuit_seed: Seed for benchmark-circuit construction (kept separate
+            from ``seed`` so circuits stay fixed while compiler seeds vary).
+        extra: Sorted ``(name, value)`` pairs for task-specific parameters
+            that have no dedicated field.
+    """
+
+    task: str
+    program: str = "QFT"
+    num_qubits: int = 16
+    num_qpus: int = 4
+    rsg_type: str = "5-star"
+    k_max: int = _DEFAULT_K_MAX
+    alpha_max: float = 1.5
+    use_bdir: bool = True
+    baseline: str = "oneq"
+    seed: int = 0
+    circuit_seed: int = 2026
+    extra: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def label(self) -> str:
+        """Paper-style instance label, e.g. ``"QFT-16"``."""
+        return f"{self.program}-{self.num_qubits}"
+
+    def option(self, name: str, default: object = None) -> object:
+        """Look up a task-specific parameter from :attr:`extra`."""
+        for key, value in self.extra:
+            if key == name:
+                return value
+        return default
+
+    def params(self) -> Dict[str, object]:
+        """Flat, JSON-serialisable view of every parameter (extras inlined)."""
+        out: Dict[str, object] = {}
+        for spec in fields(self):
+            if spec.name == "extra":
+                continue
+            out[spec.name] = getattr(self, spec.name)
+        for key, value in self.extra:
+            out[key] = value
+        return out
+
+    def cache_key(self) -> str:
+        """Stable content hash identifying this point across runs/processes."""
+        canonical = json.dumps(self.params(), sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, object]) -> "SweepPoint":
+        """Rebuild a point from :meth:`params` output (e.g. a store row)."""
+        known = {spec.name for spec in fields(cls)} - {"extra"}
+        kwargs = {k: v for k, v in params.items() if k in known}
+        extras = tuple(sorted((k, v) for k, v in params.items() if k not in known))
+        return cls(extra=extras, **kwargs)
+
+
+# Field names assignable directly on SweepPoint; anything else becomes extra.
+_POINT_FIELDS = frozenset(spec.name for spec in fields(SweepPoint)) - {"extra"}
+
+
+@dataclass(frozen=True)
+class ParameterGrid:
+    """A declarative sweep: ``task`` × product of ``axes``, plus ``fixed``.
+
+    Args:
+        task: Task-registry name every expanded point runs.
+        axes: Ordered mapping of parameter name → candidate values.  The
+            last axis varies fastest.  The name ``"instance"`` assigns
+            ``(program, num_qubits)`` pairs.
+        fixed: Parameter overrides applied to every point.
+    """
+
+    task: str
+    axes: Tuple[Tuple[str, Tuple[object, ...]], ...] = ()
+    fixed: Tuple[Tuple[str, object], ...] = ()
+
+    def __init__(
+        self,
+        task: str,
+        axes: Optional[Mapping[str, Sequence[object]]] = None,
+        fixed: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        object.__setattr__(self, "task", task)
+        object.__setattr__(
+            self,
+            "axes",
+            tuple((name, tuple(values)) for name, values in (axes or {}).items()),
+        )
+        object.__setattr__(self, "fixed", tuple((fixed or {}).items()))
+
+    def __len__(self) -> int:
+        total = 1
+        for _, values in self.axes:
+            total *= len(values)
+        return total
+
+    def __iter__(self) -> Iterator[SweepPoint]:
+        return iter(self.expand())
+
+    def expand(self) -> List[SweepPoint]:
+        """Expand the grid into concrete points, in nested-loop order."""
+        assignments: Dict[str, object] = dict(self.fixed)
+        axis_names = [name for name, _ in self.axes]
+        axis_values = [values for _, values in self.axes]
+        points: List[SweepPoint] = []
+        for combo in itertools.product(*axis_values):
+            merged = dict(assignments)
+            merged.update(zip(axis_names, combo))
+            points.append(self._make_point(merged))
+        return points
+
+    def _make_point(self, assignment: Dict[str, object]) -> SweepPoint:
+        kwargs: Dict[str, object] = {}
+        extras: Dict[str, object] = {}
+        for name, value in assignment.items():
+            if name == "instance":
+                kwargs["program"], kwargs["num_qubits"] = value
+            elif name in _POINT_FIELDS:
+                kwargs[name] = value
+            else:
+                extras[name] = value
+        kwargs.pop("task", None)
+        return SweepPoint(
+            task=self.task, extra=tuple(sorted(extras.items())), **kwargs
+        )
+
+    def with_fixed(self, **overrides: object) -> "ParameterGrid":
+        """Return a copy with additional fixed parameter overrides."""
+        merged = dict(self.fixed)
+        merged.update(overrides)
+        return ParameterGrid(self.task, axes=dict(self.axes), fixed=merged)

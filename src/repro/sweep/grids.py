@@ -1,0 +1,228 @@
+"""Named parameter grids reproducing the paper's tables and figures.
+
+Each factory returns the :class:`~repro.sweep.grid.ParameterGrid` behind one
+artefact of the evaluation section; :data:`GRID_REGISTRY` maps the CLI
+``sweep --grid`` names to them.  The reporting drivers in
+:mod:`repro.reporting.experiments` call the same factories, so
+``python -m repro.cli sweep --grid table3`` and ``experiment --name table3``
+evaluate byte-identical points.
+
+:class:`BenchmarkScale` lives here (re-exported by the reporting layer for
+backwards compatibility) because grid expansion is where instance sizes are
+decided.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.programs.registry import PAPER_TABLE2
+from repro.sweep.grid import ParameterGrid
+
+__all__ = [
+    "BenchmarkScale",
+    "benchmark_sizes",
+    "GRID_REGISTRY",
+    "table3_grid",
+    "table4_grid",
+    "table5_grid",
+    "table6_grid",
+    "figure7_grid",
+    "figure8_grid",
+    "figure9_grid",
+    "figure10_grid",
+]
+
+
+class BenchmarkScale(str, enum.Enum):
+    """How large the benchmark instances should be.
+
+    ``SMOKE`` uses the smallest sizes (CI-friendly, seconds), ``REDUCED``
+    uses the paper's smallest published size per family plus one medium
+    instance (the default for the benchmark harness), and ``PAPER`` uses the
+    full Table II grid (minutes to hours serially — use a parallel sweep).
+    """
+
+    SMOKE = "smoke"
+    REDUCED = "reduced"
+    PAPER = "paper"
+
+    @classmethod
+    def from_environment(cls) -> "BenchmarkScale":
+        """Pick the scale from ``DCMBQC_FULL_BENCH`` / ``DCMBQC_BENCH_SCALE``."""
+        if os.environ.get("DCMBQC_FULL_BENCH", "") == "1":
+            return cls.PAPER
+        name = os.environ.get("DCMBQC_BENCH_SCALE", "").lower()
+        for member in cls:
+            if member.value == name:
+                return member
+        return cls.REDUCED
+
+
+def benchmark_sizes(scale: BenchmarkScale) -> List[Tuple[str, int]]:
+    """Return the (program, qubits) pairs evaluated at a given scale."""
+    if scale is BenchmarkScale.PAPER:
+        return [(spec.program, spec.num_qubits) for spec in PAPER_TABLE2]
+    if scale is BenchmarkScale.REDUCED:
+        return [
+            ("VQE", 16),
+            ("QAOA", 16),
+            ("QFT", 16),
+            ("RCA", 16),
+            ("QFT", 25),
+        ]
+    return [("VQE", 8), ("QAOA", 8), ("QFT", 8), ("RCA", 8)]
+
+
+def comparison_grid(
+    scale: BenchmarkScale,
+    num_qpus: int,
+    rsg_type: str,
+    baseline: str,
+    use_bdir: bool = True,
+    seed: int = 0,
+) -> ParameterGrid:
+    """Grid of one ``compare`` run per benchmark instance (Tables III/IV)."""
+    return ParameterGrid(
+        "compare",
+        axes={"instance": benchmark_sizes(scale)},
+        fixed={
+            "num_qpus": num_qpus,
+            "rsg_type": rsg_type,
+            "baseline": baseline,
+            "use_bdir": use_bdir,
+            "seed": seed,
+        },
+    )
+
+
+def table3_grid(
+    scale: BenchmarkScale = BenchmarkScale.REDUCED, seed: int = 0
+) -> ParameterGrid:
+    """Table III: DC-MBQC vs OneQ with 4 QPUs and 5-star resource states."""
+    return comparison_grid(scale, num_qpus=4, rsg_type="5-star", baseline="oneq", seed=seed)
+
+
+def table4_grid(
+    scale: BenchmarkScale = BenchmarkScale.REDUCED, seed: int = 0
+) -> ParameterGrid:
+    """Table IV: DC-MBQC vs OneQ with 8 QPUs and 4-ring resource states."""
+    return comparison_grid(scale, num_qpus=8, rsg_type="4-ring", baseline="oneq", seed=seed)
+
+
+def table5_grid(
+    scale: BenchmarkScale = BenchmarkScale.REDUCED,
+    seed: int = 0,
+    num_qpus_list: Sequence[int] = (4, 8),
+) -> ParameterGrid:
+    """Table V: DC-MBQC vs an OneAdapt-style baseline for 4 and 8 QPUs."""
+    return ParameterGrid(
+        "compare",
+        axes={
+            "num_qpus": num_qpus_list,
+            "instance": benchmark_sizes(scale),
+        },
+        fixed={"rsg_type": "5-star", "baseline": "oneadapt", "seed": seed},
+    )
+
+
+def table6_grid(
+    scale: BenchmarkScale = BenchmarkScale.REDUCED,
+    seed: int = 0,
+    qft_sizes: Optional[Sequence[int]] = None,
+    num_qpus: int = 4,
+) -> ParameterGrid:
+    """Table VI: list scheduling vs BDIR on QFT programs."""
+    if qft_sizes is None:
+        qft_sizes = (12,) if scale is BenchmarkScale.SMOKE else (16, 25, 36)
+    return ParameterGrid(
+        "bdir",
+        axes={"instance": [("QFT", qubits) for qubits in qft_sizes]},
+        fixed={"num_qpus": num_qpus, "seed": seed},
+    )
+
+
+def figure7_grid(
+    scale: BenchmarkScale = BenchmarkScale.REDUCED,
+    seed: int = 0,
+    program_qubits: int = 12,
+    num_qpus: int = 4,
+    programs: Sequence[str] = ("QAOA", "VQE", "QFT", "RCA"),
+) -> ParameterGrid:
+    """Figure 7: every resource-state shape on every program family."""
+    from repro.hardware.resource_states import ResourceStateType
+
+    return ParameterGrid(
+        "compare",
+        axes={
+            "instance": [(program, program_qubits) for program in programs],
+            "rsg_type": [rsg.value for rsg in ResourceStateType],
+        },
+        fixed={"num_qpus": num_qpus, "baseline": "oneq", "seed": seed},
+    )
+
+
+def figure8_grid(
+    scale: BenchmarkScale = BenchmarkScale.REDUCED,
+    seed: int = 0,
+    program_qubits: Sequence[int] = (16, 25),
+    kmax_values: Sequence[int] = (1, 2, 4, 8, 16),
+    num_qpus: int = 4,
+) -> ParameterGrid:
+    """Figure 8: sensitivity to the connection capacity K_max (QFT programs)."""
+    return ParameterGrid(
+        "sensitivity",
+        axes={
+            "instance": [("QFT", qubits) for qubits in program_qubits],
+            "k_max": kmax_values,
+        },
+        fixed={"num_qpus": num_qpus, "seed": seed},
+    )
+
+
+def figure9_grid(
+    scale: BenchmarkScale = BenchmarkScale.REDUCED,
+    seed: int = 0,
+    program_qubits: int = 16,
+    alpha_values: Sequence[float] = (1.05, 1.2, 1.5, 2.0, 3.0, 4.0),
+    num_qpus: int = 4,
+) -> ParameterGrid:
+    """Figure 9: robustness to the maximum imbalance factor alpha_max."""
+    return ParameterGrid(
+        "sensitivity",
+        axes={"alpha_max": alpha_values},
+        fixed={
+            "instance": ("QFT", program_qubits),
+            "num_qpus": num_qpus,
+            "seed": seed,
+        },
+    )
+
+
+def figure10_grid(
+    scale: BenchmarkScale = BenchmarkScale.REDUCED,
+    seed: int = 0,
+    qft_sizes: Sequence[int] = (8, 12, 16, 25),
+    num_qpus: int = 8,
+) -> ParameterGrid:
+    """Figure 10: compilation-runtime scaling of the three compiler variants."""
+    return ParameterGrid(
+        "runtime",
+        axes={"instance": [("QFT", qubits) for qubits in qft_sizes]},
+        fixed={"num_qpus": num_qpus, "seed": seed},
+    )
+
+
+#: CLI ``sweep --grid`` name → grid factory ``(scale, seed) -> ParameterGrid``.
+GRID_REGISTRY: Dict[str, Callable[..., ParameterGrid]] = {
+    "table3": table3_grid,
+    "table4": table4_grid,
+    "table5": table5_grid,
+    "table6": table6_grid,
+    "figure7": figure7_grid,
+    "figure8": figure8_grid,
+    "figure9": figure9_grid,
+    "figure10": figure10_grid,
+}

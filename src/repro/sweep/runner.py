@@ -1,0 +1,212 @@
+"""Parallel sweep execution with resume, retry and progress reporting.
+
+:class:`SweepRunner` fans the points of a grid out across a
+``concurrent.futures.ProcessPoolExecutor``.  Each worker process executes
+:func:`execute_point` — a module-level function so it pickles — and builds
+its benchmark computation graphs locally: the
+:data:`repro.sweep.cache.COMPUTATION_CACHE` LRU is per-process and
+deliberately does not cross the pipe.  The parent process is the only
+writer of the :class:`~repro.sweep.store.ResultStore`, so the JSONL run
+table never interleaves.
+
+``workers <= 1`` runs points serially in the calling process (deterministic
+ordering of cache warm-up, no pickling) — the mode the reporting drivers
+use, which must reproduce the seed tables row for row.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+from repro.sweep.grid import ParameterGrid, SweepPoint
+from repro.sweep.store import ResultStore
+from repro.sweep.tasks import TASK_REGISTRY
+
+__all__ = ["SweepOutcome", "SweepRunner", "execute_point", "run_grid"]
+
+#: Called after each point resolves: (point, record, finished_count, total).
+ProgressCallback = Callable[[SweepPoint, Dict[str, object], int, int], None]
+
+
+def execute_point(point: SweepPoint, retries: int = 0) -> Dict[str, object]:
+    """Run one point's task, retrying on failure; never raises.
+
+    Returns an outcome dict with ``status`` (``"done"``/``"failed"``),
+    ``result``, ``error``, ``attempts`` and ``duration_s``.
+    """
+    task_fn = TASK_REGISTRY.get(point.task)
+    start = time.perf_counter()
+    if task_fn is None:
+        return {
+            "status": "failed",
+            "result": None,
+            "error": f"KeyError: unknown task {point.task!r}",
+            "attempts": 0,
+            "duration_s": 0.0,
+        }
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            result = task_fn(point)
+        except Exception as exc:  # noqa: BLE001 - workers must not die
+            if attempts <= retries:
+                continue
+            return {
+                "status": "failed",
+                "result": None,
+                "error": f"{type(exc).__name__}: {exc}",
+                "attempts": attempts,
+                "duration_s": round(time.perf_counter() - start, 6),
+            }
+        return {
+            "status": "done",
+            "result": result,
+            "error": None,
+            "attempts": attempts,
+            "duration_s": round(time.perf_counter() - start, 6),
+        }
+
+
+@dataclass
+class SweepOutcome:
+    """What happened to every point of a sweep, in grid order."""
+
+    points: List[SweepPoint] = field(default_factory=list)
+    records: List[Dict[str, object]] = field(default_factory=list)
+    skipped: int = 0
+    completed: int = 0
+    failed: int = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.points)
+
+    def results(self, strict: bool = True) -> List[Dict[str, object]]:
+        """Result rows in grid order; raises on failed points when strict."""
+        rows: List[Dict[str, object]] = []
+        for point, record in zip(self.points, self.records):
+            if record.get("status") != "done":
+                if strict:
+                    raise RuntimeError(
+                        f"sweep point {point.label} ({point.task}) failed: "
+                        f"{record.get('error')}"
+                    )
+                continue
+            rows.append(record["result"])  # type: ignore[arg-type]
+        return rows
+
+    def summary(self) -> Dict[str, int]:
+        """Counter summary for logging."""
+        return {
+            "total": self.total,
+            "completed": self.completed,
+            "skipped": self.skipped,
+            "failed": self.failed,
+        }
+
+
+class SweepRunner:
+    """Executes sweep points, skipping store-completed keys (resume)."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        retries: int = 0,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.workers = workers
+        self.retries = retries
+        self.progress = progress
+
+    def run(
+        self,
+        grid: Union[ParameterGrid, Iterable[SweepPoint]],
+        store: Optional[ResultStore] = None,
+    ) -> SweepOutcome:
+        """Evaluate every point of ``grid``, returning records in grid order."""
+        points = grid.expand() if isinstance(grid, ParameterGrid) else list(grid)
+        keys = [point.cache_key() for point in points]
+
+        done: Dict[str, Dict[str, object]] = {}
+        if store is not None:
+            for key in store.completed_keys():
+                record = store.get(key)
+                if record is not None:
+                    done[key] = record
+
+        # Deduplicate: identical points run once, every occurrence shares
+        # the record.
+        pending: List[SweepPoint] = []
+        pending_keys = set()
+        for point, key in zip(points, keys):
+            if key in done or key in pending_keys:
+                continue
+            pending_keys.add(key)
+            pending.append(point)
+
+        outcome = SweepOutcome(points=points)
+        outcome.skipped = sum(1 for key in keys if key in done)
+        finished = outcome.skipped
+
+        fresh: Dict[str, Dict[str, object]] = {}
+        # Duplicate occurrences share one execution but each counts toward
+        # the totals, so summary() and progress stay consistent with len(points).
+        occurrences: Dict[str, int] = {}
+        for key in keys:
+            occurrences[key] = occurrences.get(key, 0) + 1
+
+        def resolve(point: SweepPoint, result: Dict[str, object]) -> None:
+            nonlocal finished
+            record = (
+                store.record(point, result)
+                if store is not None
+                else dict(result, key=point.cache_key(), task=point.task,
+                          params=point.params())
+            )
+            count = occurrences[point.cache_key()]
+            fresh[point.cache_key()] = record
+            if record.get("status") == "done":
+                outcome.completed += count
+            else:
+                outcome.failed += count
+            finished += count
+            if self.progress is not None:
+                self.progress(point, record, finished, len(points))
+
+        if self.workers <= 1 or len(pending) <= 1:
+            for point in pending:
+                resolve(point, execute_point(point, self.retries))
+        else:
+            max_workers = min(self.workers, len(pending))
+            with concurrent.futures.ProcessPoolExecutor(max_workers) as executor:
+                futures = {
+                    executor.submit(execute_point, point, self.retries): point
+                    for point in pending
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    resolve(futures[future], future.result())
+
+        for key in keys:
+            outcome.records.append(fresh.get(key) or done[key])
+        return outcome
+
+
+def run_grid(
+    grid: Union[ParameterGrid, Iterable[SweepPoint]],
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
+    retries: int = 0,
+    progress: Optional[ProgressCallback] = None,
+) -> SweepOutcome:
+    """Convenience wrapper: build a :class:`SweepRunner` and run ``grid``."""
+    return SweepRunner(workers=workers, retries=retries, progress=progress).run(
+        grid, store
+    )

@@ -1,0 +1,174 @@
+"""Task functions evaluated at each sweep point.
+
+Every task takes one fully-specified :class:`~repro.sweep.grid.SweepPoint`
+and returns a flat, JSON-serialisable row dict — the unit of work a sweep
+worker executes and the unit of data the result store persists.  The
+compile/compare/schedule logic here is lifted out of the per-table drivers
+in :mod:`repro.reporting.experiments`, which are now thin grid definitions
+over these tasks.
+
+Tasks report *unrounded* improvement factors; rendering decides precision.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+from repro.compiler.oneq import OneQCompiler
+from repro.core.comparison import compare_with_baseline
+from repro.core.compiler import DCMBQCCompiler
+from repro.core.config import DCMBQCConfig
+from repro.hardware.resource_states import ResourceStateType
+from repro.metrics.improvement import improvement_factor
+from repro.programs.registry import paper_grid_size
+from repro.scheduling.bdir import BDIRConfig, BDIRScheduler
+from repro.scheduling.list_scheduler import list_schedule
+from repro.sweep.cache import LRUCache, build_computation
+from repro.sweep.grid import SweepPoint
+
+__all__ = ["TASK_REGISTRY", "task", "config_for_point"]
+
+TaskFunction = Callable[[SweepPoint], Dict[str, object]]
+
+#: Name → task function, the dispatch table used by the sweep runner.
+TASK_REGISTRY: Dict[str, TaskFunction] = {}
+
+
+def task(name: str) -> Callable[[TaskFunction], TaskFunction]:
+    """Register a task function under ``name`` in :data:`TASK_REGISTRY`."""
+
+    def register(fn: TaskFunction) -> TaskFunction:
+        TASK_REGISTRY[name] = fn
+        return fn
+
+    return register
+
+
+def config_for_point(point: SweepPoint) -> DCMBQCConfig:
+    """Translate a sweep point into a distributed-compiler configuration."""
+    return DCMBQCConfig(
+        num_qpus=point.num_qpus,
+        grid_size=paper_grid_size(point.num_qubits),
+        rsg_type=ResourceStateType.from_name(point.rsg_type),
+        connection_capacity=point.k_max,
+        alpha_max=point.alpha_max,
+        use_bdir=point.use_bdir,
+        seed=point.seed,
+    )
+
+
+@task("compile")
+def run_compile(point: SweepPoint) -> Dict[str, object]:
+    """Distributed compilation of one instance; schedule summary as the row."""
+    computation = build_computation(point.program, point.num_qubits, point.circuit_seed)
+    result = DCMBQCCompiler(config_for_point(point)).compile(computation)
+    row: Dict[str, object] = {"program": point.program, "num_qubits": point.num_qubits}
+    row.update(result.summary())
+    return row
+
+
+@task("compare")
+def run_compare(point: SweepPoint) -> Dict[str, object]:
+    """DC-MBQC vs a monolithic baseline (Tables III/IV/V, Figure 7)."""
+    computation = build_computation(point.program, point.num_qubits, point.circuit_seed)
+    comparison = compare_with_baseline(
+        computation, config_for_point(point), baseline=point.baseline
+    )
+    return {
+        "program": point.program,
+        "num_qubits": point.num_qubits,
+        "baseline_exec": comparison.baseline_execution_time,
+        "our_exec": comparison.distributed_execution_time,
+        "exec_improvement": comparison.execution_improvement,
+        "baseline_lifetime": comparison.baseline_lifetime,
+        "our_lifetime": comparison.distributed_lifetime,
+        "lifetime_improvement": comparison.lifetime_improvement,
+    }
+
+
+@task("bdir")
+def run_bdir(point: SweepPoint) -> Dict[str, object]:
+    """Required lifetime of list scheduling vs BDIR refinement (Table VI)."""
+    computation = build_computation(point.program, point.num_qubits, point.circuit_seed)
+    config = config_for_point(point).with_updates(use_bdir=False)
+    compiler = DCMBQCCompiler(config)
+    partition = compiler.partition(computation)
+    schedules = compiler.compile_partitions(computation, partition)
+    problem, _ = compiler.build_scheduling_problem(computation, partition, schedules)
+
+    baseline_schedule = list_schedule(problem)
+    baseline_lifetime = problem.evaluate(baseline_schedule).tau_photon
+    refined = BDIRScheduler(problem, BDIRConfig(seed=point.seed)).refine(
+        baseline_schedule
+    )
+    bdir_lifetime = problem.evaluate(refined).tau_photon
+    return {
+        "program": point.label,
+        "list_lifetime": baseline_lifetime,
+        "bdir_lifetime": bdir_lifetime,
+        "improvement_percent": round(
+            100.0 * (baseline_lifetime - bdir_lifetime) / max(1, baseline_lifetime), 2
+        ),
+    }
+
+
+#: OneQ baseline schedules are deterministic in (instance, grid, seed); the
+#: sensitivity grids vary K_max/alpha_max over a fixed instance, so caching
+#: avoids recompiling the identical baseline for every point of a figure.
+_ONEQ_BASELINE_CACHE = LRUCache(maxsize=32)
+
+
+@task("sensitivity")
+def run_sensitivity(point: SweepPoint) -> Dict[str, object]:
+    """DC-MBQC vs OneQ at one (K_max, alpha_max) setting (Figures 8/9).
+
+    Unlike the ``compare`` task this reports the distributed cut size as
+    well, which Figure 9 plots against the imbalance bound.
+    """
+    computation = build_computation(point.program, point.num_qubits, point.circuit_seed)
+    grid = paper_grid_size(point.num_qubits)
+    baseline = _ONEQ_BASELINE_CACHE.get_or_create(
+        (point.program.upper(), point.num_qubits, point.circuit_seed, grid, point.seed),
+        lambda: OneQCompiler(grid_size=grid, seed=point.seed).compile(computation),
+    )
+    result = DCMBQCCompiler(config_for_point(point)).compile(computation)
+    return {
+        "program": point.label,
+        "kmax": point.k_max,
+        "alpha_max": point.alpha_max,
+        "cut_size": result.num_connectors,
+        "exec_improvement": improvement_factor(
+            baseline.execution_time, result.execution_time
+        ),
+        "lifetime_improvement": improvement_factor(
+            baseline.required_photon_lifetime, result.required_photon_lifetime
+        ),
+    }
+
+
+@task("runtime")
+def run_runtime(point: SweepPoint) -> Dict[str, object]:
+    """Compilation-runtime scaling of the three compiler variants (Figure 10)."""
+    computation = build_computation(point.program, point.num_qubits, point.circuit_seed)
+    grid = paper_grid_size(point.num_qubits)
+    config = config_for_point(point)
+
+    start = time.perf_counter()
+    OneQCompiler(grid_size=grid, seed=point.seed).compile(computation)
+    baseline_runtime = time.perf_counter() - start
+
+    start = time.perf_counter()
+    DCMBQCCompiler(config.with_updates(use_bdir=False)).compile(computation)
+    core_runtime = time.perf_counter() - start
+
+    start = time.perf_counter()
+    DCMBQCCompiler(config.with_updates(use_bdir=True)).compile(computation)
+    full_runtime = time.perf_counter() - start
+
+    return {
+        "qubits": point.num_qubits,
+        "baseline_oneq_seconds": round(baseline_runtime, 4),
+        "dcmbqc_core_seconds": round(core_runtime, 4),
+        "dcmbqc_core_bdir_seconds": round(full_runtime, 4),
+    }

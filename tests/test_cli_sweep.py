@@ -1,0 +1,115 @@
+"""Tests for the CLI sweep subcommand and the experiment registry."""
+
+import pytest
+
+from repro.cli import EXPERIMENT_REGISTRY, SWEEPABLE_GRIDS, build_parser, main
+from repro.sweep.grids import GRID_REGISTRY
+from repro.sweep.store import ResultStore
+
+
+class TestExperimentRegistry:
+    def test_covers_every_paper_artefact(self):
+        assert set(EXPERIMENT_REGISTRY) == {
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "figure1",
+            "figure7",
+            "figure8",
+            "figure9",
+            "figure10",
+        }
+
+    def test_sweepable_grids_are_registered_experiments(self):
+        assert SWEEPABLE_GRIDS
+        for name in SWEEPABLE_GRIDS:
+            assert name in EXPERIMENT_REGISTRY
+            assert name in GRID_REGISTRY
+
+    def test_experiment_dispatch_through_registry(self, capsys):
+        exit_code = main(["experiment", "--name", "table1"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert output.startswith("Table I")
+
+
+class TestSweepParser:
+    def test_requires_grid_and_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--grid", "table3"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--out", "x"])
+
+    def test_rejects_unsweepable_grid(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--grid", "table1", "--out", "x"]
+            )
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep", "--grid", "table3", "--out", "x"])
+        assert args.workers == 1
+        assert args.retries == 1
+        assert args.scale == "reduced"
+        assert args.csv is None
+
+
+class TestSweepCommand:
+    def test_sweep_writes_store_and_resumes(self, tmp_path, capsys):
+        out = str(tmp_path / "table3")
+        argv = [
+            "sweep",
+            "--grid",
+            "table3",
+            "--workers",
+            "2",
+            "--out",
+            out,
+            "--scale",
+            "smoke",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "4 completed, 0 skipped, 0 failed" in first
+
+        store = ResultStore(out)
+        assert len(store.completed_keys()) == 4
+
+        # Re-running the same command resumes: every point is skipped.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 completed, 4 skipped, 0 failed" in second
+
+    def test_sweep_csv_export(self, tmp_path, capsys):
+        out = str(tmp_path / "table6")
+        csv_path = tmp_path / "table6.csv"
+        exit_code = main(
+            [
+                "sweep",
+                "--grid",
+                "table6",
+                "--out",
+                out,
+                "--scale",
+                "smoke",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert csv_path.exists()
+        assert "exported" in output
+        header = csv_path.read_text(encoding="utf-8").splitlines()[0]
+        assert "bdir_lifetime" in header
+
+    def test_seed_flag_reaches_circuit_construction(self, capsys):
+        """`--seed` must vary the built circuit, not only the compiler."""
+        main(["compile", "--program", "QAOA", "--qubits", "8", "--grid-size", "5", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["compile", "--program", "QAOA", "--qubits", "8", "--grid-size", "5", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second

@@ -1,0 +1,111 @@
+"""Tests for sweep grid expansion and cache-key stability."""
+
+import pytest
+
+from repro.sweep.grid import ParameterGrid, SweepPoint
+from repro.sweep.grids import (
+    GRID_REGISTRY,
+    BenchmarkScale,
+    benchmark_sizes,
+    table3_grid,
+    table5_grid,
+)
+
+
+class TestSweepPoint:
+    def test_cache_key_is_stable(self):
+        a = SweepPoint(task="compare", program="QFT", num_qubits=16)
+        b = SweepPoint(task="compare", program="QFT", num_qubits=16)
+        assert a.cache_key() == b.cache_key()
+
+    def test_cache_key_distinguishes_every_field(self):
+        base = SweepPoint(task="compare")
+        variants = [
+            SweepPoint(task="bdir"),
+            SweepPoint(task="compare", program="VQE"),
+            SweepPoint(task="compare", num_qubits=25),
+            SweepPoint(task="compare", num_qpus=8),
+            SweepPoint(task="compare", rsg_type="4-ring"),
+            SweepPoint(task="compare", k_max=8),
+            SweepPoint(task="compare", alpha_max=2.0),
+            SweepPoint(task="compare", use_bdir=False),
+            SweepPoint(task="compare", baseline="oneadapt"),
+            SweepPoint(task="compare", seed=7),
+            SweepPoint(task="compare", circuit_seed=1),
+            SweepPoint(task="compare", extra=(("sentinel", "x"),)),
+        ]
+        keys = {point.cache_key() for point in variants}
+        assert base.cache_key() not in keys
+        assert len(keys) == len(variants)
+
+    def test_params_round_trip(self):
+        point = SweepPoint(
+            task="compare", program="RCA", num_qubits=8, extra=(("note", "hi"),)
+        )
+        rebuilt = SweepPoint.from_params(point.params())
+        assert rebuilt == point
+        assert rebuilt.cache_key() == point.cache_key()
+
+    def test_option_lookup(self):
+        point = SweepPoint(task="compare", extra=(("sentinel", "/tmp/x"),))
+        assert point.option("sentinel") == "/tmp/x"
+        assert point.option("missing", 42) == 42
+
+
+class TestParameterGrid:
+    def test_nested_loop_order_last_axis_fastest(self):
+        grid = ParameterGrid(
+            "compare",
+            axes={"num_qpus": (4, 8), "instance": [("QFT", 8), ("RCA", 8)]},
+        )
+        points = grid.expand()
+        assert len(grid) == 4 and len(points) == 4
+        assert [(p.num_qpus, p.program) for p in points] == [
+            (4, "QFT"),
+            (4, "RCA"),
+            (8, "QFT"),
+            (8, "RCA"),
+        ]
+
+    def test_fixed_overrides_and_extras(self):
+        grid = ParameterGrid(
+            "compare",
+            axes={"k_max": (1, 2)},
+            fixed={"instance": ("VQE", 16), "custom_knob": "on"},
+        )
+        points = grid.expand()
+        assert all(p.program == "VQE" and p.num_qubits == 16 for p in points)
+        assert all(p.option("custom_knob") == "on" for p in points)
+        assert [p.k_max for p in points] == [1, 2]
+
+    def test_with_fixed_returns_updated_copy(self):
+        grid = table3_grid(BenchmarkScale.SMOKE)
+        seeded = grid.with_fixed(seed=3)
+        assert all(p.seed == 3 for p in seeded.expand())
+        assert all(p.seed == 0 for p in grid.expand())
+
+
+class TestNamedGrids:
+    def test_table3_grid_matches_benchmark_sizes(self):
+        for scale in BenchmarkScale:
+            points = table3_grid(scale).expand()
+            assert [(p.program, p.num_qubits) for p in points] == benchmark_sizes(scale)
+            assert all(
+                p.num_qpus == 4 and p.rsg_type == "5-star" and p.baseline == "oneq"
+                for p in points
+            )
+
+    def test_table5_grid_varies_qpus_outer(self):
+        points = table5_grid(BenchmarkScale.SMOKE).expand()
+        assert [p.num_qpus for p in points[:4]] == [4, 4, 4, 4]
+        assert [p.num_qpus for p in points[4:]] == [8, 8, 8, 8]
+        assert all(p.baseline == "oneadapt" for p in points)
+
+    @pytest.mark.parametrize("name", sorted(GRID_REGISTRY))
+    def test_registry_factories_expand(self, name):
+        grid = GRID_REGISTRY[name](BenchmarkScale.SMOKE, seed=0)
+        points = grid.expand()
+        assert points, name
+        # Every point in a grid is unique — resume would silently drop rows
+        # otherwise.
+        assert len({p.cache_key() for p in points}) == len(points)

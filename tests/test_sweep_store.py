@@ -1,0 +1,100 @@
+"""Tests for the on-disk sweep result store."""
+
+import csv
+import json
+
+from repro.sweep.grid import SweepPoint
+from repro.sweep.store import ResultStore
+
+
+def _done(result, attempts=1):
+    return {
+        "status": "done",
+        "result": result,
+        "error": None,
+        "attempts": attempts,
+        "duration_s": 0.1,
+    }
+
+
+def _failed(error="RuntimeError: boom"):
+    return {
+        "status": "failed",
+        "result": None,
+        "error": error,
+        "attempts": 2,
+        "duration_s": 0.1,
+    }
+
+
+class TestResultStore:
+    def test_record_and_reload(self, tmp_path):
+        point = SweepPoint(task="compare", program="QFT", num_qubits=8)
+        store = ResultStore(tmp_path)
+        store.record(point, _done({"our_exec": 10}))
+
+        reloaded = ResultStore(tmp_path)
+        assert len(reloaded) == 1
+        assert reloaded.completed_keys() == {point.cache_key()}
+        record = reloaded.get(point.cache_key())
+        assert record["result"] == {"our_exec": 10}
+        assert record["params"]["program"] == "QFT"
+
+    def test_resume_after_partial_write(self, tmp_path):
+        """A truncated trailing line (interrupted run) must not lose rows."""
+        done_point = SweepPoint(task="compare", program="QFT", num_qubits=8)
+        store = ResultStore(tmp_path)
+        store.record(done_point, _done({"our_exec": 10}))
+        with store.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"key": "abc", "status": "do')  # killed mid-write
+
+        reloaded = ResultStore(tmp_path)
+        assert reloaded.corrupt_lines == 1
+        assert reloaded.completed_keys() == {done_point.cache_key()}
+
+    def test_last_write_wins_failed_then_done(self, tmp_path):
+        point = SweepPoint(task="compare", program="RCA", num_qubits=8)
+        store = ResultStore(tmp_path)
+        store.record(point, _failed())
+        assert store.failed_keys() == {point.cache_key()}
+        assert store.completed_keys() == set()
+
+        store.record(point, _done({"our_exec": 7}, attempts=1))
+        reloaded = ResultStore(tmp_path)
+        assert reloaded.completed_keys() == {point.cache_key()}
+        assert reloaded.failed_keys() == set()
+        # Both attempts remain in the append-only log.
+        lines = store.path.read_text(encoding="utf-8").strip().splitlines()
+        assert len(lines) == 2
+
+    def test_accepts_explicit_jsonl_path(self, tmp_path):
+        store = ResultStore(tmp_path / "custom.jsonl")
+        assert store.path.name == "custom.jsonl"
+
+    def test_export_csv_flattens_params_and_results(self, tmp_path):
+        store = ResultStore(tmp_path)
+        a = SweepPoint(task="compare", program="QFT", num_qubits=8)
+        b = SweepPoint(task="compare", program="VQE", num_qubits=8)
+        store.record(a, _done({"program": "QFT", "our_exec": 10}))
+        store.record(b, _failed())
+
+        csv_path = tmp_path / "out.csv"
+        assert store.export_csv(csv_path) == 2
+        with csv_path.open(encoding="utf-8", newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["program"] == "QFT"  # param column
+        assert rows[0]["result_program"] == "QFT"  # collision renamed
+        assert rows[0]["our_exec"] == "10"
+        assert rows[1]["status"] == "failed"
+        assert rows[1]["error"] == "RuntimeError: boom"
+        # No duplicated header names.
+        header = rows[0].keys()
+        assert len(set(header)) == len(list(header))
+
+    def test_rows_are_json_round_trippable(self, tmp_path):
+        store = ResultStore(tmp_path)
+        point = SweepPoint(task="compare", extra=(("note", "x"),))
+        store.record(point, _done({"v": 1.5}))
+        line = store.path.read_text(encoding="utf-8").strip()
+        assert json.loads(line)["params"]["note"] == "x"
