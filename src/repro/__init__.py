@@ -16,6 +16,10 @@ The package is organised bottom-up:
 * :mod:`repro.scheduling` — layer scheduling, list scheduler, BDIR
   (Algorithm 3);
 * :mod:`repro.core` — the DC-MBQC distributed compiler;
+* :mod:`repro.pipeline` — the staged compilation pipeline: content-addressed
+  artifact caching, provenance manifests, batch compile service;
+* :mod:`repro.sweep` — declarative parameter grids, parallel runner,
+  resumable result store;
 * :mod:`repro.runtime` — distributed execution replay and reliability
   estimation.
 
@@ -32,14 +36,16 @@ Quick start::
 
 from repro.core import DCMBQCCompiler, DCMBQCConfig, compare_with_baseline
 from repro.compiler import OneQCompiler, OneAdaptCompiler
+from repro.pipeline import CompileService
 from repro.programs import build_benchmark
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DCMBQCCompiler",
     "DCMBQCConfig",
     "compare_with_baseline",
+    "CompileService",
     "OneQCompiler",
     "OneAdaptCompiler",
     "build_benchmark",

@@ -8,7 +8,6 @@ construct by hand in tests and examples.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Tuple
 
@@ -66,6 +65,17 @@ class QuantumCircuit:
         if other.num_qubits != self.num_qubits:
             raise ValueError("cannot compose circuits of different widths")
         return self.extend(other.gates)
+
+    def content_hash(self) -> str:
+        """Stable content hash (register, name, gate list).
+
+        Used as the artifact-cache key root by :mod:`repro.pipeline`: two
+        circuits with identical structure hash identically across processes
+        and interpreter runs.
+        """
+        from repro.pipeline.hashing import circuit_hash  # deferred: layering
+
+        return circuit_hash(self)
 
     # ------------------------------------------------------------------ #
     # Named gate helpers

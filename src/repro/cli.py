@@ -13,17 +13,26 @@ improvement factors, ``experiment`` regenerates one of the paper's tables or
 figures in-process, and ``sweep`` evaluates the same grids through the
 parallel sweep engine with a resumable on-disk result store (re-running the
 same command skips every completed point; ``--csv`` exports the run table).
+
+``compile`` and ``sweep`` route through the staged compilation pipeline
+(:mod:`repro.pipeline`): ``--cache-dir`` points the content-addressed
+artifact cache at a directory (overriding ``DCMBQC_ARTIFACT_CACHE_DIR``),
+``--no-cache`` disables it, and ``--json`` emits a machine-readable summary
+including per-stage cache hit/miss counts.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core import DCMBQCCompiler, DCMBQCConfig, compare_with_baseline
 from repro.hardware.resource_states import ResourceStateType
+from repro.pipeline import CACHE_DIR_ENV, CACHE_DISABLE_ENV, resolve_store
 from repro.programs import build_benchmark
 from repro.programs.registry import paper_grid_size
 from repro.reporting import experiments, render
@@ -117,8 +126,26 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--no-bdir", action="store_true", help="disable BDIR refinement")
         sub.add_argument("--seed", type=int, default=0)
 
+    def add_cache_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            help=f"artifact-cache directory (overrides ${CACHE_DIR_ENV})",
+        )
+        sub.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the content-addressed artifact cache",
+        )
+        sub.add_argument(
+            "--json",
+            action="store_true",
+            help="print a machine-readable JSON summary instead of text",
+        )
+
     compile_parser = subparsers.add_parser("compile", help="run the distributed compiler")
     add_program_arguments(compile_parser)
+    add_cache_arguments(compile_parser)
 
     compare_parser = subparsers.add_parser("compare", help="compare against a monolithic baseline")
     add_program_arguments(compare_parser)
@@ -166,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--csv", default=None, help="export the run table to this CSV after the sweep"
     )
+    add_cache_arguments(sweep_parser)
     return parser
 
 
@@ -181,14 +209,40 @@ def _config_from_args(args: argparse.Namespace) -> DCMBQCConfig:
     )
 
 
+def _apply_cache_arguments(args: argparse.Namespace) -> None:
+    """Propagate the cache flags to the environment (reaches sweep workers)."""
+    if args.no_cache:
+        # Disable every cache layer, the in-process memo and task-level
+        # computation caches included — not just the disk store.
+        os.environ[CACHE_DIR_ENV] = ""
+        os.environ[CACHE_DISABLE_ENV] = "1"
+    elif args.cache_dir:
+        os.environ[CACHE_DIR_ENV] = args.cache_dir
+
+
 def _run_compile(args: argparse.Namespace) -> int:
+    _apply_cache_arguments(args)
     circuit = build_benchmark(args.program, args.qubits, seed=args.seed)
     config = _config_from_args(args)
-    result = DCMBQCCompiler(config).compile(circuit)
+    store = resolve_store(args.cache_dir, enabled=not args.no_cache)
+    result, run = DCMBQCCompiler(config).compile_run(
+        circuit, store=store, use_cache=not args.no_cache
+    )
     summary = result.summary()
+    manifest = run.manifest()
+    if args.json:
+        print(json.dumps({"summary": summary, "pipeline": manifest}, default=str))
+        return 0
     print(f"Distributed compilation of {args.program}-{args.qubits} on {args.qpus} QPUs")
     for key, value in summary.items():
         print(f"  {key}: {value}")
+    stages = ", ".join(
+        f"{record['stage']}={record['status']}" for record in manifest["stages"]
+    )
+    print(
+        f"cache: {manifest['cache_hits']} hits, {manifest['executions']} misses"
+        f" ({stages})"
+    )
     return 0
 
 
@@ -211,6 +265,7 @@ def _run_experiment(args: argparse.Namespace) -> int:
 
 
 def _run_sweep(args: argparse.Namespace) -> int:
+    _apply_cache_arguments(args)
     scale = experiments.BenchmarkScale(args.scale)
     grid = GRID_REGISTRY[args.grid](scale, seed=args.seed)
     try:
@@ -225,18 +280,42 @@ def _run_sweep(args: argparse.Namespace) -> int:
         timing = f" ({duration:.2f}s)" if isinstance(duration, float) else ""
         print(f"[{finished}/{total}] {status} {point.task} {point.label}{timing}")
 
-    runner = SweepRunner(workers=args.workers, retries=args.retries, progress=progress)
+    runner = SweepRunner(
+        workers=args.workers,
+        retries=args.retries,
+        progress=None if args.json else progress,
+    )
     outcome = runner.run(grid, store)
     summary = outcome.summary()
+    cache = outcome.cache_summary()
+    exported = None
+    if args.csv:
+        exported = store.export_csv(args.csv)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "grid": args.grid,
+                    "scale": scale.value,
+                    "workers": args.workers,
+                    "summary": summary,
+                    "cache": cache,
+                    "store": str(store.path),
+                    "csv_rows": exported,
+                },
+                default=str,
+            )
+        )
+        return 1 if outcome.failed else 0
     print(
         f"Sweep {args.grid} (scale={scale.value}, workers={args.workers}): "
         f"{summary['total']} points, {summary['completed']} completed, "
         f"{summary['skipped']} skipped, {summary['failed']} failed"
     )
+    print(f"cache: {cache['hits']} hits, {cache['misses']} misses")
     print(f"store: {store.path}")
-    if args.csv:
-        count = store.export_csv(args.csv)
-        print(f"exported {count} rows to {args.csv}")
+    if exported is not None:
+        print(f"exported {exported} rows to {args.csv}")
     return 1 if outcome.failed else 0
 
 

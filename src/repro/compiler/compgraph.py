@@ -10,7 +10,7 @@ are what the required-photon-lifetime metric and the grid mapper need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import networkx as nx
 
@@ -134,6 +134,16 @@ class ComputationGraph:
             if assignment.get(a) != assignment.get(b):
                 cut.append((min(a, b), max(a, b)))
         return sorted(cut)
+
+    def content_hash(self) -> str:
+        """Stable content hash (topology, dependencies, order, outputs).
+
+        The root key for every partition/mapping/scheduling artifact cached
+        by :mod:`repro.pipeline`.
+        """
+        from repro.pipeline.hashing import computation_hash  # deferred: layering
+
+        return computation_hash(self)
 
 
 def computation_graph_from_pattern(

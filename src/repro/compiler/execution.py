@@ -11,7 +11,7 @@ exposes the two paper metrics (execution time and required photon lifetime).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.compiler.compgraph import ComputationGraph
 from repro.hardware.resource_states import ResourceStateType

@@ -16,21 +16,26 @@ mapper:
   extra resource cell, and the aggregate overhead is appended to the
   schedule as additional layers (the execution-time cost of refreshing),
 * ``boundary_reservation=True`` compiles on a ``(L-2) x (L-2)`` grid.
+
+The translate/compgraph/mapping phases route through the staged pipeline
+(:mod:`repro.pipeline`), so the mapped schedule is a cached artifact shared
+with OneQ (when ``boundary_reservation`` is off) and reused across refresh
+limits; the compiler's ``seed`` threads into the mapper's randomised
+tie-breaking, which keeps repeated compiles bit-identical — the property
+artifact caching relies on.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Tuple, Union
 
 from repro.circuit.circuit import QuantumCircuit
-from repro.compiler.compgraph import ComputationGraph, computation_graph_from_pattern
+from repro.compiler.compgraph import ComputationGraph
 from repro.compiler.execution import ExecutionLayer, SingleQPUSchedule
-from repro.compiler.mapper import LayeredGridMapper, MapperConfig
 from repro.hardware.resource_states import ResourceStateType
 from repro.mbqc.pattern import Pattern
-from repro.mbqc.translate import circuit_to_pattern
 
 __all__ = ["OneAdaptCompiler"]
 
@@ -38,6 +43,8 @@ DEFAULT_REFRESH_LIMIT = 20
 """Default photon-lifetime bound enforced by dynamic refresh."""
 
 CompilationInput = Union[QuantumCircuit, Pattern, ComputationGraph]
+
+_DEFAULT_STORE = object()  # sentinel: resolve the store from the environment
 
 
 @dataclass
@@ -50,6 +57,8 @@ class OneAdaptCompiler:
         refresh_limit: Maximum storage duration before a photon is refreshed.
         boundary_reservation: Reserve the boundary ring of every layer for
             communication interfaces (the distributed-comparison model).
+        placement_jitter: Randomised tie-breaking of placement candidates;
+            0 keeps the mapper fully deterministic.
         seed: Seed for the mapper's randomised tie-breaking.
     """
 
@@ -57,34 +66,57 @@ class OneAdaptCompiler:
     rsg_type: ResourceStateType = ResourceStateType.STAR_5
     refresh_limit: int = DEFAULT_REFRESH_LIMIT
     boundary_reservation: bool = False
+    placement_jitter: float = 0.0
     seed: int = 0
 
-    def _to_computation_graph(self, program: CompilationInput) -> ComputationGraph:
-        if isinstance(program, ComputationGraph):
-            return program
-        if isinstance(program, Pattern):
-            return computation_graph_from_pattern(program)
-        if isinstance(program, QuantumCircuit):
-            return computation_graph_from_pattern(circuit_to_pattern(program))
-        raise TypeError(f"cannot compile object of type {type(program).__name__}")
+    def _pipeline(self, store, use_cache: bool):
+        from repro.pipeline import Pipeline, resolve_store, single_qpu_stages
+
+        if store is _DEFAULT_STORE:
+            store = resolve_store(enabled=use_cache)
+        return Pipeline(
+            single_qpu_stages(
+                grid_size=self.grid_size,
+                rsg_type=self.rsg_type,
+                boundary_reservation=self.boundary_reservation,
+                placement_jitter=self.placement_jitter,
+                seed=self.seed,
+            ),
+            store=store,
+            use_cache=use_cache,
+        )
+
+    def compile_run(
+        self,
+        program: CompilationInput,
+        store=_DEFAULT_STORE,
+        use_cache: bool = True,
+    ) -> Tuple[SingleQPUSchedule, "object"]:
+        """Compile with dynamic refresh; returns ``(schedule, pipeline run)``."""
+        from repro.pipeline.stages import initial_program_state
+
+        if self.refresh_limit < 1:
+            raise ValueError("refresh limit must be at least one clock cycle")
+        run = self._pipeline(store, use_cache).run(initial_program_state(program))
+        schedule = self._apply_refresh(
+            run.state["schedule"], run.state["computation"]
+        )
+        return schedule, run
 
     def compile(self, program: CompilationInput) -> SingleQPUSchedule:
         """Compile ``program`` with dynamic refresh enabled."""
-        if self.refresh_limit < 1:
-            raise ValueError("refresh limit must be at least one clock cycle")
-        computation = self._to_computation_graph(program)
-        config = MapperConfig(
-            grid_size=self.grid_size,
-            rsg_type=ResourceStateType.from_name(self.rsg_type),
-            boundary_reservation=self.boundary_reservation,
-            seed=self.seed,
-        )
-        schedule = LayeredGridMapper(config).map(computation)
+        return self.compile_run(program)[0]
 
-        # Count the refreshes needed to keep every fusee wait below the limit
-        # and convert them into an execution-time overhead: each refresh
-        # consumes one resource cell, and a layer provides roughly as many
-        # spare cells as the average number of photons it hosts.
+    def _apply_refresh(
+        self, schedule: SingleQPUSchedule, computation: ComputationGraph
+    ) -> SingleQPUSchedule:
+        """Convert over-limit fusee waits into refresh execution overhead.
+
+        Count the refreshes needed to keep every fusee wait below the limit
+        and convert them into an execution-time overhead: each refresh
+        consumes one resource cell, and a layer provides roughly as many
+        spare cells as the average number of photons it hosts.
+        """
         node_layer = schedule.node_layer_index()
         refreshes = 0
         for u, v in schedule.fusee_pairs:

@@ -7,24 +7,32 @@ stand-in: it accepts a circuit, a measurement pattern, or a pre-built
 computation graph and produces a :class:`SingleQPUSchedule` whose execution
 time and required photon lifetime play the role of the "Baseline" columns of
 Tables III-V.
+
+Compilation routes through the staged pipeline (:mod:`repro.pipeline`):
+translate → compgraph → grid mapping, with every stage memoised in the
+process-local cache and — when ``DCMBQC_ARTIFACT_CACHE_DIR`` is set — the
+shared on-disk artifact store.  Repeated compiles of the same program are
+cache hits, and the upstream pattern/computation-graph artifacts are shared
+with :class:`~repro.compiler.oneadapt.OneAdaptCompiler` and the distributed
+compiler.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Tuple, Union
 
 from repro.circuit.circuit import QuantumCircuit
-from repro.compiler.compgraph import ComputationGraph, computation_graph_from_pattern
+from repro.compiler.compgraph import ComputationGraph
 from repro.compiler.execution import SingleQPUSchedule
-from repro.compiler.mapper import LayeredGridMapper, MapperConfig
 from repro.hardware.resource_states import ResourceStateType
 from repro.mbqc.pattern import Pattern
-from repro.mbqc.translate import circuit_to_pattern
 
 __all__ = ["OneQCompiler"]
 
 CompilationInput = Union[QuantumCircuit, Pattern, ComputationGraph]
+
+_DEFAULT_STORE = object()  # sentinel: resolve the store from the environment
 
 
 @dataclass
@@ -34,21 +42,47 @@ class OneQCompiler:
     Attributes:
         grid_size: Side length of the QPU's logical resource layer.
         rsg_type: Resource-state shape used by the RSGs.
-        seed: Seed for any randomised tie-breaking inside the mapper.
+        placement_jitter: Randomised tie-breaking of placement candidates;
+            0 keeps the mapper fully deterministic.
+        seed: Seed for the mapper's randomised tie-breaking.
     """
 
     grid_size: int
     rsg_type: ResourceStateType = ResourceStateType.STAR_5
+    placement_jitter: float = 0.0
     seed: int = 0
 
-    def _to_computation_graph(self, program: CompilationInput) -> ComputationGraph:
-        if isinstance(program, ComputationGraph):
-            return program
-        if isinstance(program, Pattern):
-            return computation_graph_from_pattern(program)
-        if isinstance(program, QuantumCircuit):
-            return computation_graph_from_pattern(circuit_to_pattern(program))
-        raise TypeError(f"cannot compile object of type {type(program).__name__}")
+    def _pipeline(self, store, use_cache: bool):
+        from repro.pipeline import Pipeline, resolve_store, single_qpu_stages
+
+        if store is _DEFAULT_STORE:
+            store = resolve_store(enabled=use_cache)
+        return Pipeline(
+            single_qpu_stages(
+                grid_size=self.grid_size,
+                rsg_type=self.rsg_type,
+                placement_jitter=self.placement_jitter,
+                seed=self.seed,
+            ),
+            store=store,
+            use_cache=use_cache,
+        )
+
+    def compile_run(
+        self,
+        program: CompilationInput,
+        store=_DEFAULT_STORE,
+        use_cache: bool = True,
+    ) -> Tuple[SingleQPUSchedule, "object"]:
+        """Compile ``program`` and return ``(schedule, pipeline run)``.
+
+        The pipeline run carries the provenance manifest (per-stage cache
+        status, keys and timing) used by the CLI and by telemetry tests.
+        """
+        from repro.pipeline.stages import initial_program_state
+
+        run = self._pipeline(store, use_cache).run(initial_program_state(program))
+        return run.state["schedule"], run
 
     def compile(self, program: CompilationInput) -> SingleQPUSchedule:
         """Compile ``program`` for a single QPU.
@@ -57,10 +91,4 @@ class OneQCompiler:
             program: A :class:`QuantumCircuit`, a :class:`Pattern`, or a
                 :class:`ComputationGraph`.
         """
-        computation = self._to_computation_graph(program)
-        config = MapperConfig(
-            grid_size=self.grid_size,
-            rsg_type=ResourceStateType.from_name(self.rsg_type),
-            seed=self.seed,
-        )
-        return LayeredGridMapper(config).map(computation)
+        return self.compile_run(program)[0]

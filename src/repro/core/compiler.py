@@ -3,17 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Tuple, Union
 
 from repro.circuit.circuit import QuantumCircuit
-from repro.compiler.compgraph import ComputationGraph, computation_graph_from_pattern
+from repro.compiler.compgraph import ComputationGraph
 from repro.compiler.execution import SingleQPUSchedule
 from repro.compiler.mapper import LayeredGridMapper, MapperConfig
 from repro.core.config import DCMBQCConfig
 from repro.hardware.qpu import MultiQPUSystem, QPUSpec
 from repro.hardware.resource_states import ResourceStateType
 from repro.mbqc.pattern import Pattern
-from repro.mbqc.translate import circuit_to_pattern
 from repro.partition.adaptive import AdaptivePartitionConfig, AdaptivePartitioner
 from repro.partition.types import PartitionResult
 from repro.scheduling.bdir import BDIRScheduler
@@ -30,6 +29,8 @@ from repro.utils.errors import CompilationError
 __all__ = ["DCMBQCCompiler", "DistributedCompilationResult"]
 
 CompilationInput = Union[QuantumCircuit, Pattern, ComputationGraph]
+
+_DEFAULT_STORE = object()  # sentinel: resolve the artifact store from the environment
 
 
 @dataclass
@@ -103,20 +104,6 @@ class DCMBQCCompiler:
     """
 
     config: DCMBQCConfig = field(default_factory=DCMBQCConfig)
-
-    # ------------------------------------------------------------------ #
-    # Input handling
-    # ------------------------------------------------------------------ #
-
-    @staticmethod
-    def _to_computation_graph(program: CompilationInput) -> ComputationGraph:
-        if isinstance(program, ComputationGraph):
-            return program
-        if isinstance(program, Pattern):
-            return computation_graph_from_pattern(program)
-        if isinstance(program, QuantumCircuit):
-            return computation_graph_from_pattern(circuit_to_pattern(program))
-        raise TypeError(f"cannot compile object of type {type(program).__name__}")
 
     # ------------------------------------------------------------------ #
     # Pipeline stages
@@ -217,26 +204,35 @@ class DCMBQCCompiler:
     # End-to-end
     # ------------------------------------------------------------------ #
 
+    def compile_run(
+        self,
+        program: CompilationInput,
+        store=_DEFAULT_STORE,
+        use_cache: bool = True,
+    ):
+        """Run the staged pipeline on ``program``; returns ``(result, run)``.
+
+        The pipeline (translate → compgraph → partition → qpu_mapping →
+        scheduling) short-circuits on cached stage artifacts: the in-process
+        memo cache always applies, and the on-disk artifact store does when
+        ``DCMBQC_ARTIFACT_CACHE_DIR`` is set (or a store is passed).  The
+        returned run carries the provenance manifest consumed by the CLI's
+        cache summary and by telemetry tests.
+        """
+        from repro.pipeline import Pipeline, resolve_store
+        from repro.pipeline.stages import distributed_stages, initial_program_state
+
+        if store is _DEFAULT_STORE:
+            store = resolve_store(enabled=use_cache)
+        pipeline = Pipeline(
+            distributed_stages(self), store=store, use_cache=use_cache
+        )
+        run = pipeline.run(initial_program_state(program))
+        return run.state["result"], run
+
     def compile(self, program: CompilationInput) -> DistributedCompilationResult:
         """Run the full DC-MBQC pipeline on ``program``."""
-        computation = self._to_computation_graph(program)
-        partition = self.partition(computation)
-        qpu_schedules = self.compile_partitions(computation, partition)
-        problem, connectors = self.build_scheduling_problem(
-            computation, partition, qpu_schedules
-        )
-        schedule = self.schedule(problem)
-        evaluation = problem.evaluate(schedule)
-        return DistributedCompilationResult(
-            config=self.config,
-            computation=computation,
-            partition=partition,
-            qpu_schedules=qpu_schedules,
-            connectors=connectors,
-            problem=problem,
-            schedule=schedule,
-            evaluation=evaluation,
-        )
+        return self.compile_run(program)[0]
 
     def multi_qpu_system(self) -> MultiQPUSystem:
         """Return the hardware system description implied by the config."""

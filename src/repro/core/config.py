@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.hardware.qpu import DEFAULT_CONNECTION_CAPACITY, InterconnectTopology
 from repro.hardware.resource_states import ResourceStateType

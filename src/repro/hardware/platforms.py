@@ -11,7 +11,7 @@ fault-tolerant interconnect literature.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 __all__ = ["PlatformRecord", "PLATFORM_SURVEY", "meets_dqc_thresholds"]
 

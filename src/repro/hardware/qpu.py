@@ -12,8 +12,8 @@ topologies for ablation studies.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict
 
 import networkx as nx
 

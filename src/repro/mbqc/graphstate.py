@@ -11,7 +11,7 @@ validation on small instances.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 import networkx as nx
 import numpy as np

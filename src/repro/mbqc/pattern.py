@@ -10,10 +10,9 @@ simple statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.mbqc.commands import (
-    CommandKind,
     CorrectionCommand,
     EntangleCommand,
     MeasureCommand,
@@ -143,6 +142,17 @@ class Pattern:
             elif b == node:
                 result.add(a)
         return result
+
+    def content_hash(self) -> str:
+        """Stable content hash (nodes, command sequence, domains).
+
+        Used by :mod:`repro.pipeline` to address cached downstream
+        artifacts; any change to the command sequence, an angle or a
+        correction domain yields a different hash.
+        """
+        from repro.pipeline.hashing import pattern_hash  # deferred: layering
+
+        return pattern_hash(self)
 
     # ------------------------------------------------------------------ #
     # Validation

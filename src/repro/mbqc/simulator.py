@@ -18,7 +18,7 @@ to global phase.  That is the defining property of a correct MBQC translation
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 

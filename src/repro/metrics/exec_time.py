@@ -8,7 +8,7 @@ main and synchronisation tasks.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Mapping
 
 __all__ = ["execution_time_of_layers", "makespan"]
 

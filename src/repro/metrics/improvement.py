@@ -9,7 +9,7 @@ collapses to 0 on trivial programs.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Iterable
 
 __all__ = ["improvement_factor", "geometric_mean_improvement"]
 

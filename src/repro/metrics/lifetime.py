@@ -20,8 +20,8 @@ same functions with task start times in place of layer indices.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
 
 import networkx as nx
 

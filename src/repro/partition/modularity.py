@@ -13,7 +13,7 @@ adaptive partitioner trades against balance.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence, Set
+from typing import Dict, Iterable, Mapping, Sequence
 
 import networkx as nx
 

@@ -22,7 +22,7 @@ test suite against the balance constraint, cut-coverage invariants, and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 

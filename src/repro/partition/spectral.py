@@ -10,7 +10,7 @@ the multilevel scheme on large graphs but needs no tuning.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set
+from typing import Dict, Sequence, Set
 
 import networkx as nx
 import numpy as np

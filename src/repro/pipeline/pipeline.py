@@ -1,0 +1,290 @@
+"""The :class:`Pipeline` pass-manager.
+
+A pipeline composes :class:`~repro.pipeline.stage.Stage` objects into a
+staged compiler run.  For every stage it:
+
+1. derives the stage's cache key from its parameters and the content hashes
+   of its inputs (initial inputs hash by content; derived artifacts of
+   unknown type fall back to the provenance key of the stage that produced
+   them);
+2. short-circuits on a hit in the in-process memo cache or the on-disk
+   :class:`~repro.pipeline.artifacts.ArtifactStore`;
+3. otherwise executes the stage, records wall time, and writes the artifact
+   back to both cache layers.
+
+Every run returns a :class:`PipelineRun` carrying the final artifact state
+and a provenance manifest — one :class:`StageRecord` per stage saying
+whether it executed, hit a cache layer, or was satisfied by a provided
+input, plus the key and timing.  Telemetry accumulates per stage name in
+:data:`repro.pipeline.telemetry.TELEMETRY`.
+
+Entry points may start mid-pipeline: a stage whose output is already
+present in the initial state is recorded as ``provided`` and skipped, which
+is how ``compile(pattern)`` and ``compile(computation_graph)`` reuse the
+same stage list as ``compile(circuit)``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.pipeline.artifacts import ArtifactStore, caching_disabled
+from repro.pipeline.hashing import content_hash
+from repro.pipeline.stage import Stage
+from repro.pipeline.telemetry import TELEMETRY, TelemetryRegistry
+from repro.utils.errors import CompilationError
+
+__all__ = [
+    "Pipeline",
+    "PipelineRun",
+    "StageRecord",
+    "memory_cache",
+    "clear_memory_cache",
+]
+
+MEMORY_CACHE_SIZE_ENV = "DCMBQC_PIPELINE_MEMORY_CACHE_SIZE"
+DEFAULT_MEMORY_CACHE_SIZE = 128
+
+#: Artifacts whose pickled snapshot exceeds this many bytes skip the
+#: in-process memo (they remain disk-cached): the memo is bounded by entry
+#: count, and a handful of paper-scale DistributedCompilationResults would
+#: otherwise dominate worker memory.
+MEMO_MAX_ENTRY_BYTES = 8 * 1024 * 1024
+
+_MISSING = object()
+
+_memory_cache = None
+
+
+def memory_cache():
+    """The process-global stage memo cache (bounded LRU), created lazily.
+
+    Reuses :class:`repro.sweep.cache.LRUCache`; the bound comes from
+    ``DCMBQC_PIPELINE_MEMORY_CACHE_SIZE`` (default 128 artifacts).
+    """
+    global _memory_cache
+    if _memory_cache is None:
+        from repro.sweep.cache import LRUCache  # deferred: avoids import cycle
+
+        raw = os.environ.get(MEMORY_CACHE_SIZE_ENV, "")
+        try:
+            size = max(1, int(raw))
+        except ValueError:
+            size = DEFAULT_MEMORY_CACHE_SIZE
+        _memory_cache = LRUCache(maxsize=size)
+    return _memory_cache
+
+
+def clear_memory_cache() -> None:
+    """Drop every memoised stage artifact (used between test phases)."""
+    if _memory_cache is not None:
+        _memory_cache.clear()
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """Provenance of one stage within one pipeline run.
+
+    Attributes:
+        stage: Stage name.
+        status: ``"executed"``, ``"memory-hit"``, ``"disk-hit"``,
+            ``"provided"`` (output supplied with the initial state) or
+            ``"skipped"`` (upstream of a mid-pipeline entry point).
+        key: The stage's cache key (``None`` when caching did not apply).
+        seconds: Wall time of a real execution (0 for hits).
+        output: Name of the produced state entry.
+    """
+
+    stage: str
+    status: str
+    key: Optional[str]
+    seconds: float
+    output: str
+
+    @property
+    def is_hit(self) -> bool:
+        """True when the artifact came from a cache layer."""
+        return self.status in ("memory-hit", "disk-hit")
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view for manifests and ``--json`` output."""
+        return {
+            "stage": self.stage,
+            "status": self.status,
+            "key": self.key,
+            "seconds": round(self.seconds, 6),
+            "output": self.output,
+        }
+
+
+@dataclass
+class PipelineRun:
+    """Everything produced by one pipeline invocation."""
+
+    state: Dict[str, object]
+    records: List[StageRecord] = field(default_factory=list)
+    final_output: Optional[str] = None
+
+    @property
+    def artifact(self) -> object:
+        """The final stage's output artifact."""
+        if self.final_output is None:
+            raise CompilationError("pipeline produced no output")
+        return self.state[self.final_output]
+
+    @property
+    def cache_hits(self) -> int:
+        """Stages satisfied by a cache layer in this run."""
+        return sum(1 for record in self.records if record.is_hit)
+
+    @property
+    def executions(self) -> int:
+        """Stages that performed real work in this run (cache misses)."""
+        return sum(1 for record in self.records if record.status == "executed")
+
+    def manifest(self) -> Dict[str, object]:
+        """Provenance manifest: per-stage status/keys/timing plus totals."""
+        return {
+            "stages": [record.as_dict() for record in self.records],
+            "cache_hits": self.cache_hits,
+            "executions": self.executions,
+            "seconds": round(sum(record.seconds for record in self.records), 6),
+        }
+
+
+class Pipeline:
+    """Compose stages with content-addressed caching and telemetry.
+
+    Args:
+        stages: The stage sequence; each stage's inputs must be produced by
+            an earlier stage or provided with the initial state.
+        store: Optional on-disk artifact store shared across processes.
+        use_cache: Disable both cache layers (and hashing) entirely —
+            used by compilation-runtime benchmarks that must measure real
+            work.
+        memo: In-process memo cache; defaults to the process-global LRU.
+        telemetry: Counter registry; defaults to the process-global one.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[Stage],
+        store: Optional[ArtifactStore] = None,
+        use_cache: bool = True,
+        memo=None,
+        telemetry: Optional[TelemetryRegistry] = None,
+    ) -> None:
+        names = [stage.name for stage in stages]
+        if len(set(names)) != len(names):
+            raise CompilationError(f"duplicate stage names in pipeline: {names}")
+        self.stages = list(stages)
+        self.store = store
+        self.use_cache = use_cache
+        self._memo = memo
+        self.telemetry = telemetry if telemetry is not None else TELEMETRY
+
+    @property
+    def memo(self):
+        if self._memo is None:
+            self._memo = memory_cache()
+        return self._memo
+
+    def run(self, initial: Mapping[str, object]) -> PipelineRun:
+        """Execute every stage against ``initial``, returning the run record."""
+        state: Dict[str, object] = dict(initial)
+        hashes: Dict[str, str] = {}
+        records: List[StageRecord] = []
+
+        # DCMBQC_PIPELINE_DISABLE_CACHE=1 (the CLI's --no-cache, inherited
+        # by sweep workers) bypasses every layer, memo included.
+        use_cache = self.use_cache and not caching_disabled()
+
+        if use_cache:
+            for name, value in state.items():
+                value_hash = content_hash(value)
+                if value_hash is not None:
+                    hashes[name] = value_hash
+
+        # Entry may be mid-pipeline (e.g. a pre-built computation graph):
+        # every stage up to the last one whose output was provided is
+        # skipped, so upstream stages never demand inputs the caller has
+        # already surpassed.
+        first_needed = 0
+        for index, stage in enumerate(self.stages):
+            if stage.output in state:
+                first_needed = index + 1
+
+        for index, stage in enumerate(self.stages):
+            if stage.output in state:
+                records.append(StageRecord(stage.name, "provided", None, 0.0, stage.output))
+                continue
+            if index < first_needed:
+                records.append(StageRecord(stage.name, "skipped", None, 0.0, stage.output))
+                continue
+            missing = [name for name in stage.inputs if name not in state]
+            if missing:
+                raise CompilationError(
+                    f"stage {stage.name!r} is missing inputs {missing}; provide "
+                    f"them in the initial state or add a producing stage"
+                )
+
+            key: Optional[str] = None
+            cacheable = (
+                use_cache
+                and stage.cacheable
+                and all(name in hashes for name in stage.inputs)
+            )
+            value: object = _MISSING
+            status = "executed"
+
+            if cacheable:
+                key = stage.key([hashes[name] for name in stage.inputs])
+                # The memo holds pickled snapshots: every hit thaws a private
+                # copy, so callers may mutate returned artifacts freely
+                # without corrupting the cache (same semantics as disk hits).
+                cached = self.memo.get(key, _MISSING)
+                if cached is not _MISSING:
+                    value, status = pickle.loads(cached), "memory-hit"
+                    self.telemetry.record_hit(stage.name, "memory")
+                elif self.store is not None:
+                    loaded = self.store.get(key)
+                    if loaded is not None:
+                        value, status = loaded, "disk-hit"
+                        payload = pickle.dumps(loaded, pickle.HIGHEST_PROTOCOL)
+                        if len(payload) <= MEMO_MAX_ENTRY_BYTES:
+                            self.memo.put(key, payload)
+                        self.telemetry.record_hit(stage.name, "disk")
+
+            seconds = 0.0
+            if value is _MISSING:
+                start = time.perf_counter()
+                value = stage.run(state)
+                seconds = time.perf_counter() - start
+                if value is None:
+                    raise CompilationError(f"stage {stage.name!r} returned None")
+                self.telemetry.record_execution(stage.name, seconds)
+                if cacheable and key is not None:
+                    payload = pickle.dumps(value, pickle.HIGHEST_PROTOCOL)
+                    if len(payload) <= MEMO_MAX_ENTRY_BYTES:
+                        self.memo.put(key, payload)
+                    if self.store is not None:
+                        self.store.put(key, value, payload=payload)
+
+            state[stage.output] = value
+            if use_cache:
+                output_hash = content_hash(value)
+                if output_hash is None:
+                    output_hash = key  # provenance key fallback
+                if output_hash is not None:
+                    hashes[stage.output] = output_hash
+            records.append(StageRecord(stage.name, status, key, seconds, stage.output))
+
+        return PipelineRun(
+            state=state,
+            records=records,
+            final_output=self.stages[-1].output if self.stages else None,
+        )

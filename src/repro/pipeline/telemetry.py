@@ -1,0 +1,118 @@
+"""Per-stage wall-time and cache-hit telemetry.
+
+Every :class:`~repro.pipeline.pipeline.Pipeline` run reports into a
+process-global :class:`TelemetryRegistry`: one counter block per stage name
+tracking executions (real work), memory hits, disk hits and accumulated
+execution seconds.  Tests use the registry to assert the cache contract —
+e.g. that a warm rerun of a sweep performs **zero** circuit→pattern and
+pattern→computation-graph recomputations — and the sweep runner snapshots it
+around each task to attach per-point hit/miss deltas to the run table.
+
+The registry is per process: sweep workers each own a copy, and their deltas
+travel back to the parent inside the point records (see
+:func:`repro.sweep.runner.execute_point`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["StageCounters", "TelemetryRegistry", "TELEMETRY"]
+
+
+@dataclass
+class StageCounters:
+    """Counters for one pipeline stage.
+
+    Attributes:
+        executions: Times the stage function actually ran (cache misses and
+            uncached runs alike).
+        memory_hits: Short-circuits served from the in-process memo cache.
+        disk_hits: Short-circuits served from the on-disk artifact store.
+        seconds: Total wall time spent in real executions.
+    """
+
+    executions: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    seconds: float = 0.0
+
+    @property
+    def hits(self) -> int:
+        """Total cache short-circuits (memory + disk)."""
+        return self.memory_hits + self.disk_hits
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view for JSON output."""
+        return {
+            "executions": self.executions,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+class TelemetryRegistry:
+    """Thread-safe per-stage counter registry."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, StageCounters] = {}
+
+    def _stage(self, name: str) -> StageCounters:
+        counters = self._counters.get(name)
+        if counters is None:
+            counters = self._counters[name] = StageCounters()
+        return counters
+
+    def record_execution(self, name: str, seconds: float) -> None:
+        """Count one real execution of stage ``name`` taking ``seconds``."""
+        with self._lock:
+            counters = self._stage(name)
+            counters.executions += 1
+            counters.seconds += seconds
+
+    def record_hit(self, name: str, source: str) -> None:
+        """Count one cache short-circuit (``source`` is ``memory``/``disk``)."""
+        with self._lock:
+            counters = self._stage(name)
+            if source == "disk":
+                counters.disk_hits += 1
+            else:
+                counters.memory_hits += 1
+
+    def counters(self, name: str) -> StageCounters:
+        """Copy of the counters for one stage (zeros if never seen)."""
+        with self._lock:
+            counters = self._counters.get(name, StageCounters())
+            return StageCounters(
+                executions=counters.executions,
+                memory_hits=counters.memory_hits,
+                disk_hits=counters.disk_hits,
+                seconds=counters.seconds,
+            )
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-stage counter dicts, keyed by stage name."""
+        with self._lock:
+            return {name: counters.as_dict() for name, counters in self._counters.items()}
+
+    def totals(self) -> Dict[str, int]:
+        """Aggregate hit/execution counts across every stage."""
+        with self._lock:
+            return {
+                "executions": sum(c.executions for c in self._counters.values()),
+                "hits": sum(c.hits for c in self._counters.values()),
+                "disk_hits": sum(c.disk_hits for c in self._counters.values()),
+            }
+
+    def reset(self) -> None:
+        """Zero every counter (used between test phases)."""
+        with self._lock:
+            self._counters.clear()
+
+
+#: Process-global telemetry registry shared by every pipeline.
+TELEMETRY = TelemetryRegistry()

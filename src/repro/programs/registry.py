@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.programs.qaoa import qaoa_maxcut_circuit

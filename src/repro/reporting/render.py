@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Sequence
 
 from repro.reporting.experiments import ComparisonRow
 from repro.utils.tables import Table

@@ -23,14 +23,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from repro.metrics.lifetime import fusee_lifetime, measuree_lifetime
 from repro.scheduling.list_scheduler import list_schedule
 from repro.scheduling.problem import (
     LayerSchedulingProblem,
     Schedule,
-    ScheduleEvaluation,
     SyncTask,
     TaskKey,
 )

@@ -16,7 +16,7 @@ specific cycle.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional
 
 from repro.scheduling.problem import LayerSchedulingProblem, Schedule, SyncTask, TaskKey
 from repro.utils.errors import SchedulingError

@@ -21,8 +21,7 @@ import threading
 from collections import OrderedDict
 from typing import Callable, Hashable, Optional, Tuple, TypeVar
 
-from repro.compiler.compgraph import ComputationGraph, computation_graph_from_pattern
-from repro.mbqc.translate import circuit_to_pattern
+from repro.compiler.compgraph import ComputationGraph
 from repro.programs import build_benchmark
 
 __all__ = ["LRUCache", "COMPUTATION_CACHE", "build_computation"]
@@ -99,14 +98,38 @@ def _cache_size_from_environment() -> int:
 COMPUTATION_CACHE = LRUCache(maxsize=_cache_size_from_environment())
 
 
+def _build_via_pipeline(program: str, num_qubits: int, seed: int) -> ComputationGraph:
+    """Run circuit → pattern → computation graph through the staged pipeline.
+
+    The pipeline memoises both stage artifacts in the process-local cache
+    and, when ``DCMBQC_ARTIFACT_CACHE_DIR`` is set, the shared on-disk
+    artifact store — so sweep workers varying only downstream parameters
+    (k_max, alpha, QPU count) never re-translate the same benchmark.
+    """
+    # Deferred import: repro.pipeline reuses this module's LRUCache.
+    from repro.pipeline import Pipeline, resolve_store
+    from repro.pipeline.stages import compgraph_stage, translate_stage
+
+    circuit = build_benchmark(program, num_qubits, seed=seed)
+    pipeline = Pipeline(
+        [translate_stage(), compgraph_stage()], store=resolve_store()
+    )
+    return pipeline.run({"circuit": circuit}).state["computation"]
+
+
 def build_computation(
     program: str, num_qubits: int, seed: int = 2026
 ) -> ComputationGraph:
-    """Build (and LRU-cache) the computation graph of one benchmark instance."""
+    """Build (and LRU-cache) the computation graph of one benchmark instance.
+
+    When ``DCMBQC_PIPELINE_DISABLE_CACHE=1`` (the CLI's ``--no-cache``) the
+    LRU is bypassed too, so cold-compile measurements stay honest.
+    """
+    from repro.pipeline.artifacts import caching_disabled
+
+    if caching_disabled():
+        return _build_via_pipeline(program, num_qubits, seed)
     key: Tuple[str, int, int] = (program.upper(), num_qubits, seed)
     return COMPUTATION_CACHE.get_or_create(
-        key,
-        lambda: computation_graph_from_pattern(
-            circuit_to_pattern(build_benchmark(program, num_qubits, seed=seed))
-        ),
+        key, lambda: _build_via_pipeline(program, num_qubits, seed)
     )

@@ -19,8 +19,9 @@ from __future__ import annotations
 import concurrent.futures
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Union
+from typing import Callable, Dict, Iterable, List, Optional, Set, Union
 
+from repro.pipeline.telemetry import TELEMETRY
 from repro.sweep.grid import ParameterGrid, SweepPoint
 from repro.sweep.store import ResultStore
 from repro.sweep.tasks import TASK_REGISTRY
@@ -35,7 +36,11 @@ def execute_point(point: SweepPoint, retries: int = 0) -> Dict[str, object]:
     """Run one point's task, retrying on failure; never raises.
 
     Returns an outcome dict with ``status`` (``"done"``/``"failed"``),
-    ``result``, ``error``, ``attempts`` and ``duration_s``.
+    ``result``, ``error``, ``attempts``, ``duration_s`` and the pipeline
+    cache activity this point caused in the executing process
+    (``cache_hits``/``cache_misses`` — stage short-circuits vs real stage
+    executions).  The deltas travel back through the pipe, so the parent can
+    aggregate cache statistics across worker processes.
     """
     task_fn = TASK_REGISTRY.get(point.task)
     start = time.perf_counter()
@@ -50,24 +55,35 @@ def execute_point(point: SweepPoint, retries: int = 0) -> Dict[str, object]:
     attempts = 0
     while True:
         attempts += 1
+        # Snapshot per attempt so a failed try's stage executions don't
+        # inflate the delta attributed to the attempt that finally lands.
+        telemetry_before = TELEMETRY.totals()
         try:
             result = task_fn(point)
         except Exception as exc:  # noqa: BLE001 - workers must not die
             if attempts <= retries:
                 continue
+            telemetry_after = TELEMETRY.totals()
             return {
                 "status": "failed",
                 "result": None,
                 "error": f"{type(exc).__name__}: {exc}",
                 "attempts": attempts,
                 "duration_s": round(time.perf_counter() - start, 6),
+                "cache_hits": telemetry_after["hits"] - telemetry_before["hits"],
+                "cache_misses": telemetry_after["executions"]
+                - telemetry_before["executions"],
             }
+        telemetry_after = TELEMETRY.totals()
         return {
             "status": "done",
             "result": result,
             "error": None,
             "attempts": attempts,
             "duration_s": round(time.perf_counter() - start, 6),
+            "cache_hits": telemetry_after["hits"] - telemetry_before["hits"],
+            "cache_misses": telemetry_after["executions"]
+            - telemetry_before["executions"],
         }
 
 
@@ -80,6 +96,7 @@ class SweepOutcome:
     skipped: int = 0
     completed: int = 0
     failed: int = 0
+    fresh_keys: Set[str] = field(default_factory=set)
 
     @property
     def total(self) -> int:
@@ -107,6 +124,26 @@ class SweepOutcome:
             "skipped": self.skipped,
             "failed": self.failed,
         }
+
+    def cache_summary(self) -> Dict[str, int]:
+        """Pipeline-stage cache activity summed over every executed point.
+
+        Each record carries the executing process's telemetry delta
+        (``cache_hits``/``cache_misses``), so the sum is correct for serial
+        and process-pool runs alike.  Store-resumed (skipped) points are
+        excluded — their stored deltas describe a previous run.
+        """
+        hits = 0
+        misses = 0
+        counted = set()
+        for record in self.records:
+            key = str(record.get("key"))
+            if key not in self.fresh_keys or id(record) in counted:
+                continue
+            counted.add(id(record))  # duplicate points share one record
+            hits += int(record.get("cache_hits") or 0)
+            misses += int(record.get("cache_misses") or 0)
+        return {"hits": hits, "misses": misses}
 
 
 class SweepRunner:
@@ -173,6 +210,7 @@ class SweepRunner:
             )
             count = occurrences[point.cache_key()]
             fresh[point.cache_key()] = record
+            outcome.fresh_keys.add(point.cache_key())
             if record.get("status") == "done":
                 outcome.completed += count
             else:

@@ -34,7 +34,17 @@ __all__ = ["ResultStore"]
 STORE_FILENAME = "results.jsonl"
 
 #: Fixed metadata columns emitted before params/result columns in CSV export.
-_META_COLUMNS = ("key", "task", "status", "attempts", "duration_s", "timestamp", "error")
+_META_COLUMNS = (
+    "key",
+    "task",
+    "status",
+    "attempts",
+    "duration_s",
+    "cache_hits",
+    "cache_misses",
+    "timestamp",
+    "error",
+)
 
 
 class ResultStore:
@@ -116,6 +126,8 @@ class ResultStore:
             "error": outcome.get("error"),
             "attempts": outcome.get("attempts", 1),
             "duration_s": outcome.get("duration_s"),
+            "cache_hits": outcome.get("cache_hits", 0),
+            "cache_misses": outcome.get("cache_misses", 0),
             "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         }
         with self.path.open("a", encoding="utf-8") as handle:

@@ -1,11 +1,9 @@
 """Tests for the QuantumCircuit container."""
 
-import math
 
 import pytest
 
 from repro.circuit import QuantumCircuit, circuits_equivalent
-from repro.circuit.gates import Gate
 
 
 class TestConstruction:

@@ -7,7 +7,7 @@ import pytest
 
 from repro.circuit import QuantumCircuit, circuits_equivalent, decompose_to_jcz
 from repro.circuit.decompose import CZGate, JGate, euler_zxz
-from repro.circuit.gates import GATE_LIBRARY, Gate, gate_matrix
+from repro.circuit.gates import Gate, gate_matrix
 
 
 def _roundtrip_ok(circuit: QuantumCircuit) -> bool:

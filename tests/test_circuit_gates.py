@@ -1,6 +1,5 @@
 """Tests for gate definitions and their matrices."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Tests for the dense statevector simulator."""
 
-import math
 
 import numpy as np
 import pytest

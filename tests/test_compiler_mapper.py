@@ -2,11 +2,8 @@
 
 import pytest
 
-from repro.compiler.compgraph import computation_graph_from_pattern
 from repro.compiler.mapper import LayeredGridMapper, MapperConfig
 from repro.hardware.resource_states import ResourceStateType
-from repro.mbqc.translate import circuit_to_pattern
-from repro.programs import qft_circuit
 from repro.utils.errors import CompilationError
 
 

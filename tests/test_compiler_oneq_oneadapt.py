@@ -2,11 +2,9 @@
 
 import pytest
 
-from repro.compiler import OneAdaptCompiler, OneQCompiler, computation_graph_from_pattern
+from repro.compiler import OneAdaptCompiler, OneQCompiler
 from repro.compiler.execution import SingleQPUSchedule
 from repro.hardware.resource_states import ResourceStateType
-from repro.mbqc.translate import circuit_to_pattern
-from repro.programs import qft_circuit
 from repro.utils.errors import ValidationError
 
 
@@ -76,6 +74,49 @@ class TestOneAdaptCompiler:
     def test_lifetime_cap_recorded(self, small_computation):
         schedule = OneAdaptCompiler(grid_size=5, refresh_limit=9).compile(small_computation)
         assert schedule.lifetime_cap == 9
+
+
+class TestSeedThreading:
+    """The seed must reach the mapper's randomised tie-breaking so repeated
+    compiles are bit-identical — the prerequisite for safe artifact caching."""
+
+    @staticmethod
+    def placements(schedule):
+        return [sorted(layer.node_cells.items()) for layer in schedule.layers]
+
+    def test_oneadapt_repeated_compiles_are_bit_identical(self, qft8_computation):
+        compiles = [
+            # use_cache=False: a cache hit would make the check vacuous.
+            OneAdaptCompiler(
+                grid_size=5, refresh_limit=6, placement_jitter=0.7, seed=11
+            ).compile_run(qft8_computation, use_cache=False)[0]
+            for _ in range(2)
+        ]
+        assert self.placements(compiles[0]) == self.placements(compiles[1])
+        assert compiles[0].fusee_pairs == compiles[1].fusee_pairs
+        assert compiles[0].summary() == compiles[1].summary()
+
+    def test_oneq_repeated_compiles_are_bit_identical(self, qft8_computation):
+        compiles = [
+            OneQCompiler(grid_size=5, placement_jitter=0.7, seed=11).compile_run(
+                qft8_computation, use_cache=False
+            )[0]
+            for _ in range(2)
+        ]
+        assert self.placements(compiles[0]) == self.placements(compiles[1])
+
+    def test_jittered_seeds_are_separate_cache_entries(self, qft8_computation):
+        runs = {
+            seed: OneAdaptCompiler(
+                grid_size=5, placement_jitter=0.7, seed=seed
+            ).compile_run(qft8_computation)[1]
+            for seed in (1, 2)
+        }
+        keys = {
+            seed: {record.stage: record.key for record in run.records}
+            for seed, run in runs.items()
+        }
+        assert keys[1]["grid_mapping"] != keys[2]["grid_mapping"]
 
 
 class TestScheduleValidation:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import DCMBQCCompiler, DCMBQCConfig
+from repro.core import DCMBQCConfig
 from repro.core.comparison import BaselineComparison, compare_with_baseline
 
 

@@ -5,7 +5,6 @@ import pytest
 from repro.core import DCMBQCCompiler, DCMBQCConfig
 from repro.core.compiler import DistributedCompilationResult
 from repro.hardware.qpu import InterconnectTopology
-from repro.hardware.resource_states import ResourceStateType
 from repro.utils.errors import CompilationError
 
 

@@ -1,6 +1,5 @@
 """Tests for the delay-line photon loss model (Figure 1)."""
 
-import math
 
 import pytest
 

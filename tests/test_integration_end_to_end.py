@@ -12,7 +12,7 @@ from repro.compiler import OneQCompiler, computation_graph_from_pattern
 from repro.core import DCMBQCCompiler, DCMBQCConfig, compare_with_baseline
 from repro.hardware.resource_states import ResourceStateType
 from repro.mbqc.translate import circuit_to_pattern
-from repro.programs import build_benchmark, qft_circuit, rca_circuit
+from repro.programs import build_benchmark
 from repro.runtime.executor import DistributedRuntime
 
 

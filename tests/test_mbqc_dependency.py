@@ -2,7 +2,6 @@
 
 import math
 
-import networkx as nx
 import pytest
 
 from repro.mbqc.dependency import (
@@ -13,9 +12,6 @@ from repro.mbqc.dependency import (
 )
 from repro.mbqc.pattern import Pattern
 from repro.mbqc.signal_shift import signal_shift
-from repro.mbqc.translate import circuit_to_pattern
-from repro.circuit import QuantumCircuit
-from repro.utils.errors import ValidationError
 
 
 class TestIsPauliAngle:

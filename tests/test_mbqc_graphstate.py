@@ -1,6 +1,5 @@
 """Tests for graph states."""
 
-import networkx as nx
 import numpy as np
 import pytest
 

@@ -5,7 +5,6 @@ import pytest
 from repro.circuit import QuantumCircuit
 from repro.circuit.equivalence import random_product_state, states_equivalent_up_to_phase
 from repro.circuit.simulator import StatevectorSimulator
-from repro.mbqc.commands import MeasureCommand
 from repro.mbqc.signal_shift import signal_shift
 from repro.mbqc.simulator import simulate_pattern
 from repro.mbqc.translate import circuit_to_pattern

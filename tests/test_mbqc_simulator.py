@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.circuit import QuantumCircuit, StatevectorSimulator
+from repro.circuit import StatevectorSimulator
 from repro.circuit.equivalence import states_equivalent_up_to_phase
 from repro.mbqc.pattern import Pattern
 from repro.mbqc.simulator import PatternSimulator, simulate_pattern

@@ -6,7 +6,6 @@ output state on arbitrary inputs, up to a global phase.
 """
 
 import numpy as np
-import pytest
 
 from repro.circuit import QuantumCircuit, StatevectorSimulator
 from repro.circuit.decompose import decompose_to_jcz

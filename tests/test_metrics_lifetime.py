@@ -5,7 +5,6 @@ import pytest
 
 from repro.mbqc.dependency import DependencyGraph
 from repro.metrics.lifetime import (
-    LifetimeReport,
     fusee_lifetime,
     measuree_lifetime,
     required_photon_lifetime,

@@ -3,7 +3,6 @@
 import networkx as nx
 import pytest
 
-from repro.core import DCMBQCCompiler, DCMBQCConfig
 from repro.partition.spectral import fiedler_bisection, spectral_partition
 from repro.scheduling.bounds import (
     lifetime_lower_bound,

@@ -1,0 +1,78 @@
+"""Tests for the batch CompileService."""
+
+import pytest
+
+from repro.core.compiler import DCMBQCCompiler
+from repro.core.config import DCMBQCConfig
+from repro.pipeline import CompileService
+from repro.programs.registry import paper_grid_size
+from repro.sweep.cache import build_computation
+from repro.sweep.grid import SweepPoint
+from repro.sweep.store import ResultStore
+
+
+def request(num_qpus=2, k_max=4, program="QFT", num_qubits=8):
+    return {
+        "program": program,
+        "num_qubits": num_qubits,
+        "num_qpus": num_qpus,
+        "k_max": k_max,
+    }
+
+
+class TestNormalize:
+    def test_mapping_becomes_compile_point(self):
+        point = CompileService.normalize(request())
+        assert isinstance(point, SweepPoint)
+        assert point.task == "compile"
+        assert point.program == "QFT"
+        assert point.num_qpus == 2
+
+    def test_foreign_task_is_overridden(self):
+        point = CompileService.normalize(SweepPoint(task="compare", program="QFT"))
+        assert point.task == "compile"
+
+
+class TestCompileBatch:
+    def test_batch_matches_direct_compilation(self):
+        report = CompileService(workers=1).compile_batch([request()])
+        row = report.results()[0]
+        computation = build_computation("QFT", 8)
+        config = DCMBQCConfig(
+            num_qpus=2, grid_size=paper_grid_size(8), connection_capacity=4
+        )
+        direct = DCMBQCCompiler(config).compile(computation).summary()
+        for key, value in direct.items():
+            assert row[key] == value
+
+    def test_shared_prefixes_are_deduplicated(self):
+        requests = [request(num_qpus=qpus) for qpus in (2, 2, 4)]
+        report = CompileService(workers=1).compile_batch(requests)
+        assert report.unique_instances == 1
+        assert report.prewarmed == 1
+        summary = report.summary()
+        assert summary["requests"] == 3
+        assert summary["completed"] == 3
+        assert summary["failed"] == 0
+        # Rows come back in request order; duplicate requests share results.
+        rows = report.results()
+        assert rows[0] == rows[1]
+        assert rows[2]["num_qpus"] == 4
+
+    def test_result_store_resume(self, tmp_path):
+        store = ResultStore(tmp_path / "batch")
+        service = CompileService(workers=1, store=store)
+        first = service.compile_batch([request()])
+        assert first.summary()["completed"] == 1
+        second = service.compile_batch([request()])
+        assert second.summary()["completed"] == 1
+        # The resumed batch executed nothing: no cache activity at all.
+        assert second.cache_hits == 0 and second.cache_misses == 0
+
+    def test_compile_one(self):
+        row = CompileService(workers=1).compile_one(request(num_qpus=4))
+        assert row["num_qpus"] == 4
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            CompileService(workers=0)

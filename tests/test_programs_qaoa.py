@@ -1,15 +1,13 @@
 """Tests for the QAOA benchmark generator."""
 
-import math
 
 import networkx as nx
 import pytest
 
-from repro.circuit import circuits_equivalent, simulate_circuit
+from repro.circuit import circuits_equivalent
 from repro.circuit.circuit import QuantumCircuit
 from repro.programs.qaoa import matching_ordered_edges, qaoa_maxcut_circuit, random_maxcut_graph
 
-import numpy as np
 
 
 class TestRandomMaxcutGraph:

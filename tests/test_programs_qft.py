@@ -44,7 +44,7 @@ class TestSemantics:
     @pytest.mark.parametrize("n", [1, 2, 3])
     def test_matches_dft_on_basis_states(self, n):
         """QFT with final swaps implements the DFT matrix (up to bit order)."""
-        from repro.circuit import QuantumCircuit, StatevectorSimulator
+        from repro.circuit import StatevectorSimulator
 
         dft = self._reference_qft_matrix(n)
         circuit = qft_circuit(n, include_swaps=True)

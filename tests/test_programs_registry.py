@@ -4,7 +4,6 @@ import pytest
 
 from repro.programs.registry import (
     PAPER_TABLE2,
-    BenchmarkSpec,
     benchmark_names,
     build_benchmark,
     paper_grid_size,

@@ -3,7 +3,6 @@
 import math
 
 import networkx as nx
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

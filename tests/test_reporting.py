@@ -1,6 +1,5 @@
 """Tests for the experiment drivers and table rendering."""
 
-import pytest
 
 from repro.reporting.experiments import (
     BenchmarkScale,

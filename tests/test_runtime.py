@@ -5,7 +5,6 @@ import pytest
 from repro.hardware.loss import DelayLineModel
 from repro.runtime.executor import DistributedRuntime
 from repro.runtime.reliability import estimate_program_reliability
-from repro.utils.errors import ValidationError
 
 
 class TestValidation:

@@ -1,6 +1,5 @@
 """Tests for grid geometry helpers."""
 
-import pytest
 
 from repro.utils.grid import (
     GridPoint,
