@@ -1,0 +1,47 @@
+"""Table VII — the extended nine-family workload matrix vs OneQ.
+
+Runs every program family (the paper's VQE / QAOA / QFT / RCA plus the
+extended GROVER / QPE / GHZ / HS / ANSATZ) through the ``workload`` sweep
+task: one distributed compilation and one OneQ baseline per instance, with
+the workload's structural characteristics reported alongside the
+improvement factors.  The assertions pin the qualitative claims the
+extension rides on: every family compiles end to end, distribution wins on
+execution time across the board, and the required lifetime never collapses.
+"""
+
+from repro.metrics.improvement import geometric_mean_improvement
+from repro.programs.registry import benchmark_names
+from repro.reporting.experiments import table7_rows
+from repro.reporting.render import render_table7
+
+
+def test_table7_extended_workloads(benchmark, bench_scale, bench_workers, record_table):
+    rows = benchmark.pedantic(
+        table7_rows,
+        args=(bench_scale,),
+        kwargs={"workers": bench_workers},
+        rounds=1,
+        iterations=1,
+    )
+    record_table("table7_extended_workloads", render_table7(rows))
+
+    # Every registered family appears in the matrix.
+    families = {row["program"] for row in rows}
+    assert families == set(benchmark_names())
+
+    # Every instance compiled through both compilers and produced a
+    # non-trivial computation graph.
+    for row in rows:
+        assert row["num_fusions"] > 0
+        assert row["our_exec"] > 0
+        assert row["baseline_exec"] > 0
+
+    # Distributed execution wins for every instance of every family.
+    for row in rows:
+        label = f"{row['program']}-{row['num_qubits']}"
+        assert row["exec_improvement"] > 1.0, f"{label} regressed on execution time"
+
+    # Lifetime improves on average and never collapses.
+    lifetime_factors = [float(row["lifetime_improvement"]) for row in rows]
+    assert geometric_mean_improvement(lifetime_factors) > 1.0
+    assert all(factor > 0.8 for factor in lifetime_factors)

@@ -8,6 +8,7 @@ construct by hand in tests and examples.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List, Tuple
 
@@ -153,6 +154,10 @@ class QuantumCircuit:
         """Toffoli."""
         return self.add("CCX", [a, b, target])
 
+    def mcz(self, *qubits: int) -> "QuantumCircuit":
+        """Multi-controlled Z over ``qubits`` (symmetric; needs >= 2 qubits)."""
+        return self.add("MCZ", qubits)
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
@@ -194,15 +199,12 @@ class QuantumCircuit:
         return max(frontier) if frontier else 0
 
     def interaction_graph(self) -> List[Tuple[int, int]]:
-        """Return the list of qubit pairs coupled by at least one 2Q gate."""
+        """Return the list of qubit pairs coupled by at least one multi-qubit gate."""
         pairs = set()
         for gate in self.gates:
-            if gate.num_qubits == 2:
-                a, b = sorted(gate.qubits)
-                pairs.add((a, b))
-            elif gate.num_qubits == 3:
+            if gate.num_qubits >= 2:
                 qs = sorted(gate.qubits)
-                pairs.update({(qs[0], qs[1]), (qs[0], qs[2]), (qs[1], qs[2])})
+                pairs.update(itertools.combinations(qs, 2))
         return sorted(pairs)
 
     def inverse(self) -> "QuantumCircuit":

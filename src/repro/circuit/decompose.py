@@ -11,7 +11,9 @@ by the front end is rewritten here into that basis:
 * arbitrary single-qubit unitaries via a ZXZ Euler decomposition, giving the
   canonical 4-J form ``U = J(0) J(a) J(b) J(c)``
 * ``CX -> (H on target) CZ (H on target)``
-* ``CPHASE``, ``SWAP`` and ``CCX`` via their standard CX/RZ decompositions.
+* ``CPHASE``, ``SWAP`` and ``CCX`` via their standard CX/RZ decompositions
+* ``MCZ`` (multi-controlled Z, any arity) via an ancilla-free Gray-code
+  phase-polynomial construction.
 
 The output is a :class:`JCZProgram`, a flat list of :class:`JGate` and
 :class:`CZGate` operations, which is exactly what the MBQC translation in
@@ -217,6 +219,42 @@ def _swap_jcz(a: int, b: int) -> List[JCZOperation]:
     return ops
 
 
+def _mcz_gates(qubits: Tuple[int, ...]) -> List[Gate]:
+    """Ancilla-free phase-polynomial decomposition of a multi-controlled Z.
+
+    MCZ on ``k`` qubits is ``exp(i pi P)`` with ``P`` the projector onto
+    ``|1...1>``.  Expanding ``P = prod_i (I - Z_i) / 2`` yields one Z-parity
+    rotation of angle ``+-pi / 2^{k-1}`` per non-empty qubit subset (sign
+    alternating with subset parity).  Subsets are enumerated per *anchor*
+    qubit in Gray-code order over the preceding qubits, so consecutive
+    rotations differ by a single CX: ``2^k - 1`` RZ and about ``2^k`` CX in
+    total, exact and without ancilla qubits.  Grover's oracle and diffuser
+    compile through this lowering into the existing J/CZ translation.
+    """
+    k = len(qubits)
+    if k == 2:
+        return [Gate("CZ", qubits)]
+    base = math.pi / 2 ** (k - 1)
+    ops: List[Gate] = []
+    for anchor_index in range(k):
+        anchor = qubits[anchor_index]
+        controls = qubits[:anchor_index]
+        previous_gray = 0
+        for i in range(2**anchor_index):
+            gray = i ^ (i >> 1)
+            changed = gray ^ previous_gray
+            if changed:
+                ops.append(Gate("CX", (controls[changed.bit_length() - 1], anchor)))
+            previous_gray = gray
+            subset_size = bin(gray).count("1") + 1
+            ops.append(Gate("RZ", (anchor,), (base if subset_size % 2 else -base,)))
+        # Uncompute the parity the final Gray subset left on the anchor.
+        for bit_index in range(anchor_index):
+            if (previous_gray >> bit_index) & 1:
+                ops.append(Gate("CX", (controls[bit_index], anchor)))
+    return ops
+
+
 def _ccx_gates(a: int, b: int, c: int) -> List[Gate]:
     """The standard 6-CNOT, 7-T Toffoli decomposition (Nielsen & Chuang)."""
     return [
@@ -268,4 +306,9 @@ def _gate_to_jcz(gate: Gate) -> List[JCZOperation]:
         for sub_gate in _ccx_gates(*gate.qubits):
             ops.extend(_gate_to_jcz(sub_gate))
         return ops
+    if name == "MCZ":
+        mcz_ops: List[JCZOperation] = []
+        for sub_gate in _mcz_gates(gate.qubits):
+            mcz_ops.extend(_gate_to_jcz(sub_gate))
+        return mcz_ops
     raise CompilationError(f"cannot decompose gate {gate.name!r} to the J/CZ basis")

@@ -14,7 +14,7 @@ from typing import Callable, Dict, Tuple
 
 import numpy as np
 
-__all__ = ["Gate", "GateSpec", "GATE_LIBRARY", "is_supported_gate"]
+__all__ = ["Gate", "GateSpec", "GATE_LIBRARY", "VARIABLE_ARITY", "is_supported_gate"]
 
 
 @dataclass(frozen=True)
@@ -54,15 +54,21 @@ class Gate:
         return f"{self.name} q[{args}]"
 
 
+#: Sentinel arity for gates that accept any number of qubits (>= 2).
+VARIABLE_ARITY = -1
+
+
 @dataclass(frozen=True)
 class GateSpec:
     """Static description of a gate type.
 
     Attributes:
         name: Gate mnemonic.
-        num_qubits: Arity of the gate.
+        num_qubits: Arity of the gate, or :data:`VARIABLE_ARITY` for gates
+            like MCZ that accept any register subset of two or more qubits.
         num_params: Number of real parameters.
         matrix_fn: Callable returning the unitary for given parameters.
+            Variable-arity gates receive the qubit count as first argument.
     """
 
     name: str
@@ -129,6 +135,13 @@ def _j_gate(theta: float) -> np.ndarray:
     return _H @ _rz(theta)
 
 
+def _mcz(num_qubits: int) -> np.ndarray:
+    """Multi-controlled Z: -1 phase on the all-ones basis state."""
+    diagonal = np.ones(2**num_qubits, dtype=complex)
+    diagonal[-1] = -1.0
+    return np.diag(diagonal)
+
+
 GATE_LIBRARY: Dict[str, GateSpec] = {
     "I": GateSpec("I", 1, 0, lambda: _I),
     "H": GateSpec("H", 1, 0, lambda: _H),
@@ -154,6 +167,7 @@ GATE_LIBRARY: Dict[str, GateSpec] = {
     ),
     "SWAP": GateSpec("SWAP", 2, 0, lambda: _SWAP),
     "CCX": GateSpec("CCX", 3, 0, lambda: _CCX),
+    "MCZ": GateSpec("MCZ", VARIABLE_ARITY, 0, _mcz),
 }
 
 
@@ -171,6 +185,8 @@ def gate_matrix(gate: Gate) -> np.ndarray:
         raise ValueError(
             f"gate {gate.name} expects {spec.num_params} parameters, got {len(gate.params)}"
         )
+    if spec.num_qubits == VARIABLE_ARITY:
+        return spec.matrix_fn(gate.num_qubits, *gate.params)
     return spec.matrix_fn(*gate.params)
 
 
@@ -179,7 +195,12 @@ def validate_gate(gate: Gate) -> None:
     spec = GATE_LIBRARY.get(gate.name.upper())
     if spec is None:
         raise KeyError(f"unknown gate {gate.name!r}")
-    if gate.num_qubits != spec.num_qubits:
+    if spec.num_qubits == VARIABLE_ARITY:
+        if gate.num_qubits < 2:
+            raise ValueError(
+                f"gate {gate.name} needs at least 2 qubits, got {gate.num_qubits}"
+            )
+    elif gate.num_qubits != spec.num_qubits:
         raise ValueError(
             f"gate {gate.name} acts on {spec.num_qubits} qubits, got {gate.num_qubits}"
         )

@@ -25,7 +25,9 @@ from repro.circuit.gates import Gate
 
 __all__ = ["optimize_circuit", "cancel_adjacent_inverses", "merge_rotations"]
 
-_SELF_INVERSE = {"H", "X", "Y", "Z", "CX", "CZ", "SWAP", "CCX"}
+_SELF_INVERSE = {"H", "X", "Y", "Z", "CX", "CZ", "SWAP", "CCX", "MCZ"}
+#: Gates invariant under any permutation of their qubits: CZ(a,b) == CZ(b,a).
+_FULLY_SYMMETRIC = {"CZ", "SWAP", "MCZ"}
 _INVERSE_PAIRS = {("S", "SDG"), ("SDG", "S"), ("T", "TDG"), ("TDG", "T")}
 _MERGEABLE_ROTATIONS = {"RZ", "RX", "RY", "PHASE"}
 _ANGLE_EPS = 1e-12
@@ -36,12 +38,27 @@ def _gates_commute_trivially(first: Gate, second: Gate) -> bool:
     return not set(first.qubits) & set(second.qubits)
 
 
-def _is_cancelling_pair(first: Gate, second: Gate) -> bool:
-    if first.qubits != second.qubits:
-        return False
-    if first.name in _SELF_INVERSE and first.name == second.name and not first.params:
+def _same_operands(first: Gate, second: Gate) -> bool:
+    """True when both gates address the same operands, up to gate symmetry."""
+    if first.qubits == second.qubits:
         return True
-    return (first.name, second.name) in _INVERSE_PAIRS
+    if first.name in _FULLY_SYMMETRIC:
+        return set(first.qubits) == set(second.qubits)
+    if first.name == "CCX":
+        # The two controls commute; the target does not.
+        return (
+            first.qubits[2] == second.qubits[2]
+            and set(first.qubits[:2]) == set(second.qubits[:2])
+        )
+    return False
+
+
+def _is_cancelling_pair(first: Gate, second: Gate) -> bool:
+    if first.name in _SELF_INVERSE and first.name == second.name and not first.params:
+        return _same_operands(first, second)
+    if (first.name, second.name) in _INVERSE_PAIRS:
+        return first.qubits == second.qubits
+    return False
 
 
 def cancel_adjacent_inverses(circuit: QuantumCircuit) -> QuantumCircuit:
@@ -49,30 +66,53 @@ def cancel_adjacent_inverses(circuit: QuantumCircuit) -> QuantumCircuit:
 
     "Adjacent" is understood up to commuting past gates on disjoint qubits,
     which catches the cancellations produced by the CX/CCX decompositions of
-    the benchmark generators.
+    the benchmark generators.  Symmetric gates (CZ, SWAP, MCZ; the control
+    pair of CCX) cancel regardless of operand order.
+
+    After a cancellation the scan resumes at the nearest earlier gates that
+    could have been blocked by the removed pair, instead of restarting from
+    index 0: a removal at position ``i`` can only unblock, for each qubit of
+    the removed gate, the closest preceding gate on that qubit (anything
+    further back was blocked earlier in the circuit).  This keeps large
+    benchmark circuits (QAOA-196 has thousands of gates) out of the
+    O(n^3) restart-from-zero regime of the previous implementation.
     """
     gates: List[Optional[Gate]] = list(circuit.gates)
-    changed = True
-    while changed:
-        changed = False
-        for index, gate in enumerate(gates):
-            if gate is None:
+    index = 0
+    while index < len(gates):
+        gate = gates[index]
+        if gate is None:
+            index += 1
+            continue
+        cancelled = False
+        # Look forward for a partner, stopping at the first gate that
+        # shares a qubit with this one.
+        for later in range(index + 1, len(gates)):
+            other = gates[later]
+            if other is None:
                 continue
-            # Look forward for a partner, stopping at the first gate that
-            # shares a qubit with this one.
-            for later in range(index + 1, len(gates)):
-                other = gates[later]
-                if other is None:
-                    continue
-                if _is_cancelling_pair(gate, other):
-                    gates[index] = None
-                    gates[later] = None
-                    changed = True
-                    break
-                if not _gates_commute_trivially(gate, other):
-                    break
-            if changed:
+            if _is_cancelling_pair(gate, other):
+                gates[index] = None
+                gates[later] = None
+                # Resume at the earliest gate whose forward scan may have
+                # stopped at the removed pair: for each removed qubit, the
+                # nearest preceding gate touching it.
+                resume = index
+                remaining = set(gate.qubits)
+                position = index - 1
+                while position >= 0 and remaining:
+                    earlier = gates[position]
+                    if earlier is not None and set(earlier.qubits) & remaining:
+                        resume = position
+                        remaining -= set(earlier.qubits)
+                    position -= 1
+                index = resume
+                cancelled = True
                 break
+            if not _gates_commute_trivially(gate, other):
+                break
+        if not cancelled:
+            index += 1
     result = QuantumCircuit(circuit.num_qubits, name=circuit.name)
     for gate in gates:
         if gate is not None:

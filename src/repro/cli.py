@@ -34,7 +34,7 @@ from repro.core import DCMBQCCompiler, DCMBQCConfig, compare_with_baseline
 from repro.hardware.resource_states import ResourceStateType
 from repro.pipeline import CACHE_DIR_ENV, CACHE_DISABLE_ENV, resolve_store
 from repro.programs import build_benchmark
-from repro.programs.registry import paper_grid_size
+from repro.programs.registry import benchmark_names, paper_grid_size
 from repro.reporting import experiments, render
 from repro.sweep import GRID_REGISTRY, ResultStore, SweepRunner
 
@@ -80,6 +80,7 @@ EXPERIMENT_REGISTRY: Dict[str, ExperimentSpec] = {
     "table6": ExperimentSpec(
         lambda scale: experiments.table6_rows(), render.render_table6
     ),
+    "table7": ExperimentSpec(experiments.table7_rows, render.render_table7),
     "figure1": ExperimentSpec(
         lambda scale: experiments.figure1_series(),
         lambda rows: render.render_series(rows, "Figure 1 — photon loss"),
@@ -117,7 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     def add_program_arguments(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument("--program", default="QFT", help="QAOA, VQE, QFT or RCA")
+        sub.add_argument(
+            "--program",
+            default="QFT",
+            help="benchmark family: " + ", ".join(benchmark_names()),
+        )
         sub.add_argument("--qubits", type=int, default=16)
         sub.add_argument("--qpus", type=int, default=4)
         sub.add_argument("--grid-size", type=int, default=None)

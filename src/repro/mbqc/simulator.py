@@ -145,14 +145,27 @@ class PatternSimulator:
         p_minus = float(np.vdot(minus_branch, minus_branch).real)
         total = p_plus + p_minus
 
-        if command.node in self.forced_outcomes:
+        forced = command.node in self.forced_outcomes
+        if forced:
             outcome = int(self.forced_outcomes[command.node])
         else:
             outcome = int(self.rng.random() < (p_minus / total))
         branch = minus_branch if outcome == 1 else plus_branch
         probability = p_minus if outcome == 1 else p_plus
         if probability < 1e-12:
-            # Forced onto a zero-probability branch: fall back to the other one.
+            if forced:
+                # A correct translation makes every measurement outcome
+                # equally likely (the defining determinism property), so a
+                # forced branch of probability ~0 means the pattern — not the
+                # caller — is broken.  Silently flipping here used to mask
+                # byproduct-tracking bugs in equivalence tests.
+                raise ValidationError(
+                    f"forced outcome {outcome} on node {command.node} has "
+                    f"probability {probability:.3g}; the pattern does not "
+                    "support this measurement branch"
+                )
+            # Sampled onto a zero-probability branch (numerically possible
+            # when one branch has probability ~1): take the other one.
             outcome = 1 - outcome
             branch = minus_branch if outcome == 1 else plus_branch
             probability = p_minus if outcome == 1 else p_plus

@@ -1,0 +1,64 @@
+"""Hardware-efficient random ansatz benchmark circuits.
+
+A brickwork ansatz with seeded random parameters: each layer applies an
+``RY``/``RZ`` rotation pair to every qubit followed by a brickwork layer of
+CZ entanglers on nearest-neighbour pairs (even pairs on even layers, odd
+pairs on odd layers), and a final rotation block closes the circuit.  The
+linear-chain connectivity is the deliberate counterpoint to the VQE family's
+fully entangled layers: VQE stresses the partitioner with all-to-all
+coupling, the random ansatz with depth on a 1D topology.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.utils.rng import make_rng
+
+__all__ = ["random_ansatz_circuit", "brickwork_pairs"]
+
+
+def brickwork_pairs(num_qubits: int, layer: int) -> List[Tuple[int, int]]:
+    """Nearest-neighbour pairs of one brickwork layer (parity alternates)."""
+    start = layer % 2
+    return [(q, q + 1) for q in range(start, num_qubits - 1, 2)]
+
+
+def random_ansatz_circuit(
+    num_qubits: int,
+    layers: int = 3,
+    seed: int | None = None,
+) -> QuantumCircuit:
+    """Build a brickwork hardware-efficient ansatz with random angles.
+
+    Args:
+        num_qubits: Register width (at least 2).
+        layers: Number of (rotation, entangler) blocks; a final rotation
+            block follows the last entangler.
+        seed: Seed for the rotation angles; the same seed always rebuilds
+            the identical circuit.
+    """
+    if num_qubits < 2:
+        raise ValueError("the brickwork ansatz needs at least two qubits")
+    if layers < 1:
+        raise ValueError("need at least one ansatz layer")
+    rng = make_rng(seed)
+    angles = iter(
+        rng.uniform(0.0, 2.0 * math.pi, size=2 * num_qubits * (layers + 1))
+    )
+
+    circuit = QuantumCircuit(num_qubits, name=f"ansatz_{num_qubits}")
+
+    def rotation_block() -> None:
+        for qubit in range(num_qubits):
+            circuit.ry(float(next(angles)), qubit)
+            circuit.rz(float(next(angles)), qubit)
+
+    rotation_block()
+    for layer in range(layers):
+        for a, b in brickwork_pairs(num_qubits, layer):
+            circuit.cz(a, b)
+        rotation_block()
+    return circuit

@@ -1,0 +1,95 @@
+"""GHZ and graph-state preparation benchmark circuits.
+
+Two closely related entanglement-distribution workloads:
+
+* :func:`ghz_circuit` — the ``n``-qubit GHZ state via a Hadamard and a CX
+  chain.  The interaction graph is a path, the sparsest possible workload
+  for the partitioner: an ideal best case for distributed compilation.
+* :func:`graph_state_circuit` — ``|+>^n`` followed by one CZ per edge of a
+  seeded random graph of bounded degree, i.e. direct preparation of a graph
+  state.  Unlike the GHZ chain the entangling layer has tunable density,
+  probing the partitioner between the GHZ best case and QAOA's dense cost
+  layers.
+
+The registry's ``GHZ`` family builds the chain circuit; the graph-state
+generator is exposed for sweeps that want a density axis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.utils.rng import make_rng
+
+__all__ = ["ghz_circuit", "graph_state_circuit", "random_bounded_degree_edges"]
+
+
+def ghz_circuit(num_qubits: int) -> QuantumCircuit:
+    """Build the ``n``-qubit GHZ preparation: H on qubit 0, then a CX chain."""
+    if num_qubits < 2:
+        raise ValueError("a GHZ state needs at least two qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+def random_bounded_degree_edges(
+    num_nodes: int, max_degree: int = 3, seed: int | None = None
+) -> List[Tuple[int, int]]:
+    """Return seeded random edges with every vertex degree below the bound.
+
+    Candidate edges are visited in a seeded random order and kept greedily
+    while both endpoints have spare degree, yielding a connected-ish sparse
+    graph whose density is controlled by ``max_degree``.
+    """
+    if num_nodes < 2:
+        raise ValueError("need at least two nodes")
+    if max_degree < 1:
+        raise ValueError("max_degree must be at least 1")
+    rng = make_rng(seed)
+    candidates = [
+        (i, j) for i in range(num_nodes) for j in range(i + 1, num_nodes)
+    ]
+    order = rng.permutation(len(candidates))
+    degree = [0] * num_nodes
+    edges: List[Tuple[int, int]] = []
+    for index in order:
+        a, b = candidates[index]
+        if degree[a] < max_degree and degree[b] < max_degree:
+            edges.append((a, b))
+            degree[a] += 1
+            degree[b] += 1
+    return sorted(edges)
+
+
+def graph_state_circuit(
+    num_qubits: int,
+    max_degree: int = 3,
+    seed: int | None = None,
+    edges: List[Tuple[int, int]] | None = None,
+) -> QuantumCircuit:
+    """Prepare a graph state: ``|+>^n`` plus one CZ per graph edge.
+
+    Args:
+        num_qubits: Register width.
+        max_degree: Degree bound of the random graph (ignored when ``edges``
+            is given).
+        seed: Seed for the random graph.
+        edges: Explicit edge list overriding the random construction.
+
+    Returns:
+        The circuit, with the edge list stored as the ``graph_edges``
+        attribute.
+    """
+    if edges is None:
+        edges = random_bounded_degree_edges(num_qubits, max_degree=max_degree, seed=seed)
+    circuit = QuantumCircuit(num_qubits, name=f"graphstate_{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for a, b in edges:
+        circuit.cz(a, b)
+    circuit.graph_edges = list(edges)  # type: ignore[attr-defined]
+    return circuit

@@ -1,0 +1,90 @@
+"""Grover-search benchmark circuits.
+
+The oracle marks a single seeded basis state by conjugating a
+multi-controlled Z with X gates on the zero bits of the marked bitstring;
+the diffuser is the standard inversion about the mean (``H^n X^n MCZ X^n
+H^n``).  Both the oracle and the diffuser emit one :class:`MCZ` gate over
+the whole register, which the decomposition pass lowers to the J/CZ basis
+through its ancilla-free Gray-code construction — so the dominant cost of a
+Grover instance is two ``O(2^n)``-gate MCZ lowerings per iteration, which is
+why the benchmark grids keep Grover widths moderate.
+
+Benchmark instances default to a single Grover iteration (the convention of
+circuit-benchmark suites: one iteration already exercises the full oracle +
+diffuser structure; the asymptotically optimal ``~pi/4 * sqrt(2^n)`` rounds
+only repeat it).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.utils.rng import make_rng
+
+__all__ = ["grover_circuit", "random_marked_state"]
+
+
+def random_marked_state(num_qubits: int, seed: int | None = None) -> Tuple[int, ...]:
+    """Return a seeded random bitstring (qubit 0 first) to mark."""
+    rng = make_rng(seed)
+    return tuple(int(bit) for bit in rng.integers(0, 2, size=num_qubits))
+
+
+def _oracle(circuit: QuantumCircuit, marked: Sequence[int]) -> None:
+    """Phase-flip the marked basis state: X-conjugated multi-controlled Z."""
+    zeros = [qubit for qubit, bit in enumerate(marked) if bit == 0]
+    for qubit in zeros:
+        circuit.x(qubit)
+    circuit.mcz(*range(circuit.num_qubits))
+    for qubit in zeros:
+        circuit.x(qubit)
+
+
+def _diffuser(circuit: QuantumCircuit) -> None:
+    """Inversion about the mean: H^n X^n MCZ X^n H^n."""
+    for qubit in range(circuit.num_qubits):
+        circuit.h(qubit)
+        circuit.x(qubit)
+    circuit.mcz(*range(circuit.num_qubits))
+    for qubit in range(circuit.num_qubits):
+        circuit.x(qubit)
+        circuit.h(qubit)
+
+
+def grover_circuit(
+    num_qubits: int,
+    iterations: int = 1,
+    seed: int | None = None,
+    marked: Sequence[int] | None = None,
+) -> QuantumCircuit:
+    """Build a Grover-search circuit over ``num_qubits`` qubits.
+
+    Args:
+        num_qubits: Register width (at least 2).
+        iterations: Number of (oracle, diffuser) rounds.
+        seed: Seed for the random marked state when ``marked`` is omitted.
+        marked: Explicit marked bitstring, one 0/1 entry per qubit.
+
+    Returns:
+        The circuit.  The marked bitstring is stored on the circuit as the
+        ``marked_state`` attribute for downstream analysis and tests.
+    """
+    if num_qubits < 2:
+        raise ValueError("Grover search needs at least two qubits")
+    if iterations < 1:
+        raise ValueError("need at least one Grover iteration")
+    if marked is None:
+        marked = random_marked_state(num_qubits, seed=seed)
+    marked = tuple(int(bit) for bit in marked)
+    if len(marked) != num_qubits or any(bit not in (0, 1) for bit in marked):
+        raise ValueError("marked state must provide one 0/1 bit per qubit")
+
+    circuit = QuantumCircuit(num_qubits, name=f"grover_{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for _ in range(iterations):
+        _oracle(circuit, marked)
+        _diffuser(circuit)
+    circuit.marked_state = marked  # type: ignore[attr-defined]
+    return circuit

@@ -1,0 +1,117 @@
+"""Hidden-shift benchmark circuits (Clifford+T).
+
+The benchmark solves the boolean hidden-shift problem for bent functions in
+one query (Roetteler's algorithm): for ``f'(x) = f(x + s)`` the circuit
+
+    ``H^n  X^s O_f X^s  H^n  O_f~  H^n``
+
+terminates exactly in the basis state ``|s>``.  We use Maiorana-McFarland
+bent functions ``f(x, y) = x . y + g(y)`` over two register halves, whose
+dual is ``f~(x, y) = x . y + g(x)``: the inner product contributes one CZ
+per (x_i, y_i) pair, and the seeded polynomial ``g`` adds quadratic (CZ)
+and cubic (MCZ over three qubits, i.e. CCZ) terms.  The CCZ terms are what
+make the family genuinely Clifford+T — their lowering produces ``RZ(+-pi/4)``
+(T/T-dagger) rotations — while the algebra keeps the circuit's output a
+computational basis state that tests can check bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.utils.rng import make_rng
+
+__all__ = ["hidden_shift_circuit", "random_shift"]
+
+
+def random_shift(num_qubits: int, seed: int | None = None) -> Tuple[int, ...]:
+    """Return a seeded random (nonzero) shift bitstring, qubit 0 first."""
+    rng = make_rng(seed)
+    while True:
+        shift = tuple(int(bit) for bit in rng.integers(0, 2, size=num_qubits))
+        if any(shift):
+            return shift
+
+
+def _seeded_g_terms(
+    half: int, seed: int | None
+) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int, int]]]:
+    """Seeded quadratic and cubic monomials of ``g`` (as half-register indices)."""
+    rng = make_rng(seed)
+    pairs: List[Tuple[int, int]] = []
+    triples: List[Tuple[int, int, int]] = []
+    for _ in range(half // 2):
+        chosen = rng.choice(half, size=2, replace=False)
+        pairs.append(tuple(sorted(int(i) for i in chosen)))
+    if half >= 3:
+        for _ in range(max(1, half // 3)):
+            chosen = rng.choice(half, size=3, replace=False)
+            triples.append(tuple(sorted(int(i) for i in chosen)))
+    return sorted(set(pairs)), sorted(set(triples))
+
+
+def _apply_g(
+    circuit: QuantumCircuit,
+    offset: int,
+    pairs: Sequence[Tuple[int, int]],
+    triples: Sequence[Tuple[int, int, int]],
+) -> None:
+    """Phase oracle of ``g`` on the half-register starting at ``offset``."""
+    for a, b in pairs:
+        circuit.cz(offset + a, offset + b)
+    for a, b, c in triples:
+        circuit.mcz(offset + a, offset + b, offset + c)
+
+
+def hidden_shift_circuit(
+    num_qubits: int,
+    seed: int | None = None,
+    shift: Sequence[int] | None = None,
+) -> QuantumCircuit:
+    """Build a hidden-shift circuit over ``num_qubits`` (even) qubits.
+
+    Args:
+        num_qubits: Register width; must be even and at least 4 so the two
+            Maiorana-McFarland halves are non-trivial.
+        seed: Seed for the random shift and the polynomial ``g``.
+        shift: Explicit shift bitstring, one 0/1 entry per qubit.
+
+    Returns:
+        The circuit.  Simulating it from ``|0...0>`` ends exactly in the
+        basis state of the shift, which is stored as the ``shift`` attribute.
+    """
+    if num_qubits < 4 or num_qubits % 2:
+        raise ValueError("hidden shift needs an even register of at least 4 qubits")
+    half = num_qubits // 2
+    if shift is None:
+        shift = random_shift(num_qubits, seed=seed)
+    shift = tuple(int(bit) for bit in shift)
+    if len(shift) != num_qubits or any(bit not in (0, 1) for bit in shift):
+        raise ValueError("shift must provide one 0/1 bit per qubit")
+    pairs, triples = _seeded_g_terms(half, seed)
+
+    circuit = QuantumCircuit(num_qubits, name=f"hs_{num_qubits}")
+    shifted = [qubit for qubit, bit in enumerate(shift) if bit]
+
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    # O_{f'} = X^s O_f X^s with f(x, y) = x.y + g(y).
+    for qubit in shifted:
+        circuit.x(qubit)
+    for i in range(half):
+        circuit.cz(i, half + i)
+    _apply_g(circuit, half, pairs, triples)
+    for qubit in shifted:
+        circuit.x(qubit)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    # O_{f~} with f~(x, y) = x.y + g(x).
+    for i in range(half):
+        circuit.cz(i, half + i)
+    _apply_g(circuit, 0, pairs, triples)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+
+    circuit.shift = shift  # type: ignore[attr-defined]
+    return circuit

@@ -1,0 +1,72 @@
+"""Quantum phase estimation (QPE) benchmark circuits.
+
+The estimated unitary is a single-qubit phase gate ``U = PHASE(theta)`` with
+a seeded random angle; its ``|1>`` eigenstate is prepared with one X gate,
+so the circuit is semantically meaningful end to end: the counting register
+ends in (a superposition peaked at) the binary expansion of
+``theta / 2 pi``.  The structure is the textbook one — Hadamards on the
+counting register, controlled ``U^{2^j}`` applications (controlled-phase
+gates with doubled angles), then an inverse QFT on the counting register —
+giving ``t + t(t-1)/2`` two-qubit gates for ``t`` counting qubits.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.utils.rng import make_rng
+
+__all__ = ["qpe_circuit"]
+
+
+def _inverse_qft(circuit: QuantumCircuit, qubits: list) -> None:
+    """Append the inverse QFT (no swaps) on the listed qubits."""
+    for target_index in range(len(qubits) - 1, -1, -1):
+        for control_index in range(len(qubits) - 1, target_index, -1):
+            angle = -math.pi / (2 ** (control_index - target_index))
+            circuit.cphase(angle, qubits[control_index], qubits[target_index])
+        circuit.h(qubits[target_index])
+
+
+def qpe_circuit(
+    num_qubits: int,
+    seed: int | None = None,
+    theta: float | None = None,
+) -> QuantumCircuit:
+    """Build a QPE circuit of total width ``num_qubits``.
+
+    The first ``num_qubits - 1`` qubits form the counting register; the last
+    qubit carries the ``|1>`` eigenstate of the estimated phase gate.
+
+    Args:
+        num_qubits: Total register width (at least 2).
+        seed: Seed for the random phase when ``theta`` is omitted.
+        theta: Explicit phase of the estimated unitary, in radians.
+
+    Returns:
+        The circuit, with the estimated angle stored as the ``phase_angle``
+        attribute.
+    """
+    if num_qubits < 2:
+        raise ValueError("QPE needs a counting qubit and a target qubit")
+    if theta is None:
+        rng = make_rng(seed)
+        theta = float(rng.uniform(0.0, 2.0 * math.pi))
+
+    counting = list(range(num_qubits - 1))
+    target = num_qubits - 1
+    circuit = QuantumCircuit(num_qubits, name=f"qpe_{num_qubits}")
+
+    circuit.x(target)  # |1> eigenstate of PHASE(theta)
+    for qubit in counting:
+        circuit.h(qubit)
+    # Counting qubit j controls U^{2^j}: its kickback phase is the binary
+    # fraction 0.m_{j+1}..m_t, exactly what the swap-free inverse QFT below
+    # consumes, so qubit 0 ends up holding the most significant phase bit.
+    for j, qubit in enumerate(counting):
+        circuit.cphase(((2**j) * theta) % (2.0 * math.pi), qubit, target)
+    _inverse_qft(circuit, counting)
+
+    circuit.phase_angle = theta  # type: ignore[attr-defined]
+    return circuit

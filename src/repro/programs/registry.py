@@ -1,4 +1,4 @@
-"""Benchmark registry mirroring Table II of the paper.
+"""Benchmark registry: Table II of the paper plus the extended families.
 
 :data:`PAPER_TABLE2` records, for every (program, size) pair evaluated in the
 paper, the characteristics the authors report: the spatial grid size of a 2D
@@ -6,6 +6,13 @@ logical resource layer, the number of 2-qubit gates, and the number of
 fusions (edges of the OneQ computation graph).  :func:`build_benchmark`
 constructs the corresponding circuit with this library's generators so the
 benchmark harness can regenerate the table and compare.
+
+Beyond the paper's four families (VQE, QAOA, QFT, RCA) the registry exposes
+five extended workloads — Grover search, quantum phase estimation, GHZ
+preparation, hidden shift and a brickwork random ansatz — that drive the
+same compilation stack through qualitatively different interaction
+structures (global multi-controlled gates, 1D chains, bipartite couplings).
+:data:`PAPER_FAMILIES` / :data:`EXTENDED_FAMILIES` split the two groups.
 """
 
 from __future__ import annotations
@@ -15,8 +22,13 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from repro.circuit.circuit import QuantumCircuit
+from repro.programs.ansatz import random_ansatz_circuit
+from repro.programs.ghz import ghz_circuit
+from repro.programs.grover import grover_circuit
+from repro.programs.hidden_shift import hidden_shift_circuit
 from repro.programs.qaoa import qaoa_maxcut_circuit
 from repro.programs.qft import qft_circuit
+from repro.programs.qpe import qpe_circuit
 from repro.programs.rca import rca_circuit
 from repro.programs.vqe import vqe_circuit
 from repro.utils.rng import derive_seed
@@ -24,6 +36,8 @@ from repro.utils.rng import derive_seed
 __all__ = [
     "BenchmarkSpec",
     "PAPER_TABLE2",
+    "PAPER_FAMILIES",
+    "EXTENDED_FAMILIES",
     "build_benchmark",
     "benchmark_names",
     "paper_grid_size",
@@ -35,7 +49,7 @@ class BenchmarkSpec:
     """Characteristics of one benchmark row in Table II.
 
     Attributes:
-        program: Program family name ("VQE", "QAOA", "QFT", "RCA").
+        program: Program family name (e.g. "VQE", "QAOA", "QFT", "RCA").
         num_qubits: Register width used in the paper.
         grid_size: Side length of the 2D logical resource layer.
         num_2q_gates: Number of 2-qubit gates reported by the paper.
@@ -77,12 +91,23 @@ _BUILDERS: Dict[str, Callable[[int, int], QuantumCircuit]] = {
     "VQE": lambda n, seed: vqe_circuit(n, layers=1, seed=seed),
     "QFT": lambda n, seed: qft_circuit(n),
     "RCA": lambda n, seed: rca_circuit(n),
+    "GROVER": lambda n, seed: grover_circuit(n, iterations=1, seed=seed),
+    "QPE": lambda n, seed: qpe_circuit(n, seed=seed),
+    "GHZ": lambda n, seed: ghz_circuit(n),
+    "HS": lambda n, seed: hidden_shift_circuit(n, seed=seed),
+    "ANSATZ": lambda n, seed: random_ansatz_circuit(n, layers=3, seed=seed),
 }
+
+#: The four families evaluated in the paper's Table II, in paper order.
+PAPER_FAMILIES: List[str] = ["VQE", "QAOA", "QFT", "RCA"]
+
+#: The extended families added on top of the paper's benchmark set.
+EXTENDED_FAMILIES: List[str] = ["GROVER", "QPE", "GHZ", "HS", "ANSATZ"]
 
 
 def benchmark_names() -> List[str]:
-    """Return the program family names in paper order."""
-    return ["VQE", "QAOA", "QFT", "RCA"]
+    """Return every program family name, paper families first."""
+    return PAPER_FAMILIES + EXTENDED_FAMILIES
 
 
 def paper_grid_size(num_qubits: int) -> int:
@@ -106,11 +131,13 @@ def build_benchmark(program: str, num_qubits: int, seed: int = 2026) -> QuantumC
     """Construct a benchmark circuit for ``program`` at width ``num_qubits``.
 
     Args:
-        program: One of ``"QAOA"``, ``"VQE"``, ``"QFT"``, ``"RCA"``
-            (case-insensitive).
-        num_qubits: Register width (the paper's benchmark label number).
-        seed: Base seed; randomised programs (QAOA, VQE) derive a stable
-            child seed from it so repeated builds are identical.
+        program: A family name from :func:`benchmark_names`
+            (case-insensitive): the paper's ``"QAOA"``, ``"VQE"``, ``"QFT"``
+            and ``"RCA"`` or the extended ``"GROVER"``, ``"QPE"``, ``"GHZ"``,
+            ``"HS"`` and ``"ANSATZ"``.
+        num_qubits: Register width (the benchmark label number).
+        seed: Base seed; randomised programs derive a stable child seed from
+            it so repeated builds are identical.
     """
     key = program.upper()
     if key not in _BUILDERS:

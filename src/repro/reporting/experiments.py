@@ -42,6 +42,7 @@ __all__ = [
     "table4_rows",
     "table5_rows",
     "table6_rows",
+    "table7_rows",
     "figure1_series",
     "figure7_series",
     "figure8_series",
@@ -197,6 +198,28 @@ def table6_rows(
 ) -> List[Dict[str, object]]:
     """Table VI: required lifetime of list scheduling vs BDIR on QFT programs."""
     grid = grids.table6_grid(seed=seed, qft_sizes=qft_sizes, num_qpus=num_qpus)
+    return run_grid(grid, workers=workers, store=store).results()
+
+
+# --------------------------------------------------------------------------- #
+# Table VII — extended workload matrix (all nine program families)
+# --------------------------------------------------------------------------- #
+
+
+def table7_rows(
+    scale: BenchmarkScale = BenchmarkScale.REDUCED,
+    num_qpus: int = 4,
+    seed: int = 0,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
+) -> List[Dict[str, object]]:
+    """Table VII: every program family (paper + extended) vs OneQ.
+
+    One row per instance of :func:`repro.sweep.grids.extended_benchmark_sizes`,
+    combining the workload's structural characteristics with the
+    OneQ-vs-DC-MBQC comparison.
+    """
+    grid = grids.table7_grid(scale, seed=seed, num_qpus=num_qpus)
     return run_grid(grid, workers=workers, store=store).results()
 
 

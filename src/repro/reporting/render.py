@@ -12,6 +12,7 @@ __all__ = [
     "render_table2",
     "render_comparison_table",
     "render_table6",
+    "render_table7",
     "render_series",
 ]
 
@@ -106,6 +107,41 @@ def render_table6(rows: Sequence[Dict[str, object]]) -> str:
                 row["list_lifetime"],
                 row["bdir_lifetime"],
                 row["improvement_percent"],
+            ]
+        )
+    return table.render()
+
+
+def render_table7(rows: Sequence[Dict[str, object]]) -> str:
+    """Render Table VII (extended workload matrix, all nine families)."""
+    table = Table(
+        title="Table VII — Extended workloads (vs OneQ)",
+        columns=[
+            "Program",
+            "Grid",
+            "#2Q gates",
+            "#Fusions",
+            "OneQ Exec.",
+            "Our Exec.",
+            "Improv.",
+            "OneQ Lifetime",
+            "Our Lifetime",
+            "Improv.",
+        ],
+    )
+    for row in rows:
+        table.add_row(
+            [
+                f"{row['program']}-{row['num_qubits']}",
+                f"{row['grid_size']}x{row['grid_size']}",
+                row["num_2q_gates"],
+                row["num_fusions"],
+                row["baseline_exec"],
+                row["our_exec"],
+                round(float(row["exec_improvement"]), 2),
+                row["baseline_lifetime"],
+                row["our_lifetime"],
+                round(float(row["lifetime_improvement"]), 2),
             ]
         )
     return table.render()

@@ -24,6 +24,7 @@ from repro.sweep.grids import (
     GRID_REGISTRY,
     BenchmarkScale,
     benchmark_sizes,
+    extended_benchmark_sizes,
     figure7_grid,
     figure8_grid,
     figure9_grid,
@@ -32,6 +33,7 @@ from repro.sweep.grids import (
     table4_grid,
     table5_grid,
     table6_grid,
+    table7_grid,
 )
 from repro.sweep.runner import SweepOutcome, SweepRunner, execute_point, run_grid
 from repro.sweep.store import ResultStore
@@ -52,11 +54,13 @@ __all__ = [
     "build_computation",
     "config_for_point",
     "execute_point",
+    "extended_benchmark_sizes",
     "run_grid",
     "table3_grid",
     "table4_grid",
     "table5_grid",
     "table6_grid",
+    "table7_grid",
     "figure7_grid",
     "figure8_grid",
     "figure9_grid",

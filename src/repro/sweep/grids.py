@@ -24,11 +24,13 @@ from repro.sweep.grid import ParameterGrid
 __all__ = [
     "BenchmarkScale",
     "benchmark_sizes",
+    "extended_benchmark_sizes",
     "GRID_REGISTRY",
     "table3_grid",
     "table4_grid",
     "table5_grid",
     "table6_grid",
+    "table7_grid",
     "figure7_grid",
     "figure8_grid",
     "figure9_grid",
@@ -74,6 +76,47 @@ def benchmark_sizes(scale: BenchmarkScale) -> List[Tuple[str, int]]:
             ("QFT", 25),
         ]
     return [("VQE", 8), ("QAOA", 8), ("QFT", 8), ("RCA", 8)]
+
+
+def extended_benchmark_sizes(scale: BenchmarkScale) -> List[Tuple[str, int]]:
+    """Return (program, qubits) pairs covering all nine program families.
+
+    The paper families use :func:`benchmark_sizes`; the extended families
+    get sizes of comparable compiled footprint.  Grover widths are kept
+    moderate on purpose — its multi-controlled-Z oracle lowers to
+    ``O(2^n)`` J/CZ operations, so GROVER-12 already compiles to a pattern
+    in the same size class as the paper's largest Table II instances.
+    """
+    if scale is BenchmarkScale.PAPER:
+        extended = [
+            ("GROVER", 8),
+            ("GROVER", 12),
+            ("QPE", 16),
+            ("QPE", 36),
+            ("GHZ", 16),
+            ("GHZ", 81),
+            ("HS", 16),
+            ("HS", 36),
+            ("ANSATZ", 16),
+            ("ANSATZ", 36),
+        ]
+    elif scale is BenchmarkScale.REDUCED:
+        extended = [
+            ("GROVER", 8),
+            ("QPE", 16),
+            ("GHZ", 16),
+            ("HS", 16),
+            ("ANSATZ", 16),
+        ]
+    else:
+        extended = [
+            ("GROVER", 6),
+            ("QPE", 8),
+            ("GHZ", 8),
+            ("HS", 8),
+            ("ANSATZ", 8),
+        ]
+    return benchmark_sizes(scale) + extended
 
 
 def comparison_grid(
@@ -141,6 +184,33 @@ def table6_grid(
         "bdir",
         axes={"instance": [("QFT", qubits) for qubits in qft_sizes]},
         fixed={"num_qpus": num_qpus, "seed": seed},
+    )
+
+
+def table7_grid(
+    scale: BenchmarkScale = BenchmarkScale.REDUCED,
+    seed: int = 0,
+    num_qpus: int = 4,
+    rsg_type: str = "5-star",
+    baseline: str = "oneq",
+) -> ParameterGrid:
+    """Table VII (extension): every program family through OneQ vs DC-MBQC.
+
+    One ``workload`` point per instance of the nine-family extended matrix:
+    the task reports the circuit/computation-graph characteristics next to
+    the baseline-vs-distributed comparison, giving a single cross-program
+    table of workload shape and compilation win.
+    """
+    return ParameterGrid(
+        "workload",
+        axes={"instance": extended_benchmark_sizes(scale)},
+        fixed={
+            "num_qpus": num_qpus,
+            "rsg_type": rsg_type,
+            "baseline": baseline,
+            "use_bdir": True,
+            "seed": seed,
+        },
     )
 
 
@@ -221,6 +291,7 @@ GRID_REGISTRY: Dict[str, Callable[..., ParameterGrid]] = {
     "table4": table4_grid,
     "table5": table5_grid,
     "table6": table6_grid,
+    "table7": table7_grid,
     "figure7": figure7_grid,
     "figure8": figure8_grid,
     "figure9": figure9_grid,

@@ -113,6 +113,37 @@ def run_bdir(point: SweepPoint) -> Dict[str, object]:
     }
 
 
+@task("workload")
+def run_workload(point: SweepPoint) -> Dict[str, object]:
+    """Cross-program workload characterisation + baseline comparison (Table VII).
+
+    Extends the ``compare`` task with the instance's structural
+    characteristics (2-qubit gates, pattern nodes, fusions) so one row fully
+    describes a workload: how it is shaped and how much distribution wins.
+    """
+    from repro.programs.registry import build_benchmark
+
+    circuit = build_benchmark(point.program, point.num_qubits, seed=point.circuit_seed)
+    computation = build_computation(point.program, point.num_qubits, point.circuit_seed)
+    comparison = compare_with_baseline(
+        computation, config_for_point(point), baseline=point.baseline
+    )
+    return {
+        "program": point.program,
+        "num_qubits": point.num_qubits,
+        "grid_size": paper_grid_size(point.num_qubits),
+        "num_2q_gates": circuit.num_two_qubit_gates,
+        "num_nodes": computation.num_nodes,
+        "num_fusions": computation.num_fusions,
+        "baseline_exec": comparison.baseline_execution_time,
+        "our_exec": comparison.distributed_execution_time,
+        "exec_improvement": comparison.execution_improvement,
+        "baseline_lifetime": comparison.baseline_lifetime,
+        "our_lifetime": comparison.distributed_lifetime,
+        "lifetime_improvement": comparison.lifetime_improvement,
+    }
+
+
 #: OneQ baseline schedules are deterministic in (instance, grid, seed); the
 #: sensitivity grids vary K_max/alpha_max over a fixed instance, so caching
 #: avoids recompiling the identical baseline for every point of a figure.

@@ -71,6 +71,35 @@ class TestTwoAndThreeQubitGates:
         assert _roundtrip_ok(QuantumCircuit(3).ccx(2, 0, 1))
 
 
+class TestMultiControlledZ:
+    def test_two_qubit_mcz_is_plain_cz(self):
+        program = decompose_to_jcz(QuantumCircuit(2).mcz(0, 1))
+        assert program.num_cz_gates == 1
+        assert program.num_j_gates == 0
+
+    @pytest.mark.parametrize("arity", [3, 4, 5])
+    def test_mcz_lowering_is_exact(self, arity):
+        assert _roundtrip_ok(QuantumCircuit(arity).mcz(*range(arity)))
+
+    def test_mcz_scrambled_qubit_order(self):
+        assert _roundtrip_ok(QuantumCircuit(4).mcz(2, 0, 3, 1))
+
+    def test_mcz_lowering_size_is_phase_polynomial(self):
+        # 2^k - 1 parity rotations, each two J gates, plus ~2^k CX (3 ops each).
+        for arity in (3, 4, 5):
+            program = decompose_to_jcz(QuantumCircuit(arity).mcz(*range(arity)))
+            rotations = 2**arity - 1
+            assert program.num_j_gates <= 2 * rotations + 2 * (2**arity)
+            assert program.num_cz_gates <= 2**arity
+
+    def test_ccz_matches_h_conjugated_toffoli(self):
+        mcz = QuantumCircuit(3).mcz(0, 1, 2)
+        toffoli = QuantumCircuit(3).h(2).ccx(0, 1, 2).h(2)
+        assert circuits_equivalent(
+            decompose_to_jcz(mcz).to_circuit(), toffoli, num_trials=3
+        )
+
+
 class TestWholeCircuits:
     def test_mixed_circuit(self, small_circuit):
         assert _roundtrip_ok(small_circuit)

@@ -6,6 +6,7 @@ import pytest
 
 from repro.circuit.gates import (
     GATE_LIBRARY,
+    VARIABLE_ARITY,
     Gate,
     gate_matrix,
     is_supported_gate,
@@ -39,10 +40,32 @@ class TestGateLibrary:
     def test_all_matrices_are_unitary(self, name):
         spec = GATE_LIBRARY[name]
         params = [0.37] * spec.num_params
-        matrix = spec.matrix_fn(*params)
-        dim = 2**spec.num_qubits
+        if spec.num_qubits == VARIABLE_ARITY:
+            arity = 3
+            matrix = spec.matrix_fn(arity, *params)
+        else:
+            arity = spec.num_qubits
+            matrix = spec.matrix_fn(*params)
+        dim = 2**arity
         assert matrix.shape == (dim, dim)
         assert np.allclose(matrix @ matrix.conj().T, np.eye(dim), atol=1e-10)
+
+    def test_mcz_matrix_any_arity(self):
+        for arity in (2, 3, 4):
+            matrix = gate_matrix(Gate("MCZ", tuple(range(arity))))
+            expected = np.eye(2**arity, dtype=complex)
+            expected[-1, -1] = -1.0
+            assert np.allclose(matrix, expected)
+        # MCZ on two qubits is exactly CZ.
+        assert np.allclose(
+            gate_matrix(Gate("MCZ", (0, 1))), GATE_LIBRARY["CZ"].matrix_fn()
+        )
+
+    def test_mcz_arity_validated(self):
+        with pytest.raises(ValueError):
+            validate_gate(Gate("MCZ", (0,)))
+        validate_gate(Gate("MCZ", (0, 1)))
+        validate_gate(Gate("MCZ", (5, 1, 3, 0)))
 
     def test_j_gate_is_h_rz(self):
         theta = 0.81

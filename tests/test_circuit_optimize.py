@@ -37,6 +37,86 @@ class TestCancellation:
         assert cancel_adjacent_inverses(circuit).num_gates == 2
 
 
+class TestSymmetricCancellation:
+    """Regression tests: symmetric gates cancel regardless of operand order."""
+
+    def test_cz_reversed_operands_cancel(self):
+        circuit = QuantumCircuit(2).cz(0, 1).cz(1, 0)
+        assert optimize_circuit(circuit).num_gates == 0
+
+    def test_swap_reversed_operands_cancel(self):
+        circuit = QuantumCircuit(2).swap(0, 1).swap(1, 0)
+        assert optimize_circuit(circuit).num_gates == 0
+
+    def test_mcz_permuted_operands_cancel(self):
+        circuit = QuantumCircuit(3).mcz(0, 1, 2).mcz(2, 0, 1)
+        assert optimize_circuit(circuit).num_gates == 0
+
+    def test_cz_reversed_cancel_through_disjoint_gate(self):
+        circuit = QuantumCircuit(3).cz(0, 1).x(2).cz(1, 0)
+        assert cancel_adjacent_inverses(circuit).count_gates() == {"X": 1}
+
+    def test_ccx_swapped_controls_cancel(self):
+        circuit = QuantumCircuit(3).ccx(0, 1, 2).ccx(1, 0, 2)
+        assert optimize_circuit(circuit).num_gates == 0
+
+    def test_ccx_different_target_not_cancelled(self):
+        circuit = QuantumCircuit(3).ccx(0, 1, 2).ccx(0, 2, 1)
+        assert cancel_adjacent_inverses(circuit).num_gates == 2
+
+    def test_cx_reversed_operands_not_cancelled(self):
+        # CX is NOT symmetric: control and target matter.
+        circuit = QuantumCircuit(2).cx(0, 1).cx(1, 0)
+        assert cancel_adjacent_inverses(circuit).num_gates == 2
+
+    def test_symmetric_cancellation_preserves_unitary(self):
+        circuit = QuantumCircuit(3).h(0).cz(1, 2).t(0).cz(2, 1).h(0)
+        optimised = optimize_circuit(circuit)
+        assert circuits_equivalent(circuit, optimised)
+        assert optimised.count_gates() == {"H": 2, "T": 1}
+
+
+class TestScanResume:
+    """Regression tests: the resume-near-cancellation scan reaches the same
+    fixed point as the old restart-from-zero scan."""
+
+    def test_removal_unblocks_earlier_pair(self):
+        circuit = QuantumCircuit(3).h(0).cz(0, 2).cz(0, 2).h(0)
+        assert cancel_adjacent_inverses(circuit).num_gates == 0
+
+    def test_removal_unblocks_pair_behind_disjoint_gate(self):
+        # X(1) sits between the outer H(0) pair and the CZ pair; removing
+        # the CZs must still unblock the Hadamards.
+        circuit = QuantumCircuit(3).h(0).x(1).cz(0, 2).cz(0, 2).h(0)
+        assert cancel_adjacent_inverses(circuit).count_gates() == {"X": 1}
+
+    def test_removal_unblocks_two_earlier_pairs_on_different_qubits(self):
+        # The CZ removal unblocks both the H(0) pair and the H(2) pair.
+        circuit = QuantumCircuit(3).h(0).h(2).cz(0, 2).cz(0, 2).h(2).h(0)
+        assert cancel_adjacent_inverses(circuit).num_gates == 0
+
+    def test_nested_onion_of_pairs(self):
+        circuit = (
+            QuantumCircuit(3)
+            .h(0)
+            .cx(0, 1)
+            .cz(1, 2)
+            .cz(2, 1)
+            .cx(0, 1)
+            .h(0)
+        )
+        assert cancel_adjacent_inverses(circuit).num_gates == 0
+
+    def test_large_circuit_reaches_fixed_point(self):
+        # Interleaved onions across qubits; the result must be empty and the
+        # pass must agree with the statevector simulator on a prefix.
+        circuit = QuantumCircuit(4)
+        for _ in range(10):
+            circuit.h(0).cx(0, 1).swap(2, 3).cz(1, 2)
+            circuit.cz(2, 1).swap(3, 2).cx(0, 1).h(0)
+        assert cancel_adjacent_inverses(circuit).num_gates == 0
+
+
 class TestRotationMerging:
     def test_two_rz_merge(self):
         circuit = QuantumCircuit(1).rz(0.3, 0).rz(0.4, 0)

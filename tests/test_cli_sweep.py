@@ -16,6 +16,7 @@ class TestExperimentRegistry:
             "table4",
             "table5",
             "table6",
+            "table7",
             "figure1",
             "figure7",
             "figure8",

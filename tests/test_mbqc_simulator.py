@@ -51,6 +51,31 @@ class TestElementaryPatterns:
         simulator.run()
         assert simulator.outcomes[0] == 1
 
+    def test_forced_zero_probability_branch_raises(self):
+        """Regression: a forced outcome on a ~0-probability branch used to be
+        silently flipped, masking broken byproduct tracking."""
+        # Node 0 is unentangled and in |+>, so measuring it at angle 0 has a
+        # zero-probability |-_0> branch; forcing outcome 1 must fail loudly.
+        pattern = Pattern(input_nodes=[0, 1], output_nodes=[1])
+        pattern.measure(0, 0.0)
+        plus = np.ones(4) / 2.0  # |+>|+>
+        simulator = PatternSimulator(
+            pattern, input_state=plus, forced_outcomes={0: 1}
+        )
+        with pytest.raises(ValidationError, match="forced outcome"):
+            simulator.run()
+
+    def test_sampled_zero_probability_branch_still_recovers(self):
+        """Sampling is unaffected by the forced-branch check: the same
+        measurement without forcing always takes the supported branch."""
+        pattern = Pattern(input_nodes=[0, 1], output_nodes=[1])
+        pattern.measure(0, 0.0)
+        plus = np.ones(4) / 2.0
+        for seed in range(8):
+            simulator = PatternSimulator(pattern, input_state=plus, seed=seed)
+            simulator.run()
+            assert simulator.outcomes[0] == 0
+
 
 class TestErrorHandling:
     def test_wrong_input_dimension(self):

@@ -1,0 +1,50 @@
+"""Tests for the brickwork random-ansatz benchmark generator."""
+
+import pytest
+
+from repro.programs.ansatz import brickwork_pairs, random_ansatz_circuit
+
+
+class TestBrickworkPairs:
+    def test_even_layer_pairs(self):
+        assert brickwork_pairs(6, 0) == [(0, 1), (2, 3), (4, 5)]
+
+    def test_odd_layer_pairs(self):
+        assert brickwork_pairs(6, 1) == [(1, 2), (3, 4)]
+
+    def test_pairs_are_disjoint(self):
+        for layer in (0, 1):
+            pairs = brickwork_pairs(9, layer)
+            used = [q for pair in pairs for q in pair]
+            assert len(used) == len(set(used))
+
+
+class TestCircuit:
+    def test_gate_counts(self):
+        n, layers = 6, 3
+        circuit = random_ansatz_circuit(n, layers=layers, seed=0)
+        counts = circuit.count_gates()
+        assert counts["RY"] == counts["RZ"] == n * (layers + 1)
+        expected_cz = sum(len(brickwork_pairs(n, layer)) for layer in range(layers))
+        assert counts["CZ"] == expected_cz
+
+    def test_linear_interaction_graph(self):
+        circuit = random_ansatz_circuit(8, layers=2, seed=1)
+        for a, b in circuit.interaction_graph():
+            assert b - a == 1  # nearest-neighbour chain only
+
+    def test_deterministic_per_seed(self):
+        a = random_ansatz_circuit(6, seed=3)
+        b = random_ansatz_circuit(6, seed=3)
+        assert [g.params for g in a.gates] == [g.params for g in b.gates]
+
+    def test_seed_changes_angles(self):
+        a = random_ansatz_circuit(6, seed=3)
+        b = random_ansatz_circuit(6, seed=4)
+        assert [g.params for g in a.gates] != [g.params for g in b.gates]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            random_ansatz_circuit(1)
+        with pytest.raises(ValueError):
+            random_ansatz_circuit(4, layers=0)

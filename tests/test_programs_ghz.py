@@ -1,0 +1,70 @@
+"""Tests for the GHZ / graph-state benchmark generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import simulate_circuit
+from repro.programs.ghz import (
+    ghz_circuit,
+    graph_state_circuit,
+    random_bounded_degree_edges,
+)
+
+
+class TestGHZ:
+    def test_structure(self):
+        circuit = ghz_circuit(6)
+        assert circuit.count_gates() == {"H": 1, "CX": 5}
+        assert circuit.num_two_qubit_gates == 5
+
+    def test_prepares_ghz_state(self):
+        state = simulate_circuit(ghz_circuit(4))
+        expected = np.zeros(16, dtype=complex)
+        expected[0] = expected[-1] = 1.0 / math.sqrt(2.0)
+        assert np.allclose(state, expected)
+
+    def test_interaction_graph_is_a_path(self):
+        circuit = ghz_circuit(5)
+        assert circuit.interaction_graph() == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            ghz_circuit(1)
+
+
+class TestGraphState:
+    def test_degree_bound_respected(self):
+        edges = random_bounded_degree_edges(12, max_degree=3, seed=0)
+        degree = [0] * 12
+        for a, b in edges:
+            degree[a] += 1
+            degree[b] += 1
+        assert max(degree) <= 3
+        assert edges  # the greedy construction always finds some edges
+
+    def test_seeded_and_deterministic(self):
+        assert random_bounded_degree_edges(10, seed=4) == random_bounded_degree_edges(
+            10, seed=4
+        )
+        assert random_bounded_degree_edges(10, seed=4) != random_bounded_degree_edges(
+            10, seed=5
+        )
+
+    def test_circuit_structure(self):
+        circuit = graph_state_circuit(8, max_degree=2, seed=1)
+        counts = circuit.count_gates()
+        assert counts["H"] == 8
+        assert counts["CZ"] == len(circuit.graph_edges)
+
+    def test_explicit_edges(self):
+        circuit = graph_state_circuit(3, edges=[(0, 1), (1, 2)])
+        assert circuit.graph_edges == [(0, 1), (1, 2)]
+        assert circuit.count_gates() == {"H": 3, "CZ": 2}
+
+    def test_two_qubit_graph_state_amplitudes(self):
+        # CZ |++> has uniform magnitudes with a sign flip on |11>.
+        state = simulate_circuit(graph_state_circuit(2, edges=[(0, 1)]))
+        assert np.allclose(np.abs(state), 0.5)
+        assert state[3].real < 0

@@ -1,0 +1,62 @@
+"""Tests for the Grover-search benchmark generator."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import simulate_circuit
+from repro.programs.grover import grover_circuit, random_marked_state
+
+
+class TestStructure:
+    def test_two_mcz_per_iteration(self):
+        circuit = grover_circuit(5, iterations=3, seed=0)
+        assert circuit.count_gates()["MCZ"] == 6
+
+    def test_marked_state_recorded(self):
+        circuit = grover_circuit(6, seed=4)
+        assert len(circuit.marked_state) == 6
+        assert all(bit in (0, 1) for bit in circuit.marked_state)
+
+    def test_explicit_marked_state(self):
+        circuit = grover_circuit(4, marked=(1, 0, 1, 1))
+        assert circuit.marked_state == (1, 0, 1, 1)
+
+    def test_deterministic_per_seed(self):
+        a = grover_circuit(6, seed=9)
+        b = grover_circuit(6, seed=9)
+        assert a.marked_state == b.marked_state
+        assert [g.qubits for g in a.gates] == [g.qubits for g in b.gates]
+
+    def test_random_marked_state_seeded(self):
+        assert random_marked_state(8, seed=1) == random_marked_state(8, seed=1)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            grover_circuit(1)
+        with pytest.raises(ValueError):
+            grover_circuit(4, iterations=0)
+        with pytest.raises(ValueError):
+            grover_circuit(4, marked=(1, 0))
+        with pytest.raises(ValueError):
+            grover_circuit(4, marked=(1, 0, 2, 0))
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_marked_amplitude_amplified(self, seed):
+        """One iteration boosts the marked state well above uniform."""
+        circuit = grover_circuit(4, iterations=1, seed=seed)
+        probabilities = np.abs(simulate_circuit(circuit)) ** 2
+        marked_index = int("".join(str(b) for b in circuit.marked_state), 2)
+        uniform = 1.0 / 16.0
+        assert probabilities[marked_index] > 4 * uniform
+        others = np.delete(probabilities, marked_index)
+        assert probabilities[marked_index] > others.max() + 1e-9
+
+    def test_two_iterations_boost_further(self):
+        one = grover_circuit(4, iterations=1, seed=2)
+        two = grover_circuit(4, iterations=2, seed=2)
+        index = int("".join(str(b) for b in one.marked_state), 2)
+        p_one = np.abs(simulate_circuit(one)[index]) ** 2
+        p_two = np.abs(simulate_circuit(two)[index]) ** 2
+        assert p_two > p_one > 1.0 / 16.0

@@ -1,0 +1,61 @@
+"""Tests for the hidden-shift benchmark generator."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import simulate_circuit
+from repro.programs.hidden_shift import hidden_shift_circuit, random_shift
+
+
+class TestStructure:
+    def test_shift_recorded(self):
+        circuit = hidden_shift_circuit(8, seed=2)
+        assert len(circuit.shift) == 8
+        assert any(circuit.shift)
+
+    def test_contains_clifford_plus_t_ingredients(self):
+        # The cubic bent-function terms appear as 3-qubit MCZ (CCZ) gates,
+        # whose lowering produces the T-angle rotations.
+        circuit = hidden_shift_circuit(8, seed=2)
+        counts = circuit.count_gates()
+        assert counts.get("MCZ", 0) >= 2  # one per oracle instance
+        assert counts["CZ"] >= 8  # inner product + quadratic terms
+
+    def test_deterministic_per_seed(self):
+        a = hidden_shift_circuit(8, seed=7)
+        b = hidden_shift_circuit(8, seed=7)
+        assert a.shift == b.shift
+        assert [g.qubits for g in a.gates] == [g.qubits for g in b.gates]
+
+    def test_random_shift_nonzero(self):
+        for seed in range(5):
+            assert any(random_shift(6, seed=seed))
+
+    def test_invalid_widths(self):
+        with pytest.raises(ValueError):
+            hidden_shift_circuit(5)  # odd
+        with pytest.raises(ValueError):
+            hidden_shift_circuit(2)  # halves too small
+        with pytest.raises(ValueError):
+            hidden_shift_circuit(8, shift=(1, 0))
+        with pytest.raises(ValueError):
+            hidden_shift_circuit(4, shift=(2, 0, 0, 0))
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_output_is_exactly_the_shift(self, seed):
+        """One query recovers the hidden shift as a computational basis state."""
+        circuit = hidden_shift_circuit(6, seed=seed)
+        state = simulate_circuit(circuit)
+        index = int(np.argmax(np.abs(state)))
+        assert abs(state[index]) ** 2 == pytest.approx(1.0, abs=1e-9)
+        bits = tuple(int(b) for b in format(index, f"0{circuit.num_qubits}b"))
+        assert bits == circuit.shift
+
+    def test_explicit_shift_recovered(self):
+        shift = (0, 1, 0, 0, 1, 1)
+        circuit = hidden_shift_circuit(6, seed=0, shift=shift)
+        state = simulate_circuit(circuit)
+        index = int("".join(str(b) for b in shift), 2)
+        assert abs(state[index]) ** 2 == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,54 @@
+"""Tests for the quantum-phase-estimation benchmark generator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import simulate_circuit
+from repro.programs.qpe import qpe_circuit
+
+
+class TestStructure:
+    def test_two_qubit_gate_count(self):
+        # t controlled powers plus t(t-1)/2 inverse-QFT cphases.
+        t = 5
+        circuit = qpe_circuit(t + 1)
+        assert circuit.num_two_qubit_gates == t + t * (t - 1) // 2
+
+    def test_phase_recorded(self):
+        circuit = qpe_circuit(5, seed=3)
+        assert 0.0 <= circuit.phase_angle < 2.0 * math.pi
+
+    def test_deterministic_per_seed(self):
+        a = qpe_circuit(6, seed=11)
+        b = qpe_circuit(6, seed=11)
+        assert a.phase_angle == b.phase_angle
+        assert [g.params for g in a.gates] == [g.params for g in b.gates]
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            qpe_circuit(1)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("m", [1, 3, 5, 6])
+    def test_exact_phase_read_out(self, m):
+        """For theta = 2*pi*m/2^t the counting register ends exactly in m."""
+        t = 3
+        circuit = qpe_circuit(t + 1, theta=2.0 * math.pi * m / 2**t)
+        probabilities = np.abs(simulate_circuit(circuit)) ** 2
+        # Counting bits (qubit 0 = MSB) followed by the |1> eigenstate qubit.
+        expected_index = (m << 1) | 1
+        assert probabilities[expected_index] == pytest.approx(1.0, abs=1e-9)
+
+    def test_random_phase_peaks_at_nearest_fraction(self):
+        t = 4
+        circuit = qpe_circuit(t + 1, seed=8)
+        theta = circuit.phase_angle
+        probabilities = np.abs(simulate_circuit(circuit)) ** 2
+        top = int(np.argmax(probabilities))
+        assert top & 1  # the eigenstate qubit stays in |1>
+        measured = top >> 1
+        nearest = round(theta / (2.0 * math.pi) * 2**t) % 2**t
+        assert measured == nearest

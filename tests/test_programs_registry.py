@@ -3,6 +3,8 @@
 import pytest
 
 from repro.programs.registry import (
+    EXTENDED_FAMILIES,
+    PAPER_FAMILIES,
     PAPER_TABLE2,
     benchmark_names,
     build_benchmark,
@@ -49,21 +51,29 @@ class TestPaperGridSize:
 
 class TestBuildBenchmark:
     @pytest.mark.parametrize("program", ["QAOA", "VQE", "QFT", "RCA"])
-    def test_builds_each_family(self, program):
+    def test_builds_each_paper_family(self, program):
         circuit = build_benchmark(program, 16)
         assert circuit.num_qubits == 16
         assert circuit.num_gates > 0
 
+    @pytest.mark.parametrize("program", ["GROVER", "QPE", "GHZ", "HS", "ANSATZ"])
+    def test_builds_each_extended_family(self, program):
+        circuit = build_benchmark(program, 8)
+        assert circuit.num_qubits == 8
+        assert circuit.num_gates > 0
+
     def test_case_insensitive(self):
         assert build_benchmark("qft", 16).num_qubits == 16
+        assert build_benchmark("grover", 6).num_qubits == 6
 
     def test_unknown_program_rejected(self):
         with pytest.raises(KeyError):
-            build_benchmark("GROVER", 16)
+            build_benchmark("SHOR", 16)
 
-    def test_deterministic_per_seed(self):
-        a = build_benchmark("QAOA", 16, seed=5)
-        b = build_benchmark("QAOA", 16, seed=5)
+    @pytest.mark.parametrize("program", ["QAOA", "GROVER", "HS", "ANSATZ", "QPE"])
+    def test_deterministic_per_seed(self, program):
+        a = build_benchmark(program, 8, seed=5)
+        b = build_benchmark(program, 8, seed=5)
         assert [g.name for g in a.gates] == [g.name for g in b.gates]
         assert [g.params for g in a.gates] == [g.params for g in b.gates]
 
@@ -73,7 +83,10 @@ class TestBuildBenchmark:
         assert [g.qubits for g in a.gates] != [g.qubits for g in b.gates]
 
     def test_benchmark_names_order(self):
-        assert benchmark_names() == ["VQE", "QAOA", "QFT", "RCA"]
+        assert benchmark_names() == PAPER_FAMILIES + EXTENDED_FAMILIES
+        assert benchmark_names()[:4] == ["VQE", "QAOA", "QFT", "RCA"]
+        assert len(benchmark_names()) == 9
+        assert len(set(benchmark_names())) == 9
 
     def test_vqe_two_qubit_count_matches_paper(self):
         circuit = build_benchmark("VQE", 16)
