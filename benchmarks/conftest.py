@@ -12,6 +12,7 @@ the output can be diffed against the values recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -56,5 +57,25 @@ def record_table(results_dir):
         print()
         print(text)
         (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _record
+
+
+@pytest.fixture
+def record_bench(results_dir):
+    """Return a helper that stores a machine-readable perf record.
+
+    Benchmarks write ``BENCH_<name>.json`` next to their ``.txt`` report:
+    structured rows (per-stage seconds, deterministic op counters, and the
+    previously recorded trajectory) that CI uploads as artifacts so the
+    perf history of the repo is diffable across PRs.
+    """
+
+    def _record(name: str, payload: dict) -> pathlib.Path:
+        path = results_dir / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return path
 
     return _record

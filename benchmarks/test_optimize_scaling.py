@@ -65,12 +65,13 @@ def _mirror(circuit: QuantumCircuit) -> QuantumCircuit:
     return mirror
 
 
-def test_resume_scan_beats_restart_scan(record_table):
+def test_resume_scan_beats_restart_scan(record_table, record_bench):
     table = Table(
         title="Peephole cancellation on fully-cancelling RCA mirror circuits",
         columns=["Circuit", "Gates", "Resume scan (s)", "Restart scan (s)", "Speedup"],
     )
     timings = []
+    bench_rows = []
     for width in (128, 256, 512):
         mirror = _mirror(rca_circuit(width))
 
@@ -87,6 +88,14 @@ def test_resume_scan_beats_restart_scan(record_table):
         assert restarted.num_gates == 0
 
         timings.append((mirror.num_gates, resume_seconds, restart_seconds))
+        bench_rows.append(
+            {
+                "width": width,
+                "gates": mirror.num_gates,
+                "resume_seconds": round(resume_seconds, 4),
+                "restart_seconds": round(restart_seconds, 4),
+            }
+        )
         table.add_row(
             [
                 f"RCA-{width} + dagger",
@@ -97,6 +106,10 @@ def test_resume_scan_beats_restart_scan(record_table):
             ]
         )
     record_table("optimize_cancellation_scaling", table.render())
+    record_bench(
+        "optimize",
+        {"name": "optimize", "schema_version": 1, "rows": bench_rows},
+    )
 
     # At PAPER-scale gate counts the resume scan must win clearly (observed
     # ~3x; the bound is loose to stay robust on noisy CI machines).

@@ -151,6 +151,11 @@ def build_parser() -> argparse.ArgumentParser:
     compile_parser = subparsers.add_parser("compile", help="run the distributed compiler")
     add_program_arguments(compile_parser)
     add_cache_arguments(compile_parser)
+    compile_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a stage-by-stage timing table from the provenance manifest",
+    )
 
     compare_parser = subparsers.add_parser("compare", help="compare against a monolithic baseline")
     add_program_arguments(compare_parser)
@@ -248,7 +253,36 @@ def _run_compile(args: argparse.Namespace) -> int:
         f"cache: {manifest['cache_hits']} hits, {manifest['executions']} misses"
         f" ({stages})"
     )
+    if args.profile:
+        print()
+        print(render_profile_table(manifest))
     return 0
+
+
+def render_profile_table(manifest: Dict[str, object]) -> str:
+    """Stage-by-stage timing table from a pipeline provenance manifest.
+
+    The per-stage wall times are the pipeline's existing telemetry (recorded
+    on every run); this renders them as the ``compile --profile`` report.
+    """
+    records = list(manifest["stages"])
+    total = sum(float(record["seconds"]) for record in records) or 1.0
+    width = max([len("stage")] + [len(str(record["stage"])) for record in records])
+    lines = [
+        f"{'stage'.ljust(width)} | status     | seconds  | share",
+        f"{'-' * width}-+------------+----------+------",
+    ]
+    for record in records:
+        seconds = float(record["seconds"])
+        share = f"{100.0 * seconds / total:5.1f}%"
+        lines.append(
+            f"{str(record['stage']).ljust(width)} | {str(record['status']).ljust(10)} "
+            f"| {seconds:8.4f} | {share}"
+        )
+    lines.append(
+        f"{'total'.ljust(width)} | {''.ljust(10)} | {float(manifest['seconds']):8.4f} |"
+    )
+    return "\n".join(lines)
 
 
 def _run_compare(args: argparse.Namespace) -> int:

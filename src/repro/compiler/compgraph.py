@@ -108,15 +108,14 @@ class ComputationGraph:
         if unknown:
             raise CompilationError(f"unknown nodes in subgraph request: {sorted(unknown)[:5]}")
         sub_graph = self.graph.subgraph(node_set).copy()
+        # The subgraph view walks only the adjacency of the requested nodes
+        # (instead of scanning every dependency edge per part) and keeps the
+        # typed "kind" attributes as-is.
         sub_dependency = DependencyGraph()
-        for node in node_set:
-            sub_dependency.add_node(node)
-        for source, target, data in self.dependency.graph.edges(data=True):
-            if source in node_set and target in node_set:
-                kind = data["kind"]
-                for k in ("X", "Z"):
-                    if k in kind:
-                        sub_dependency.add_dependency(source, target, k)
+        sub_dependency.graph.add_nodes_from(node_set)
+        sub_dependency.graph.add_edges_from(
+            self.dependency.graph.subgraph(node_set).edges(data=True)
+        )
         sub_order = [node for node in self.order if node in node_set]
         return ComputationGraph(
             graph=sub_graph,
@@ -161,7 +160,12 @@ def computation_graph_from_pattern(
     graph = nx.Graph()
     graph.add_nodes_from(working.nodes)
     graph.add_edges_from(working.edges())
-    dependency = build_dependency_graph(working).x_only()
+    dependency = build_dependency_graph(working)
+    if not apply_signal_shifting:
+        dependency = dependency.x_only()
+    # After signal shifting every t-domain is empty, so the dependency graph
+    # contains X edges only and the x_only restriction would be an identical
+    # (but expensive) copy.
     order = measurement_order(working)
     return ComputationGraph(
         graph=graph,

@@ -38,6 +38,7 @@ from repro.hardware.resource_states import (
     ResourceStateSpec,
     ResourceStateType,
 )
+from repro.utils.counters import OP_COUNTERS
 from repro.utils.errors import CompilationError
 from repro.utils.grid import GridPoint, l_shaped_path, manhattan_distance, spiral_order
 from repro.utils.rng import make_rng
@@ -89,10 +90,14 @@ class _LayerState:
         self.node_cells: Dict[int, GridPoint] = {}
         self.routing_cells: Dict[GridPoint, int] = {}
         self.routing_segments = 0
+        # Occupied-cell set mirroring node_cells.values(); keeps the hot
+        # is_free/routing_cell_available probes O(1) instead of scanning
+        # every hosted photon per candidate cell.
+        self._occupied: set = set()
 
     def is_free(self, cell: GridPoint) -> bool:
         """True if a node could be placed on ``cell``."""
-        return cell not in self.node_cells.values() and cell not in self.routing_cells
+        return cell not in self._occupied and cell not in self.routing_cells
 
     def has_space(self) -> bool:
         """True if the layer can still host another photon.
@@ -113,9 +118,10 @@ class _LayerState:
 
     def place_node(self, node: int, cell: GridPoint) -> None:
         self.node_cells[node] = cell
+        self._occupied.add(cell)
 
     def routing_cell_available(self, cell: GridPoint, routing_uses: int) -> bool:
-        if cell in self.node_cells.values():
+        if cell in self._occupied:
             return False
         return self.routing_cells.get(cell, 0) < routing_uses
 
@@ -225,6 +231,7 @@ class LayeredGridMapper:
                 # inter-layer fusion to re-inject the stored photon.
                 routing_layer.routing_segments += 2 if cross_layer else 1
 
+        OP_COUNTERS.add("mapper.placements", len(computation.order))
         execution_layers = [layer.to_execution_layer() for layer in layers]
         # Drop trailing layers that ended up empty (no photons generated).
         while execution_layers and not execution_layers[-1].node_cells:
@@ -272,7 +279,10 @@ class LayeredGridMapper:
     ) -> Optional[GridPoint]:
         """Find the free cell closest (by expanding Chebyshev rings) to ``target``."""
         if target.in_bounds(size) and layer.is_free(target):
+            OP_COUNTERS.add("mapper.cell_probes")
             return target
+        probes = 1
+        result: Optional[GridPoint] = None
         for radius in range(1, size):
             best: Optional[GridPoint] = None
             best_distance: Optional[int] = None
@@ -280,14 +290,17 @@ class LayeredGridMapper:
                 for d_col in range(-radius, radius + 1):
                     if max(abs(d_row), abs(d_col)) != radius:
                         continue
+                    probes += 1
                     cell = target.shifted(d_row, d_col)
                     if cell.in_bounds(size) and layer.is_free(cell):
                         distance = manhattan_distance(cell, target)
                         if best is None or distance < best_distance:
                             best, best_distance = cell, distance
             if best is not None:
-                return best
-        return None
+                result = best
+                break
+        OP_COUNTERS.add("mapper.cell_probes", probes)
+        return result
 
     def _claim_expansion_cells(
         self, layer: _LayerState, around: GridPoint, count: int, size: int

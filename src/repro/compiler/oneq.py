@@ -52,7 +52,7 @@ class OneQCompiler:
     placement_jitter: float = 0.0
     seed: int = 0
 
-    def _pipeline(self, store, use_cache: bool):
+    def _pipeline(self, store, use_cache: bool, no_cache_stages=(), memo=None):
         from repro.pipeline import Pipeline, resolve_store, single_qpu_stages
 
         if store is _DEFAULT_STORE:
@@ -66,6 +66,8 @@ class OneQCompiler:
             ),
             store=store,
             use_cache=use_cache,
+            no_cache_stages=no_cache_stages,
+            memo=memo,
         )
 
     def compile_run(
@@ -73,15 +75,23 @@ class OneQCompiler:
         program: CompilationInput,
         store=_DEFAULT_STORE,
         use_cache: bool = True,
+        no_cache_stages=(),
+        memo=None,
     ) -> Tuple[SingleQPUSchedule, "object"]:
         """Compile ``program`` and return ``(schedule, pipeline run)``.
 
         The pipeline run carries the provenance manifest (per-stage cache
         status, keys and timing) used by the CLI and by telemetry tests.
+        ``no_cache_stages`` forces the named stages to execute (no cache
+        lookup) while still publishing their artifacts; ``memo`` overrides
+        the process-global in-memory cache (runtime benchmarks use a private
+        one so their stage reuse is deterministic).
         """
         from repro.pipeline.stages import initial_program_state
 
-        run = self._pipeline(store, use_cache).run(initial_program_state(program))
+        run = self._pipeline(store, use_cache, no_cache_stages, memo).run(
+            initial_program_state(program)
+        )
         return run.state["schedule"], run
 
     def compile(self, program: CompilationInput) -> SingleQPUSchedule:

@@ -209,6 +209,8 @@ class DCMBQCCompiler:
         program: CompilationInput,
         store=_DEFAULT_STORE,
         use_cache: bool = True,
+        no_cache_stages=(),
+        memo=None,
     ):
         """Run the staged pipeline on ``program``; returns ``(result, run)``.
 
@@ -218,6 +220,11 @@ class DCMBQCCompiler:
         ``DCMBQC_ARTIFACT_CACHE_DIR`` is set (or a store is passed).  The
         returned run carries the provenance manifest consumed by the CLI's
         cache summary and by telemetry tests.
+
+        ``no_cache_stages`` names stages that must execute (no cache lookup)
+        while still publishing their artifacts — compilation-runtime
+        benchmarks scope their cache bypass to the timed stages this way.
+        ``memo`` overrides the process-global in-memory cache.
         """
         from repro.pipeline import Pipeline, resolve_store
         from repro.pipeline.stages import distributed_stages, initial_program_state
@@ -225,7 +232,11 @@ class DCMBQCCompiler:
         if store is _DEFAULT_STORE:
             store = resolve_store(enabled=use_cache)
         pipeline = Pipeline(
-            distributed_stages(self), store=store, use_cache=use_cache
+            distributed_stages(self),
+            store=store,
+            use_cache=use_cache,
+            no_cache_stages=no_cache_stages,
+            memo=memo,
         )
         run = pipeline.run(initial_program_state(program))
         return run.state["result"], run

@@ -11,15 +11,20 @@ An MBQC pattern is a sequence of commands over a set of node labels:
 * ``X(i, S)`` / ``Z(i, S)`` — Pauli byproduct corrections conditioned on the
   parity of the outcomes of the nodes in ``S``.
 
-Domains are stored as frozen sets of node labels; the parity convention means
-the same node never needs to appear twice in a domain.
+Domains are stored as **integer bitsets** (bit ``n`` set means node ``n`` is
+in the domain); the parity convention means the same node never needs to
+appear twice, so a set-with-parity-semantics is exactly an XOR of bitmasks.
+Signal shifting and dependency construction operate on the masks directly —
+a domain union/symmetric-difference is one big-int ``|``/``^`` and a signal
+parity is one ``&`` plus a popcount.  The frozen-set views (``s_domain``,
+``t_domain``, ``domain``) remain available for the public API and hashing.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Tuple
+from typing import FrozenSet, Iterable, Tuple, Union
 
 __all__ = [
     "CommandKind",
@@ -28,7 +33,11 @@ __all__ = [
     "MeasureCommand",
     "CorrectionCommand",
     "Command",
+    "domain_mask",
+    "mask_bits",
 ]
+
+DomainLike = Union[int, Iterable[int]]
 
 
 class CommandKind(str, enum.Enum):
@@ -41,8 +50,37 @@ class CommandKind(str, enum.Enum):
     Z_CORRECTION = "Z"
 
 
-def _domain(nodes: Iterable[int]) -> FrozenSet[int]:
-    return frozenset(int(n) for n in nodes)
+def domain_mask(nodes: DomainLike) -> int:
+    """Encode a domain as an integer bitset (idempotent on masks).
+
+    Node labels must be non-negative; bit ``n`` of the result is set iff
+    node ``n`` is in the domain.
+    """
+    if isinstance(nodes, int):
+        if nodes < 0:
+            raise ValueError("a domain mask must be non-negative")
+        return nodes
+    mask = 0
+    for node in nodes:
+        node = int(node)
+        if node < 0:
+            raise ValueError("domain node labels must be non-negative")
+        mask |= 1 << node
+    return mask
+
+
+def mask_bits(mask: int) -> Tuple[int, ...]:
+    """Decode a bitset into its node labels, in ascending order."""
+    bits = []
+    while mask:
+        low = mask & -mask
+        bits.append(low.bit_length() - 1)
+        mask ^= low
+    return tuple(bits)
+
+
+def _domain(nodes: DomainLike) -> FrozenSet[int]:
+    return frozenset(mask_bits(domain_mask(nodes)))
 
 
 @dataclass(frozen=True)
@@ -89,12 +127,15 @@ class MeasureCommand:
 
     The effective measurement angle is
     ``(-1)^{parity(s_domain)} * angle + parity(t_domain) * pi``.
+
+    Domains may be given as iterables of node labels or as integer bitsets;
+    they are stored as the bitsets ``s_mask`` / ``t_mask``.
     """
 
     node: int
     angle: float = 0.0
-    s_domain: FrozenSet[int] = frozenset()
-    t_domain: FrozenSet[int] = frozenset()
+    s_mask: int = 0
+    t_mask: int = 0
 
     kind: CommandKind = field(default=CommandKind.MEASURE, init=False, repr=False)
 
@@ -102,14 +143,43 @@ class MeasureCommand:
         self,
         node: int,
         angle: float = 0.0,
-        s_domain: Iterable[int] = (),
-        t_domain: Iterable[int] = (),
+        s_domain: DomainLike = 0,
+        t_domain: DomainLike = 0,
+        *,
+        s_mask: int = None,
+        t_mask: int = None,
     ) -> None:
+        # The keyword-only mask parameters mirror the stored field names so
+        # ``dataclasses.replace`` (which passes fields back by name) keeps
+        # working; they take precedence over the domain aliases.
         object.__setattr__(self, "node", int(node))
         object.__setattr__(self, "angle", float(angle))
-        object.__setattr__(self, "s_domain", _domain(s_domain))
-        object.__setattr__(self, "t_domain", _domain(t_domain))
+        object.__setattr__(
+            self, "s_mask", domain_mask(s_domain if s_mask is None else s_mask)
+        )
+        object.__setattr__(
+            self, "t_mask", domain_mask(t_domain if t_mask is None else t_mask)
+        )
         object.__setattr__(self, "kind", CommandKind.MEASURE)
+
+    def __setstate__(self, state) -> None:
+        # Accept pickles from the pre-bitset format, where the domains were
+        # stored as frozensets under s_domain/t_domain.
+        if "s_mask" not in state:
+            state = dict(state)
+            state["s_mask"] = domain_mask(state.pop("s_domain", ()))
+            state["t_mask"] = domain_mask(state.pop("t_domain", ()))
+        self.__dict__.update(state)
+
+    @property
+    def s_domain(self) -> FrozenSet[int]:
+        """The X-domain as a frozen set of node labels."""
+        return frozenset(mask_bits(self.s_mask))
+
+    @property
+    def t_domain(self) -> FrozenSet[int]:
+        """The Z-domain as a frozen set of node labels."""
+        return frozenset(mask_bits(self.t_mask))
 
     @property
     def is_pauli_z(self) -> bool:
@@ -122,20 +192,20 @@ class MeasureCommand:
         X-plane angle 0 with empty domains, which is how removees appear once
         signal shifting has run.
         """
-        return not self.s_domain and not self.t_domain and self.angle == 0.0
+        return not self.s_mask and not self.t_mask and self.angle == 0.0
 
     def with_domains(
-        self, s_domain: Iterable[int], t_domain: Iterable[int]
+        self, s_domain: DomainLike, t_domain: DomainLike
     ) -> "MeasureCommand":
         """Return a copy with replaced correction domains."""
         return MeasureCommand(self.node, self.angle, s_domain, t_domain)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         extras = ""
-        if self.s_domain:
-            extras += f", s={sorted(self.s_domain)}"
-        if self.t_domain:
-            extras += f", t={sorted(self.t_domain)}"
+        if self.s_mask:
+            extras += f", s={list(mask_bits(self.s_mask))}"
+        if self.t_mask:
+            extras += f", t={list(mask_bits(self.t_mask))}"
         return f"M({self.node}, {self.angle:.4g}{extras})"
 
 
@@ -144,17 +214,25 @@ class CorrectionCommand:
     """``X(node, domain)`` or ``Z(node, domain)`` — conditional Pauli correction."""
 
     node: int
-    domain: FrozenSet[int]
+    mask: int
     pauli: str = "X"
 
     kind: CommandKind = field(init=False, repr=False, default=CommandKind.X_CORRECTION)
 
-    def __init__(self, node: int, domain: Iterable[int], pauli: str = "X") -> None:
+    def __init__(
+        self,
+        node: int,
+        domain: DomainLike = 0,
+        pauli: str = "X",
+        *,
+        mask: int = None,
+    ) -> None:
+        # ``mask`` mirrors the stored field name for dataclasses.replace.
         pauli = pauli.upper()
         if pauli not in ("X", "Z"):
             raise ValueError("correction must be X or Z")
         object.__setattr__(self, "node", int(node))
-        object.__setattr__(self, "domain", _domain(domain))
+        object.__setattr__(self, "mask", domain_mask(domain if mask is None else mask))
         object.__setattr__(self, "pauli", pauli)
         object.__setattr__(
             self,
@@ -162,8 +240,20 @@ class CorrectionCommand:
             CommandKind.X_CORRECTION if pauli == "X" else CommandKind.Z_CORRECTION,
         )
 
+    def __setstate__(self, state) -> None:
+        # Accept pickles from the pre-bitset format (frozenset under domain).
+        if "mask" not in state:
+            state = dict(state)
+            state["mask"] = domain_mask(state.pop("domain", ()))
+        self.__dict__.update(state)
+
+    @property
+    def domain(self) -> FrozenSet[int]:
+        """The correction domain as a frozen set of node labels."""
+        return frozenset(mask_bits(self.mask))
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"{self.pauli}({self.node}, s={sorted(self.domain)})"
+        return f"{self.pauli}({self.node}, s={list(mask_bits(self.mask))})"
 
 
 Command = object  # union of the four dataclasses above; kept loose on purpose

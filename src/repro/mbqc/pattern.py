@@ -168,7 +168,11 @@ class Pattern:
                 never measured before the correction.
         """
         alive: Set[int] = set(self.input_nodes)
+        outputs: Set[int] = set(self.output_nodes)
         measured: Set[int] = set()
+        # Domain checks run on the bitset representation: "every domain node
+        # is already measured" is one mask AND per command.
+        measured_mask = 0
         for index, command in enumerate(self.commands):
             if isinstance(command, PrepareCommand):
                 if command.node in alive or command.node in measured:
@@ -195,29 +199,32 @@ class Pattern:
                     raise ValidationError(
                         f"command {index}: node {command.node} measured twice"
                     )
-                if command.node in self.output_nodes:
+                if command.node in outputs:
                     raise ValidationError(
                         f"command {index}: output node {command.node} measured"
                     )
-                for dep in command.s_domain | command.t_domain:
-                    if dep not in measured:
-                        raise ValidationError(
-                            f"command {index}: measurement of {command.node} depends "
-                            f"on node {dep} which has not been measured yet"
-                        )
+                unmeasured = (command.s_mask | command.t_mask) & ~measured_mask
+                if unmeasured:
+                    dep = (unmeasured & -unmeasured).bit_length() - 1
+                    raise ValidationError(
+                        f"command {index}: measurement of {command.node} depends "
+                        f"on node {dep} which has not been measured yet"
+                    )
                 alive.discard(command.node)
                 measured.add(command.node)
+                measured_mask |= 1 << command.node
             elif isinstance(command, CorrectionCommand):
                 if command.node not in alive:
                     raise ValidationError(
                         f"command {index}: correcting non-alive node {command.node}"
                     )
-                for dep in command.domain:
-                    if dep not in measured:
-                        raise ValidationError(
-                            f"command {index}: correction on {command.node} depends "
-                            f"on unmeasured node {dep}"
-                        )
+                unmeasured = command.mask & ~measured_mask
+                if unmeasured:
+                    dep = (unmeasured & -unmeasured).bit_length() - 1
+                    raise ValidationError(
+                        f"command {index}: correction on {command.node} depends "
+                        f"on unmeasured node {dep}"
+                    )
             else:
                 raise ValidationError(f"command {index}: unknown command {command!r}")
         for node in self.output_nodes:

@@ -64,14 +64,15 @@ class PatternSimulator:
         self.rng = make_rng(seed)
         self.forced_outcomes = dict(forced_outcomes or {})
         self.outcomes: Dict[int, int] = {}
+        # Bitset of reported-1 outcomes; signal parities are one AND+popcount.
+        self._outcome_mask = 0
 
         self._live_nodes: List[int] = list(pattern.input_nodes)
         n_inputs = len(self._live_nodes)
         if input_state is None:
-            state = np.array([1.0], dtype=complex)
-            for _ in range(n_inputs):
-                state = np.kron(state, _PLUS)
-            self._state = state if n_inputs else np.array([1.0], dtype=complex)
+            # |+>^n is the uniform real vector (1/sqrt(2))^n — build it
+            # directly instead of kron-ing n factors together.
+            self._state = np.full(2**n_inputs, (0.5**0.5) ** n_inputs, dtype=complex)
         else:
             input_state = np.asarray(input_state, dtype=complex).ravel()
             if input_state.shape != (2**n_inputs,):
@@ -116,20 +117,20 @@ class PatternSimulator:
         if command.node in self._live_nodes:
             raise ValidationError(f"node {command.node} already alive")
         self._live_nodes.append(command.node)
-        self._state = np.kron(self._state, _PLUS)
+        # kron with |+> appends one axis: an outer product followed by a
+        # flatten, without kron's generic block bookkeeping.
+        self._state = (self._state[:, None] * _PLUS[None, :]).reshape(-1)
 
     def _execute_entangle(self, command: EntangleCommand) -> None:
         self._apply_cz(command.node_a, command.node_b)
 
-    def _signal(self, domain) -> int:
-        parity = 0
-        for node in domain:
-            parity ^= self.outcomes[node]
-        return parity
+    def _parity(self, mask: int) -> int:
+        """Signal parity of a domain bitset given the recorded outcomes."""
+        return (mask & self._outcome_mask).bit_count() & 1
 
     def _execute_measure(self, command: MeasureCommand) -> None:
-        s = self._signal(command.s_domain)
-        t = self._signal(command.t_domain)
+        s = self._parity(command.s_mask)
+        t = self._parity(command.t_mask)
         angle = ((-1.0) ** s) * command.angle + t * math.pi
 
         axis = self._axis(command.node)
@@ -170,13 +171,15 @@ class PatternSimulator:
             branch = minus_branch if outcome == 1 else plus_branch
             probability = p_minus if outcome == 1 else p_plus
         self.outcomes[command.node] = outcome
+        if outcome:
+            self._outcome_mask |= 1 << command.node
 
         branch = branch / math.sqrt(probability)
         self._live_nodes.pop(axis)
         self._state = branch.reshape(-1)
 
     def _execute_correction(self, command: CorrectionCommand) -> None:
-        if self._signal(command.domain) == 0:
+        if self._parity(command.mask) == 0:
             return
         matrix = _X if command.pauli == "X" else _Z
         self._apply_single(matrix, command.node)

@@ -23,7 +23,7 @@ with :func:`standardize` without changing any domain.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.decompose import CZGate, JCZProgram, JGate, decompose_to_jcz
@@ -50,8 +50,10 @@ def jcz_to_pattern(program: JCZProgram) -> Pattern:
     pattern.input_nodes = list(range(num_qubits))
 
     current: Dict[int, int] = {q: q for q in range(num_qubits)}
-    x_domain: Dict[int, Set[int]] = {q: set() for q in range(num_qubits)}
-    z_domain: Dict[int, Set[int]] = {q: set() for q in range(num_qubits)}
+    # Pending correction domains are integer bitsets; the commutation rules
+    # below are plain XOR/OR mask arithmetic.
+    x_domain: Dict[int, int] = {q: 0 for q in range(num_qubits)}
+    z_domain: Dict[int, int] = {q: 0 for q in range(num_qubits)}
     next_node = num_qubits
 
     for op in program.operations:
@@ -62,14 +64,14 @@ def jcz_to_pattern(program: JCZProgram) -> Pattern:
             pattern.prepare(v)
             pattern.entangle(u, v)
             # Pending X on u becomes Z on v when commuted through E(u, v).
-            x_domain[v] = set()
-            z_domain[v] = set(x_domain[u])
+            x_domain[v] = 0
+            z_domain[v] = x_domain[u]
             # Measure u with the pending corrections folded into the domains.
             pattern.measure(
                 u, angle=-op.angle, s_domain=x_domain[u], t_domain=z_domain[u]
             )
             # The J pattern's own byproduct: X_v conditioned on the outcome of u.
-            x_domain[v] ^= {u}
+            x_domain[v] ^= 1 << u
             current[op.qubit] = v
         elif isinstance(op, CZGate):
             u = current[op.qubit_a]

@@ -14,6 +14,15 @@ implements the same algorithmic scheme from scratch:
    reduce the cut while respecting the imbalance constraint
    ``max part weight <= alpha * total weight / k``.
 
+Internally the hierarchy lives in flat adjacency arrays (METIS's own
+CSR-style representation): nodes are dense integer ids in the input graph's
+iteration order, each level keeps parallel neighbour/weight lists plus a
+numpy CSR view for the vectorised boundary scans, and ``nx.Graph`` appears
+only at the public API boundary.  Every loop mirrors the iteration order of
+the original networkx implementation (adjacency insertion order, node
+insertion order, label-sorted leftovers), so the partitioner produces
+bit-identical assignments for a fixed seed.
+
 The partitioner is deterministic for a fixed seed and is validated in the
 test suite against the balance constraint, cut-coverage invariants, and
 (on structured graphs) against known good cuts.
@@ -21,25 +30,111 @@ test suite against the balance constraint, cut-coverage invariants, and
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.partition.types import PartitionResult
+from repro.utils.counters import OP_COUNTERS
 from repro.utils.errors import PartitionError
 from repro.utils.rng import make_rng
 
 __all__ = ["MultilevelPartitioner", "partition_graph"]
 
 
-@dataclass
-class _Level:
-    """One level of the coarsening hierarchy."""
+class _ArrayGraph:
+    """Undirected weighted multigraph-free graph over dense integer ids.
 
-    graph: nx.Graph
-    # Mapping from this level's nodes to the coarser level's nodes.
-    projection: Optional[Dict[int, int]] = None
+    Adjacency lists preserve edge insertion order (matching networkx
+    semantics); repeated ``add_edge`` calls accumulate the weight in place.
+    ``labels`` maps ids back to the caller's node objects on level 0 and is
+    the identity on coarser levels.
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "node_weight",
+        "adj",
+        "adj_weight",
+        "labels",
+        "projection",
+        "_adj_pos",
+        "_csr",
+    )
+
+    def __init__(self, num_nodes: int, labels: Optional[List[object]] = None) -> None:
+        self.num_nodes = num_nodes
+        self.node_weight: List[float] = [0] * num_nodes
+        self.adj: List[List[int]] = [[] for _ in range(num_nodes)]
+        self.adj_weight: List[List[float]] = [[] for _ in range(num_nodes)]
+        self.labels = labels
+        # Mapping from this level's nodes to the coarser level's nodes.
+        self.projection: Optional[List[int]] = None
+        self._adj_pos: List[Dict[int, int]] = [{} for _ in range(num_nodes)]
+        self._csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def add_edge(self, u: int, v: int, weight) -> None:
+        pos = self._adj_pos[u].get(v)
+        if pos is None:
+            self._adj_pos[u][v] = len(self.adj[u])
+            self.adj[u].append(v)
+            self.adj_weight[u].append(weight)
+            if v != u:  # a self-loop keeps a single adjacency entry, as in nx
+                self._adj_pos[v][u] = len(self.adj[v])
+                self.adj[v].append(u)
+                self.adj_weight[v].append(weight)
+        else:
+            self.adj_weight[u][pos] += weight
+            if v != u:
+                self.adj_weight[v][self._adj_pos[v][u]] += weight
+
+    def iter_edges(self):
+        """Yield ``(u, v, weight)`` in networkx ``edges()`` order.
+
+        networkx reports each undirected edge once, from the endpoint that
+        comes first in node order, in that endpoint's adjacency order — with
+        dense ids that is "neighbours at or after me" (self-loops included).
+        """
+        for u in range(self.num_nodes):
+            adj_u = self.adj[u]
+            weight_u = self.adj_weight[u]
+            for position, v in enumerate(adj_u):
+                if v >= u:
+                    yield u, v, weight_u[position]
+
+    def weighted_degree(self, node: int) -> float:
+        """Weighted degree, with self-loops counted twice (nx semantics)."""
+        total = sum(self.adj_weight[node])
+        self_pos = self._adj_pos[node].get(node)
+        if self_pos is not None:
+            total += self.adj_weight[node][self_pos]
+        return total
+
+    def label_of(self, node: int):
+        return self.labels[node] if self.labels is not None else node
+
+    def csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(sources, targets) flat edge-endpoint arrays, built lazily.
+
+        One entry per directed adjacency slot (both directions of every
+        edge), in adjacency order — the vectorised boundary scan in the FM
+        refinement consumes exactly this.
+        """
+        if self._csr is None:
+            degrees = np.fromiter(
+                (len(neighbours) for neighbours in self.adj),
+                dtype=np.int64,
+                count=self.num_nodes,
+            )
+            sources = np.repeat(np.arange(self.num_nodes, dtype=np.int64), degrees)
+            targets = np.fromiter(
+                (v for neighbours in self.adj for v in neighbours),
+                dtype=np.int64,
+                count=int(degrees.sum()),
+            )
+            self._csr = (sources, targets)
+        return self._csr
 
 
 class MultilevelPartitioner:
@@ -86,14 +181,19 @@ class MultilevelPartitioner:
                 f"{self.num_parts} parts"
             )
 
-        weighted = nx.Graph()
-        for node in graph.nodes:
-            weighted.add_node(node, weight=1)
+        # Array form: dense ids in node-iteration order, unit node and edge
+        # weights (the partitioner works on its own weighting, as before).
+        labels = list(graph.nodes)
+        index = {label: i for i, label in enumerate(labels)}
+        weighted = _ArrayGraph(len(labels), labels=labels)
+        weighted.node_weight = [1] * len(labels)
         for a, b in graph.edges:
-            weighted.add_edge(a, b, weight=1)
+            weighted.add_edge(index[a], index[b], 1)
 
         levels = self._coarsen(weighted)
-        coarsest = levels[-1].graph
+        OP_COUNTERS.add("partition.calls")
+        OP_COUNTERS.add("partition.levels", len(levels))
+        coarsest = levels[-1]
         assignment = self._initial_partition(coarsest)
         assignment = self._refine(coarsest, assignment)
 
@@ -101,13 +201,14 @@ class MultilevelPartitioner:
             finer = levels[level_index]
             # ``finer.projection`` maps this level's nodes to the nodes of the
             # next (coarser) level, whose assignment we already know.
-            projection = finer.projection or {}
-            assignment = {
-                node: assignment[projection[node]] for node in finer.graph.nodes
-            }
-            assignment = self._refine(finer.graph, assignment)
+            projection = finer.projection or []
+            assignment = [assignment[projection[node]] for node in range(finer.num_nodes)]
+            assignment = self._refine(finer, assignment)
 
-        result = PartitionResult(assignment, self.num_parts)
+        result = PartitionResult(
+            {labels[node]: part for node, part in enumerate(assignment)},
+            self.num_parts,
+        )
         result.validate_covers(graph)
         return result
 
@@ -115,76 +216,68 @@ class MultilevelPartitioner:
     # Coarsening
     # ------------------------------------------------------------------ #
 
-    def _coarsen(self, graph: nx.Graph) -> List[_Level]:
-        levels = [_Level(graph)]
+    def _coarsen(self, graph: _ArrayGraph) -> List[_ArrayGraph]:
+        levels = [graph]
         rng = make_rng(self.seed)
         target = max(4 * self.num_parts, 32)
-        while levels[-1].graph.number_of_nodes() > target:
-            finer = levels[-1].graph
+        while levels[-1].num_nodes > target:
+            finer = levels[-1]
             matching = self._heavy_edge_matching(finer, rng)
-            if not matching:
+            if not any(partner >= 0 for partner in matching):
                 break
             coarser, projection = self._contract(finer, matching)
-            if coarser.number_of_nodes() >= finer.number_of_nodes():
+            if coarser.num_nodes >= finer.num_nodes:
                 break
-            levels[-1].projection = projection
-            levels.append(_Level(coarser))
+            finer.projection = projection
+            levels.append(coarser)
         return levels
 
     @staticmethod
-    def _heavy_edge_matching(graph: nx.Graph, rng) -> Dict[int, int]:
-        """Return a matching (node -> partner) preferring heavy edges."""
-        nodes = list(graph.nodes)
+    def _heavy_edge_matching(graph: _ArrayGraph, rng) -> List[int]:
+        """Return a matching (node -> partner id, -1 unmatched) preferring heavy edges."""
+        nodes = list(range(graph.num_nodes))
         rng.shuffle(nodes)
-        matched: Dict[int, int] = {}
+        matched = [-1] * graph.num_nodes
         for node in nodes:
-            if node in matched:
+            if matched[node] >= 0:
                 continue
-            best_partner = None
+            best_partner = -1
             best_weight = -1.0
-            for neighbour, data in graph[node].items():
-                if neighbour in matched or neighbour == node:
+            for neighbour, weight in zip(graph.adj[node], graph.adj_weight[node]):
+                if matched[neighbour] >= 0 or neighbour == node:
                     continue
-                weight = data.get("weight", 1.0)
                 if weight > best_weight:
                     best_weight = weight
                     best_partner = neighbour
-            if best_partner is not None:
+            if best_partner >= 0:
                 matched[node] = best_partner
                 matched[best_partner] = node
         return matched
 
     @staticmethod
     def _contract(
-        graph: nx.Graph, matching: Dict[int, int]
-    ) -> Tuple[nx.Graph, Dict[int, int]]:
+        graph: _ArrayGraph, matching: List[int]
+    ) -> Tuple[_ArrayGraph, List[int]]:
         """Contract matched pairs into super-nodes."""
-        projection: Dict[int, int] = {}
+        projection = [-1] * graph.num_nodes
         next_id = 0
-        for node in graph.nodes:
-            if node in projection:
+        for node in range(graph.num_nodes):
+            if projection[node] >= 0:
                 continue
-            partner = matching.get(node)
+            partner = matching[node]
             projection[node] = next_id
-            if partner is not None and partner not in projection:
+            if partner >= 0 and projection[partner] < 0:
                 projection[partner] = next_id
             next_id += 1
 
-        coarser = nx.Graph()
-        for node in graph.nodes:
-            super_node = projection[node]
-            if not coarser.has_node(super_node):
-                coarser.add_node(super_node, weight=0)
-            coarser.nodes[super_node]["weight"] += graph.nodes[node].get("weight", 1)
-        for a, b, data in graph.edges(data=True):
+        coarser = _ArrayGraph(next_id)
+        for node in range(graph.num_nodes):
+            coarser.node_weight[projection[node]] += graph.node_weight[node]
+        for a, b, weight in graph.iter_edges():
             ca, cb = projection[a], projection[b]
             if ca == cb:
                 continue
-            weight = data.get("weight", 1.0)
-            if coarser.has_edge(ca, cb):
-                coarser[ca][cb]["weight"] += weight
-            else:
-                coarser.add_edge(ca, cb, weight=weight)
+            coarser.add_edge(ca, cb, weight)
         return coarser, projection
 
     # ------------------------------------------------------------------ #
@@ -196,18 +289,18 @@ class MultilevelPartitioner:
         # Always allow at least one extra unit so whole nodes fit.
         return max(self.imbalance * ideal, ideal + 1.0)
 
-    def _initial_partition(self, graph: nx.Graph) -> Dict[int, int]:
+    def _initial_partition(self, graph: _ArrayGraph) -> List[int]:
         """Balanced region growing on the coarsest graph."""
         rng = make_rng(self.seed + 1)
-        total_weight = sum(graph.nodes[n].get("weight", 1) for n in graph.nodes)
+        total_weight = sum(graph.node_weight)
         limit = self._max_part_weight(total_weight)
 
-        assignment: Dict[int, int] = {}
+        assignment = [-1] * graph.num_nodes
         part_weight = [0.0] * self.num_parts
-        unassigned = set(graph.nodes)
+        unassigned = set(range(graph.num_nodes))
 
         nodes_by_degree = sorted(
-            graph.nodes, key=lambda n: -graph.degree(n, weight="weight")
+            range(graph.num_nodes), key=lambda n: -graph.weighted_degree(n)
         )
         for part in range(self.num_parts):
             if not unassigned:
@@ -215,23 +308,26 @@ class MultilevelPartitioner:
             # Seed with the highest-degree unassigned node.
             seed_node = next(n for n in nodes_by_degree if n in unassigned)
             frontier = [seed_node]
-            while frontier and part_weight[part] < total_weight / self.num_parts:
-                node = frontier.pop(0)
+            cursor = 0  # frontier.pop(0) without the O(n) list shift
+            while cursor < len(frontier) and part_weight[part] < total_weight / self.num_parts:
+                node = frontier[cursor]
+                cursor += 1
                 if node not in unassigned:
                     continue
-                weight = graph.nodes[node].get("weight", 1)
+                weight = graph.node_weight[node]
                 if part_weight[part] + weight > limit:
                     continue
                 assignment[node] = part
                 part_weight[part] += weight
                 unassigned.discard(node)
-                neighbours = [n for n in graph.neighbors(node) if n in unassigned]
+                neighbours = [n for n in graph.adj[node] if n in unassigned]
                 rng.shuffle(neighbours)
                 frontier.extend(neighbours)
 
-        # Any leftovers go to the lightest part that can take them.
-        for node in sorted(unassigned):
-            weight = graph.nodes[node].get("weight", 1)
+        # Any leftovers go to the lightest part that can take them.  Sort by
+        # the caller's labels to match the original label-ordered sweep.
+        for node in sorted(unassigned, key=graph.label_of):
+            weight = graph.node_weight[node]
             part = min(range(self.num_parts), key=lambda p: part_weight[p])
             assignment[node] = part
             part_weight[part] += weight
@@ -241,30 +337,41 @@ class MultilevelPartitioner:
     # Refinement
     # ------------------------------------------------------------------ #
 
-    def _refine(self, graph: nx.Graph, assignment: Dict[int, int]) -> Dict[int, int]:
+    def _refine(self, graph: _ArrayGraph, assignment: List[int]) -> List[int]:
         """FM-style boundary refinement respecting the imbalance limit."""
-        assignment = dict(assignment)
-        total_weight = sum(graph.nodes[n].get("weight", 1) for n in graph.nodes)
+        assignment = list(assignment)
+        total_weight = sum(graph.node_weight)
         limit = self._max_part_weight(total_weight)
         part_weight = [0.0] * self.num_parts
-        for node, part in assignment.items():
-            part_weight[part] += graph.nodes[node].get("weight", 1)
+        for node, part in enumerate(assignment):
+            part_weight[part] += graph.node_weight[node]
 
+        sources, targets = graph.csr()
+        adj = graph.adj
+        adj_weight = graph.adj_weight
+        node_weight = graph.node_weight
+
+        moves = 0
+        boundary_scanned = 0
         for _ in range(self.refinement_passes):
             moved_any = False
-            boundary = [
-                node
-                for node in graph.nodes
-                if any(assignment[n] != assignment[node] for n in graph.neighbors(node))
-            ]
+            # Vectorised boundary scan: a node is boundary iff any incident
+            # edge crosses parts (np.unique keeps ascending node order).
+            part_array = np.asarray(assignment, dtype=np.int64)
+            if len(sources):
+                crossing = part_array[sources] != part_array[targets]
+                boundary = np.unique(sources[crossing]).tolist()
+            else:
+                boundary = []
+            boundary_scanned += len(boundary)
             for node in boundary:
                 current = assignment[node]
-                weight = graph.nodes[node].get("weight", 1)
-                # Connectivity of this node to every part.
+                weight = node_weight[node]
+                # Connectivity of this node to every part (first-seen order).
                 connectivity: Dict[int, float] = {}
-                for neighbour, data in graph[node].items():
-                    connectivity.setdefault(assignment[neighbour], 0.0)
-                    connectivity[assignment[neighbour]] += data.get("weight", 1.0)
+                for neighbour, edge_weight in zip(adj[node], adj_weight[node]):
+                    part = assignment[neighbour]
+                    connectivity[part] = connectivity.get(part, 0.0) + edge_weight
                 internal = connectivity.get(current, 0.0)
                 best_part = current
                 best_gain = 0.0
@@ -284,9 +391,12 @@ class MultilevelPartitioner:
                     assignment[node] = best_part
                     part_weight[current] -= weight
                     part_weight[best_part] += weight
+                    moves += 1
                     moved_any = True
             if not moved_any:
                 break
+        OP_COUNTERS.add("partition.boundary_nodes", boundary_scanned)
+        OP_COUNTERS.add("partition.refine_moves", moves)
         return assignment
 
 

@@ -26,6 +26,7 @@ from repro.mbqc.commands import (
     EntangleCommand,
     MeasureCommand,
     PrepareCommand,
+    mask_bits,
 )
 from repro.mbqc.pattern import Pattern
 from repro.partition.types import PartitionResult
@@ -51,7 +52,21 @@ def canonicalize(value: object) -> object:
     ``repr`` (exact and stable), enums collapse to their ``value``, and
     tuples/lists become lists.  Unknown objects fall back to ``repr``.
     """
-    if value is None or isinstance(value, (bool, int, str)):
+    # Exact-type dispatch first: artifact hashes walk hundreds of thousands
+    # of small ints/tuples, where the isinstance cascade dominated.
+    kind = type(value)
+    if kind is int or kind is str or kind is bool or value is None:
+        return value
+    if kind is float:
+        return repr(value)
+    if kind is list or kind is tuple:
+        return [
+            item if type(item) is int or type(item) is str else canonicalize(item)
+            for item in value
+        ]
+    if isinstance(value, (bool, int, str)):  # bool/int/str subclasses, enums below
+        if isinstance(value, enum.Enum):
+            return canonicalize(value.value)
         return value
     if isinstance(value, float):
         return repr(value)
@@ -98,11 +113,11 @@ def _command_canonical(command: object) -> object:
             "M",
             command.node,
             repr(command.angle),
-            sorted(command.s_domain),
-            sorted(command.t_domain),
+            list(mask_bits(command.s_mask)),
+            list(mask_bits(command.t_mask)),
         )
     if isinstance(command, CorrectionCommand):
-        return (command.pauli, command.node, sorted(command.domain))
+        return (command.pauli, command.node, list(mask_bits(command.mask)))
     raise TypeError(f"cannot hash command {command!r}")
 
 

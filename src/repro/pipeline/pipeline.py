@@ -166,6 +166,11 @@ class Pipeline:
         use_cache: Disable both cache layers (and hashing) entirely —
             used by compilation-runtime benchmarks that must measure real
             work.
+        no_cache_stages: Names of stages that must always *execute* (no
+            cache lookup) but still publish their artifact to the cache
+            layers.  Compilation-runtime benchmarks use this to scope the
+            cache bypass to the timed stage while shared upstream prefixes
+            stay reusable.
         memo: In-process memo cache; defaults to the process-global LRU.
         telemetry: Counter registry; defaults to the process-global one.
     """
@@ -175,6 +180,7 @@ class Pipeline:
         stages: Sequence[Stage],
         store: Optional[ArtifactStore] = None,
         use_cache: bool = True,
+        no_cache_stages: Sequence[str] = (),
         memo=None,
         telemetry: Optional[TelemetryRegistry] = None,
     ) -> None:
@@ -184,6 +190,7 @@ class Pipeline:
         self.stages = list(stages)
         self.store = store
         self.use_cache = use_cache
+        self.no_cache_stages = frozenset(no_cache_stages)
         self._memo = memo
         self.telemetry = telemetry if telemetry is not None else TELEMETRY
 
@@ -243,6 +250,7 @@ class Pipeline:
 
             if cacheable:
                 key = stage.key([hashes[name] for name in stage.inputs])
+            if cacheable and stage.name not in self.no_cache_stages:
                 # The memo holds pickled snapshots: every hit thaws a private
                 # copy, so callers may mutate returned artifacts freely
                 # without corrupting the cache (same semantics as disk hits).

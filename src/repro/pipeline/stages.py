@@ -58,8 +58,15 @@ def _compgraph(pattern: Pattern) -> ComputationGraph:
 
 
 def translate_stage() -> Stage:
-    """circuit → measurement pattern (measurement-calculus translation)."""
-    return Stage("translate", _translate, inputs=("circuit",), output="pattern")
+    """circuit → measurement pattern (measurement-calculus translation).
+
+    Version 2: patterns serialise with bitset domains (s_mask/t_mask).  The
+    command classes migrate old pickles on load, but bumping the version
+    keeps persistent stores from mixing artifact formats across releases.
+    """
+    return Stage(
+        "translate", _translate, inputs=("circuit",), output="pattern", version="2"
+    )
 
 
 def compgraph_stage() -> Stage:

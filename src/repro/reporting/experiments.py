@@ -333,7 +333,7 @@ def figure9_series(
 
 
 def figure10_series(
-    qft_sizes: Sequence[int] = (8, 12, 16, 25),
+    qft_sizes: Sequence[int] = (8, 12, 16, 24, 32),
     num_qpus: int = 8,
     seed: int = 0,
     workers: int = 1,

@@ -17,21 +17,29 @@ annealing loop.  A neighbour is produced in three steps:
 
 The annealing loop accepts improving neighbours unconditionally and worse
 ones with probability ``exp(-dE / T)``.
+
+Every static view the primitives need (node→task map, fusion partners and
+dependency neighbours per main task, syncs per main task) is precomputed
+once per scheduler, and each candidate schedule is evaluated exactly once —
+the evaluation is the annealing loop's inner product and used to be
+recomputed three times per iteration.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.scheduling.list_scheduler import list_schedule
 from repro.scheduling.problem import (
     LayerSchedulingProblem,
     Schedule,
+    ScheduleEvaluation,
     SyncTask,
     TaskKey,
 )
+from repro.utils.counters import OP_COUNTERS
 from repro.utils.rng import make_rng
 
 __all__ = ["BDIRConfig", "BDIRScheduler"]
@@ -65,46 +73,88 @@ class BDIRScheduler:
     def refine(self, initial: Optional[Schedule] = None) -> Schedule:
         """Run Algorithm 3 and return the best schedule found."""
         rng = make_rng(self.config.seed)
+        self._prepare_static_views()
         current = initial.copy() if initial is not None else list_schedule(self.problem)
+        current_eval = self.problem.evaluate(current)
         best = current.copy()
-        best_cost = self._cost(best)
+        best_cost = float(current_eval.tau_photon)
         temperature = self.config.initial_temperature
 
         for _ in range(self.config.max_iterations):
-            neighbour = self._generate_neighbor(current)
+            OP_COUNTERS.add("bdir.iterations")
+            neighbour = self._generate_neighbor(current, current_eval)
             if neighbour is None:
                 break
-            current_cost = self._cost(current)
-            neighbour_cost = self._cost(neighbour)
-            delta = neighbour_cost - current_cost
+            neighbour_eval = self.problem.evaluate(neighbour)
+            delta = float(neighbour_eval.tau_photon) - float(current_eval.tau_photon)
             if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
-                current = neighbour
-                current_cost = neighbour_cost
-            if current_cost < best_cost:
+                current, current_eval = neighbour, neighbour_eval
+            if float(current_eval.tau_photon) < best_cost:
                 best = current.copy()
-                best_cost = current_cost
+                best_cost = float(current_eval.tau_photon)
             temperature *= self.config.cooling_rate
         return best
+
+    # ------------------------------------------------------------------ #
+    # Static problem views (computed once per refine call)
+    # ------------------------------------------------------------------ #
+
+    def _prepare_static_views(self) -> None:
+        problem = self.problem
+        self._node_task: Dict[int, TaskKey] = problem.node_task_map()
+        self._sync_by_key: Dict[TaskKey, SyncTask] = {
+            sync.key: sync for sync in problem.sync_tasks
+        }
+        syncs_of_main: Dict[TaskKey, List[TaskKey]] = {}
+        for sync in problem.sync_tasks:
+            for key in sync.main_keys:
+                syncs_of_main.setdefault(key, []).append(sync.key)
+
+        # Anchor tasks per main task: the tasks generating fusion partners
+        # and dependency neighbours of any of its photons, plus its attached
+        # synchronisation tasks.  Only the min/max anchor start matters, so
+        # the anchors collapse to a set of task keys.
+        anchors: Dict[TaskKey, Set[TaskKey]] = {}
+        for tasks in problem.main_tasks:
+            for task in tasks:
+                anchors[task.key] = set()
+        for u, v in problem.local_fusee_pairs:
+            task_u = self._node_task.get(u)
+            task_v = self._node_task.get(v)
+            if task_u is None or task_v is None or task_u == task_v:
+                continue
+            anchors[task_u].add(task_v)
+            anchors[task_v].add(task_u)
+        if problem.dependency is not None:
+            graph = problem.dependency.graph
+            for source, target in graph.edges():
+                task_s = self._node_task.get(source)
+                task_t = self._node_task.get(target)
+                if task_s is None or task_t is None or task_s == task_t:
+                    continue
+                anchors[task_s].add(task_t)
+                anchors[task_t].add(task_s)
+        for key, sync_keys in syncs_of_main.items():
+            anchors[key].update(sync_keys)
+        self._main_anchors = anchors
 
     # ------------------------------------------------------------------ #
     # Algorithm 3 primitives
     # ------------------------------------------------------------------ #
 
-    def _cost(self, schedule: Schedule) -> float:
-        return float(self.problem.evaluate(schedule).tau_photon)
-
-    def _generate_neighbor(self, schedule: Schedule) -> Optional[Schedule]:
-        bottleneck = self._find_bottleneck_task(schedule)
+    def _generate_neighbor(
+        self, schedule: Schedule, evaluation: ScheduleEvaluation
+    ) -> Optional[Schedule]:
+        bottleneck = self._find_bottleneck_task(schedule, evaluation)
         if bottleneck is None:
             return None
         target = self._calculate_balance_point(schedule, bottleneck)
         return self._pin_and_reschedule(schedule, bottleneck, target)
 
-    def _find_bottleneck_task(self, schedule: Schedule) -> Optional[TaskKey]:
+    def _find_bottleneck_task(
+        self, schedule: Schedule, evaluation: ScheduleEvaluation
+    ) -> Optional[TaskKey]:
         """Identify the task responsible for the current objective value."""
-        evaluation = self.problem.evaluate(schedule)
-        node_task = self.problem.node_task_map()
-
         if evaluation.tau_remote >= evaluation.tau_local:
             worst_sync: Optional[SyncTask] = None
             worst_gap = -1
@@ -121,60 +171,30 @@ class BDIRScheduler:
         report = evaluation.lifetime_report
         if report.tau_fusee >= report.tau_measuree and report.worst_fusee_pair:
             u, v = report.worst_fusee_pair
-            node_start = self._node_start_times(schedule)
             # Move the later of the two photons' tasks.
-            later = u if node_start.get(u, 0) >= node_start.get(v, 0) else v
-            return node_task.get(later)
+            start_u = self._node_start(schedule, u)
+            start_v = self._node_start(schedule, v)
+            later = u if start_u >= start_v else v
+            return self._node_task.get(later)
         if report.worst_measuree is not None:
-            return node_task.get(report.worst_measuree)
+            return self._node_task.get(report.worst_measuree)
         return None
 
-    def _node_start_times(self, schedule: Schedule) -> Dict[int, int]:
-        node_start: Dict[int, int] = {}
-        for tasks in self.problem.main_tasks:
-            for task in tasks:
-                start = schedule.start_of(task.key)
-                for node in task.nodes:
-                    node_start[node] = start
-        return node_start
+    def _node_start(self, schedule: Schedule, node: int) -> int:
+        key = self._node_task.get(node)
+        return schedule.start_of(key) if key is not None else 0
 
     def _calculate_balance_point(self, schedule: Schedule, key: TaskKey) -> int:
         """Temporal equilibrium point of a task given everything else fixed."""
-        anchors: List[int] = []
         if key[0] == "sync":
-            sync = next(s for s in self.problem.sync_tasks if s.key == key)
-            anchors = [schedule.start_of(k) for k in sync.main_keys]
+            sync = self._sync_by_key[key]
+            anchor_keys = sync.main_keys
         else:
-            _, qpu, index = key
-            task = self.problem.main_tasks[qpu][index]
-            task_nodes = set(task.nodes)
-            node_start = self._node_start_times(schedule)
-            node_task = self.problem.node_task_map()
-            # Fusion partners located in other main tasks.
-            for u, v in self.problem.local_fusee_pairs:
-                if (u in task_nodes) == (v in task_nodes):
-                    continue
-                other = v if u in task_nodes else u
-                if other in node_start:
-                    anchors.append(node_start[other])
-            # Dependency neighbours located in other main tasks.
-            if self.problem.dependency is not None:
-                graph = self.problem.dependency.graph
-                for node in task_nodes:
-                    if node not in graph:
-                        continue
-                    for neighbour in list(graph.predecessors(node)) + list(
-                        graph.successors(node)
-                    ):
-                        other_key = node_task.get(neighbour)
-                        if other_key is not None and other_key != key:
-                            anchors.append(schedule.start_of(other_key))
-            # Attached synchronisation tasks.
-            for sync in self.problem.syncs_of_main(key):
-                anchors.append(schedule.start_of(sync.key))
-        if not anchors:
+            anchor_keys = self._main_anchors.get(key, ())
+        if not anchor_keys:
             return schedule.start_of(key)
-        return int(round((min(anchors) + max(anchors)) / 2.0))
+        starts = [schedule.start_of(anchor) for anchor in anchor_keys]
+        return int(round((min(starts) + max(starts)) / 2.0))
 
     def _pin_and_reschedule(
         self, schedule: Schedule, key: TaskKey, target: int

@@ -12,6 +12,13 @@ The same routine doubles as the ``PinAndReschedule`` primitive of the BDIR
 algorithm: callers may pass explicit per-task priorities (the start times of
 an existing schedule, to preserve its relative order) and *pin* one task to a
 specific cycle.
+
+Implementation notes: the inner loop works on flat per-QPU integer/float
+arrays.  Scheduled synchronisation tasks are compacted out of the pending
+list between cycles (the seed implementation re-scanned the full sync list
+twice per cycle, which is quadratic in the number of connectors), and the
+"next main priority" of each QPU is computed once per cycle instead of once
+per candidate sync.
 """
 
 from __future__ import annotations
@@ -19,9 +26,12 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional
 
 from repro.scheduling.problem import LayerSchedulingProblem, Schedule, SyncTask, TaskKey
+from repro.utils.counters import OP_COUNTERS
 from repro.utils.errors import SchedulingError
 
 __all__ = ["default_priorities", "list_schedule"]
+
+_INF = float("inf")
 
 
 def default_priorities(problem: LayerSchedulingProblem) -> Dict[TaskKey, float]:
@@ -59,52 +69,70 @@ def list_schedule(
         if key not in prio:
             raise SchedulingError(f"pinned task {key} is not part of the problem")
 
-    schedule = Schedule()
-    next_main_index = [0] * problem.num_qpus
-    pending_syncs: List[SyncTask] = sorted(
+    num_qpus = problem.num_qpus
+    capacity = problem.connection_capacity
+
+    # Flat per-QPU views of the main-task queues.
+    main_prio: List[List[float]] = [
+        [prio[task.key] for task in tasks] for tasks in problem.main_tasks
+    ]
+    main_pin: List[List[int]] = [
+        [pins.get(task.key, 0) for task in tasks] for tasks in problem.main_tasks
+    ]
+
+    # Pending syncs in (priority, sync_id) order; scheduled entries are
+    # compacted out between cycles.
+    pending: List[SyncTask] = sorted(
         problem.sync_tasks, key=lambda s: (prio[s.key], s.sync_id)
     )
+    sync_prio: Dict[int, float] = {s.sync_id: prio[s.key] for s in problem.sync_tasks}
+    sync_pin: Dict[int, int] = {
+        s.sync_id: pins.get(s.key, 0) for s in problem.sync_tasks
+    }
+
+    schedule = Schedule()
+    start_times = schedule.start_times
+    next_main_index = [0] * num_qpus
     total_tasks = problem.num_main_tasks + problem.num_sync_tasks
     horizon_limit = 4 * total_tasks + 16
 
     time = 0
-    while len(schedule.start_times) < total_tasks:
+    cycles = 0
+    sync_scans = 0
+    while len(start_times) < total_tasks:
+        cycles += 1
+        sync_scans += len(pending)
         if time > horizon_limit:
             raise SchedulingError(
                 "list scheduling exceeded its time horizon; the problem is inconsistent"
             )
         scheduled_this_slot = 0
-        main_this_slot: Dict[int, bool] = {}
-        sync_count: Dict[int, int] = {}
+        sync_count = [0] * num_qpus
+        scheduled_syncs: List[int] = []  # positions in ``pending`` to compact
 
-        def next_main_priority(qpu: int) -> float:
+        # Priority of each QPU's next runnable main task, fixed for the
+        # cycle (phase 2 runs after every sync decision).
+        next_prio = [_INF] * num_qpus
+        for qpu in range(num_qpus):
             index = next_main_index[qpu]
-            if index >= len(problem.main_tasks[qpu]):
-                return float("inf")
-            key = problem.main_tasks[qpu][index].key
-            if pins.get(key, 0) > time:
-                return float("inf")
-            return prio[key]
+            if index < len(main_prio[qpu]) and main_pin[qpu][index] <= time:
+                next_prio[qpu] = main_prio[qpu][index]
 
         # Phase 1: synchronisation tasks whose priority has come due on both
         # of their QPUs claim communication resources first.
-        for sync in pending_syncs:
-            if sync.key in schedule.start_times:
-                continue
-            if pins.get(sync.key, 0) > time:
+        for position, sync in enumerate(pending):
+            if sync_pin[sync.sync_id] > time:
                 continue
             qpu_a, qpu_b = sync.qpu_a, sync.qpu_b
-            if main_this_slot.get(qpu_a) or main_this_slot.get(qpu_b):
+            if sync_count[qpu_a] >= capacity or sync_count[qpu_b] >= capacity:
                 continue
-            if sync_count.get(qpu_a, 0) >= problem.connection_capacity:
+            priority = sync_prio[sync.sync_id]
+            if priority > next_prio[qpu_a] or priority > next_prio[qpu_b]:
                 continue
-            if sync_count.get(qpu_b, 0) >= problem.connection_capacity:
-                continue
-            if prio[sync.key] > next_main_priority(qpu_a) or prio[sync.key] > next_main_priority(qpu_b):
-                continue
-            schedule.start_times[sync.key] = time
-            sync_count[qpu_a] = sync_count.get(qpu_a, 0) + 1
-            sync_count[qpu_b] = sync_count.get(qpu_b, 0) + 1
+            start_times[sync.key] = time
+            sync_count[qpu_a] += 1
+            sync_count[qpu_b] += 1
+            scheduled_syncs.append(position)
             scheduled_this_slot += 1
 
         # Phase 1b: top up connection layers.  A QPU that already switched to
@@ -112,44 +140,43 @@ def list_schedule(
         # synchronisation tasks, so pending syncs whose priority is close to
         # the ones already running are pulled forward up to ``K_max``.  This
         # mirrors the paper's connection layers serving several connectors.
-        if sync_count:
-            window = float(problem.connection_capacity)
-            for sync in pending_syncs:
-                if sync.key in schedule.start_times:
+        if scheduled_this_slot:
+            window = float(capacity)
+            taken = set(scheduled_syncs)
+            sync_scans += len(pending)
+            for position, sync in enumerate(pending):
+                if position in taken:
                     continue
-                if pins.get(sync.key, 0) > time:
+                if sync_pin[sync.sync_id] > time:
                     continue
                 qpu_a, qpu_b = sync.qpu_a, sync.qpu_b
-                if main_this_slot.get(qpu_a) or main_this_slot.get(qpu_b):
+                count_a, count_b = sync_count[qpu_a], sync_count[qpu_b]
+                if count_a == 0 and count_b == 0:
                     continue
-                if sync_count.get(qpu_a, 0) == 0 and sync_count.get(qpu_b, 0) == 0:
+                if count_a >= capacity or count_b >= capacity:
                     continue
-                if sync_count.get(qpu_a, 0) >= problem.connection_capacity:
+                due = min(next_prio[qpu_a], next_prio[qpu_b]) + window
+                if sync_prio[sync.sync_id] > due:
                     continue
-                if sync_count.get(qpu_b, 0) >= problem.connection_capacity:
-                    continue
-                due = min(next_main_priority(qpu_a), next_main_priority(qpu_b)) + window
-                if prio[sync.key] > due:
-                    continue
-                schedule.start_times[sync.key] = time
-                sync_count[qpu_a] = sync_count.get(qpu_a, 0) + 1
-                sync_count[qpu_b] = sync_count.get(qpu_b, 0) + 1
+                start_times[sync.key] = time
+                sync_count[qpu_a] = count_a + 1
+                sync_count[qpu_b] = count_b + 1
+                scheduled_syncs.append(position)
                 scheduled_this_slot += 1
 
         # Phase 2: every QPU without synchronisation work runs its next main
         # task (in compilation order).
-        for qpu in range(problem.num_qpus):
-            if sync_count.get(qpu, 0) > 0:
+        for qpu in range(num_qpus):
+            if sync_count[qpu] > 0:
                 continue
             index = next_main_index[qpu]
-            if index >= len(problem.main_tasks[qpu]):
+            if index >= len(main_prio[qpu]):
+                continue
+            if main_pin[qpu][index] > time:
                 continue
             task = problem.main_tasks[qpu][index]
-            if pins.get(task.key, 0) > time:
-                continue
-            schedule.start_times[task.key] = time
+            start_times[task.key] = time
             next_main_index[qpu] = index + 1
-            main_this_slot[qpu] = True
             scheduled_this_slot += 1
 
         # Phase 3: guarantee progress.  If nothing could be scheduled (for
@@ -158,23 +185,27 @@ def list_schedule(
         if scheduled_this_slot == 0:
             future_pins = [
                 pin for key, pin in pins.items()
-                if key not in schedule.start_times and pin > time
+                if key not in start_times and pin > time
             ]
             if future_pins:
                 time = min(future_pins)
                 continue
             # Otherwise force the lowest-priority pending synchronisation
             # through (its partner QPUs are idle by construction here).
-            forced = False
-            for sync in pending_syncs:
-                if sync.key in schedule.start_times:
-                    continue
-                schedule.start_times[sync.key] = time
-                forced = True
-                break
-            if not forced:
+            if pending:
+                start_times[pending[0].key] = time
+                scheduled_syncs.append(0)
+            else:
                 raise SchedulingError("list scheduling stalled with unscheduled tasks")
+        if scheduled_syncs:
+            taken = set(scheduled_syncs)
+            pending = [
+                sync for position, sync in enumerate(pending) if position not in taken
+            ]
         time += 1
 
+    OP_COUNTERS.add("scheduler.calls")
+    OP_COUNTERS.add("scheduler.cycles", cycles)
+    OP_COUNTERS.add("scheduler.sync_scans", sync_scans)
     problem.validate(schedule)
     return schedule

@@ -274,7 +274,7 @@ def figure9_grid(
 def figure10_grid(
     scale: BenchmarkScale = BenchmarkScale.REDUCED,
     seed: int = 0,
-    qft_sizes: Sequence[int] = (8, 12, 16, 25),
+    qft_sizes: Sequence[int] = (8, 12, 16, 24, 32),
     num_qpus: int = 8,
 ) -> ParameterGrid:
     """Figure 10: compilation-runtime scaling of the three compiler variants."""

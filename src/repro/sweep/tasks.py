@@ -12,7 +12,6 @@ Tasks report *unrounded* improvement factors; rendering decides precision.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Dict
 
 from repro.compiler.oneq import OneQCompiler
@@ -186,39 +185,79 @@ def run_sensitivity(point: SweepPoint) -> Dict[str, object]:
     }
 
 
+def _variant_stage_seconds(run, shared: Dict[str, float]) -> Dict[str, float]:
+    """Per-stage seconds of one timed pipeline run.
+
+    Executed stages are charged their measured wall time; stages served from
+    the benchmark's private cache are charged the time measured when the
+    shared prefix actually executed (``shared``).  Stages provided with the
+    initial state (the pre-built computation graph) are setup, not compile
+    work, and are excluded.
+    """
+    seconds: Dict[str, float] = {}
+    for record in run.records:
+        if record.status == "executed":
+            seconds[record.stage] = record.seconds
+        elif record.is_hit:
+            seconds[record.stage] = shared.get(record.stage, 0.0)
+    return seconds
+
+
 @task("runtime")
 def run_runtime(point: SweepPoint) -> Dict[str, object]:
     """Compilation-runtime scaling of the three compiler variants (Figure 10).
 
-    The timed compiles bypass the pipeline caches (``use_cache=False``):
-    a benchmark that can be served from a memoised artifact would measure
-    the cache, not the compiler.
+    The cache bypass is scoped to the timed compiler stages
+    (``no_cache_stages``) instead of disabling caching wholesale: the three
+    variants share one private in-memory cache, so the partition/mapping
+    prefix shared by Core and Core+BDIR executes — and is timed — exactly
+    once and is then reused, while the timed stages themselves can never be
+    served from a cache.  Reported per-variant seconds are the sum of the
+    variant's pipeline stage times (cache-hit stages are charged the shared
+    prefix's measured time), so pipeline bookkeeping and hashing overhead no
+    longer pollute the measurement.  Per-stage seconds and hot-path op
+    counters are reported alongside for the perf-regression harness.
     """
+    from repro.utils.counters import OP_COUNTERS
+
     computation = build_computation(point.program, point.num_qubits, point.circuit_seed)
     grid = paper_grid_size(point.num_qubits)
     config = config_for_point(point)
+    memo = LRUCache(maxsize=16)  # private to this point: deterministic reuse
 
-    start = time.perf_counter()
-    OneQCompiler(grid_size=grid, seed=point.seed).compile_run(
-        computation, use_cache=False
+    counters_before = OP_COUNTERS.snapshot()
+    _, oneq_run = OneQCompiler(grid_size=grid, seed=point.seed).compile_run(
+        computation, store=None, use_cache=True,
+        no_cache_stages=("grid_mapping",), memo=memo,
     )
-    baseline_runtime = time.perf_counter() - start
+    oneq_stages = _variant_stage_seconds(oneq_run, {})
 
-    start = time.perf_counter()
-    DCMBQCCompiler(config.with_updates(use_bdir=False)).compile_run(
-        computation, use_cache=False
+    _, core_run = DCMBQCCompiler(config.with_updates(use_bdir=False)).compile_run(
+        computation, store=None, use_cache=True,
+        no_cache_stages=("partition", "qpu_mapping", "scheduling"), memo=memo,
     )
-    core_runtime = time.perf_counter() - start
+    core_stages = _variant_stage_seconds(core_run, {})
 
-    start = time.perf_counter()
-    DCMBQCCompiler(config.with_updates(use_bdir=True)).compile_run(
-        computation, use_cache=False
+    _, full_run = DCMBQCCompiler(config.with_updates(use_bdir=True)).compile_run(
+        computation, store=None, use_cache=True,
+        no_cache_stages=("scheduling",), memo=memo,
     )
-    full_runtime = time.perf_counter() - start
+    full_stages = _variant_stage_seconds(full_run, core_stages)
+    op_counters = OP_COUNTERS.delta_since(counters_before)
 
-    return {
+    row: Dict[str, object] = {
         "qubits": point.num_qubits,
-        "baseline_oneq_seconds": round(baseline_runtime, 4),
-        "dcmbqc_core_seconds": round(core_runtime, 4),
-        "dcmbqc_core_bdir_seconds": round(full_runtime, 4),
+        "baseline_oneq_seconds": round(sum(oneq_stages.values()), 4),
+        "dcmbqc_core_seconds": round(sum(core_stages.values()), 4),
+        "dcmbqc_core_bdir_seconds": round(sum(full_stages.values()), 4),
     }
+    for variant, stages in (
+        ("oneq", oneq_stages),
+        ("core", core_stages),
+        ("bdir", full_stages),
+    ):
+        for stage, seconds in stages.items():
+            row[f"{variant}_{stage}_seconds"] = round(seconds, 6)
+    for name, value in op_counters.items():
+        row[f"ops_{name.replace('.', '_')}"] = value
+    return row

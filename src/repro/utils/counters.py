@@ -1,0 +1,61 @@
+"""Deterministic operation counters for the compile hot path.
+
+Wall-clock benchmarks are noisy on shared CI machines; the perf-regression
+harness therefore tracks *operation counts* of the compiler's inner loops —
+scheduler cycles, annealing evaluations, partitioner moves, mapper probes —
+which are exact, platform-independent functions of the input (for a fixed
+seed).  A regression that makes a loop quadratic again shows up as a counter
+jump long before it shows up reliably in seconds.
+
+The registry is process-global (mirroring
+:data:`repro.pipeline.telemetry.TELEMETRY`) and intentionally cheap: the
+hot paths call :meth:`OpCounters.add` with pre-aggregated increments (once
+per cycle / pass / call), never once per element.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+__all__ = ["OpCounters", "OP_COUNTERS"]
+
+
+class OpCounters:
+    """Thread-safe named integer counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + int(amount)
+
+    def get(self, name: str) -> int:
+        """Current value of one counter (0 if never touched)."""
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of every counter, sorted by name."""
+        with self._lock:
+            return {name: self._counts[name] for name in sorted(self._counts)}
+
+    def delta_since(self, baseline: Dict[str, int]) -> Dict[str, int]:
+        """Per-counter difference against an earlier :meth:`snapshot`."""
+        current = self.snapshot()
+        names = sorted(set(current) | set(baseline))
+        return {
+            name: current.get(name, 0) - baseline.get(name, 0) for name in names
+        }
+
+    def reset(self) -> None:
+        """Zero every counter (used between benchmark phases)."""
+        with self._lock:
+            self._counts.clear()
+
+
+#: Process-global operation-counter registry for the compile hot path.
+OP_COUNTERS = OpCounters()
