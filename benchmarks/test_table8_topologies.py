@@ -1,0 +1,61 @@
+"""Table VIII — interconnect topology / heterogeneity ablation.
+
+Runs the ``topology`` sweep task over the table-8 grid: every instance is
+compiled against fully-connected / ring / line / 2D-grid interconnects at
+4 and 8 QPUs, homogeneous and mixed grid sizes, then replayed on the
+runtime executor.  The assertions pin the claims the SystemModel refactor
+rides on: the interconnect genuinely constrains compilation (sparse
+topologies pay relay hops and schedule length), and the executor's
+independent storage/lifetime cross-check holds on every system.
+"""
+
+from repro.reporting.experiments import table8_rows
+from repro.reporting.render import render_table8
+
+
+def test_table8_topology_ablation(benchmark, bench_scale, bench_workers, record_table):
+    rows = benchmark.pedantic(
+        table8_rows,
+        args=(bench_scale,),
+        kwargs={"workers": bench_workers},
+        rounds=1,
+        iterations=1,
+    )
+    record_table("table8_topologies", render_table8(rows))
+
+    topologies = {row["topology"] for row in rows}
+    assert {"fully-connected", "ring", "line", "grid-2d"} <= topologies
+
+    # The runtime executor's lifetime cross-check holds on every system.
+    for row in rows:
+        label = f"{row['program']}-{row['num_qubits']}/{row['topology']}/{row['hetero']}"
+        assert row["runtime_consistent"], f"{label} violated the storage bound"
+        assert row["runtime_max_storage"] <= row["required_photon_lifetime"]
+
+    # Fully-connected systems never relay; sparse interconnects do.
+    by_key = {}
+    for row in rows:
+        key = (row["program"], row["num_qubits"], row["num_qpus"], row["hetero"])
+        by_key.setdefault(key, {})[row["topology"]] = row
+    for key, variants in by_key.items():
+        assert variants["fully-connected"]["relay_hops"] == 0
+        sparse_relays = sum(
+            variants[t]["relay_hops"] for t in ("ring", "line", "grid-2d") if t in variants
+        )
+        assert sparse_relays > 0, f"{key}: no sparse topology paid any relay hops"
+        # A line at 8 QPUs is the hardest interconnect in the grid: it must
+        # relay at least as much as the ring (which halves worst-case hops).
+        if key[2] == 8 and "line" in variants and "ring" in variants:
+            assert variants["line"]["relay_hops"] >= variants["ring"]["relay_hops"]
+
+    # Heterogeneous fleets change the partition (mixed grids shift
+    # capacity), visible as different connector counts or execution times
+    # somewhere in the matrix.
+    assert any(
+        variants["fully-connected"]["connectors"]
+        != by_key[(*key[:3], "mixed")]["fully-connected"]["connectors"]
+        or variants["fully-connected"]["execution_time"]
+        != by_key[(*key[:3], "mixed")]["fully-connected"]["execution_time"]
+        for key, variants in by_key.items()
+        if key[3] == "homogeneous" and (*key[:3], "mixed") in by_key
+    )

@@ -19,6 +19,12 @@ same command skips every completed point; ``--csv`` exports the run table).
 artifact cache at a directory (overriding ``DCMBQC_ARTIFACT_CACHE_DIR``),
 ``--no-cache`` disables it, and ``--json`` emits a machine-readable summary
 including per-stage cache hit/miss counts.
+
+``compile``, ``compare`` and ``sweep`` accept the system-model flags:
+``--topology`` picks a named interconnect (line, ring, star, 2D grid,
+torus) and ``--system-spec path.json`` loads a full custom system — per-QPU
+grid sizes / resource states / K_max plus an explicit link list — so
+topology ablations and heterogeneous fleets are reachable from the shell.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core import DCMBQCCompiler, DCMBQCConfig, compare_with_baseline
+from repro.hardware.qpu import InterconnectTopology
 from repro.hardware.resource_states import ResourceStateType
 from repro.pipeline import CACHE_DIR_ENV, CACHE_DISABLE_ENV, resolve_store
 from repro.programs import build_benchmark
@@ -81,6 +88,7 @@ EXPERIMENT_REGISTRY: Dict[str, ExperimentSpec] = {
         lambda scale: experiments.table6_rows(), render.render_table6
     ),
     "table7": ExperimentSpec(experiments.table7_rows, render.render_table7),
+    "table8": ExperimentSpec(experiments.table8_rows, render.render_table8),
     "figure1": ExperimentSpec(
         lambda scale: experiments.figure1_series(),
         lambda rows: render.render_series(rows, "Figure 1 — photon loss"),
@@ -130,6 +138,22 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--kmax", type=int, default=4)
         sub.add_argument("--no-bdir", action="store_true", help="disable BDIR refinement")
         sub.add_argument("--seed", type=int, default=0)
+        add_system_arguments(sub)
+
+    def add_system_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--topology",
+            default=None,
+            choices=[t.value for t in InterconnectTopology if t is not InterconnectTopology.CUSTOM],
+            help="interconnect topology between QPUs (default: fully-connected)",
+        )
+        sub.add_argument(
+            "--system-spec",
+            default=None,
+            metavar="PATH.json",
+            help="custom system description (per-QPU specs + explicit links); "
+            "overrides --qpus/--grid-size/--rsg/--topology",
+        )
 
     def add_cache_arguments(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
@@ -203,13 +227,50 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--csv", default=None, help="export the run table to this CSV after the sweep"
     )
+    add_system_arguments(sweep_parser)
     add_cache_arguments(sweep_parser)
     return parser
 
 
+def _system_overrides(args: argparse.Namespace) -> Dict[str, object]:
+    """System-model config overrides from ``--topology``/``--system-spec``.
+
+    A ``--system-spec`` JSON document wins over the flag-based description:
+    its per-QPU specs set the fleet (heterogeneous grids, RSG shapes and
+    ``K_max`` values) and its explicit links, when present, define a custom
+    interconnect.
+    """
+    overrides: Dict[str, object] = {}
+    if getattr(args, "topology", None):
+        overrides["topology"] = InterconnectTopology(args.topology)
+    spec_path = getattr(args, "system_spec", None)
+    if spec_path:
+        from repro.hardware.system import system_from_json
+
+        system = system_from_json(spec_path)
+        first = system.qpus[0]
+        overrides.update(
+            num_qpus=system.num_qpus,
+            grid_size=first.grid_size,
+            rsg_type=first.rsg_type,
+            connection_capacity=first.connection_capacity,
+            topology=system.topology,
+            qpu_grid_sizes=tuple(qpu.grid_size for qpu in system.qpus),
+            qpu_rsg_types=tuple(qpu.rsg_type for qpu in system.qpus),
+            qpu_connection_capacities=tuple(
+                qpu.connection_capacity for qpu in system.qpus
+            ),
+        )
+        if system.topology is InterconnectTopology.CUSTOM:
+            overrides["custom_links"] = tuple(
+                (link.qpu_a, link.qpu_b, link.capacity) for link in system.links
+            )
+    return overrides
+
+
 def _config_from_args(args: argparse.Namespace) -> DCMBQCConfig:
     grid_size = args.grid_size or paper_grid_size(args.qubits)
-    return DCMBQCConfig(
+    base = dict(
         num_qpus=args.qpus,
         grid_size=grid_size,
         rsg_type=ResourceStateType.from_name(args.rsg),
@@ -217,6 +278,8 @@ def _config_from_args(args: argparse.Namespace) -> DCMBQCConfig:
         use_bdir=not args.no_bdir,
         seed=args.seed,
     )
+    base.update(_system_overrides(args))
+    return DCMBQCConfig(**base)
 
 
 def _apply_cache_arguments(args: argparse.Namespace) -> None:
@@ -307,6 +370,31 @@ def _run_sweep(args: argparse.Namespace) -> int:
     _apply_cache_arguments(args)
     scale = experiments.BenchmarkScale(args.scale)
     grid = GRID_REGISTRY[args.grid](scale, seed=args.seed)
+    system_overrides = _system_overrides(args)
+    if system_overrides:
+        # Fixed overrides ride the sweep points' ``extra`` channel.  Grid
+        # axes that sweep the same parameter (e.g. table8's topology axis,
+        # or a num_qpus axis when --system-spec pins the fleet size) are
+        # dropped — otherwise the axis value would win and clash with the
+        # pinned per-QPU tuples on every expanded point.
+        serialisable = {
+            name: value.value if hasattr(value, "value") else value
+            for name, value in system_overrides.items()
+            if name not in ("grid_size", "connection_capacity", "rsg_type")
+        }
+        if "qpu_rsg_types" in serialisable:
+            serialisable["qpu_rsg_types"] = tuple(
+                ResourceStateType.from_name(rsg).value
+                for rsg in serialisable["qpu_rsg_types"]
+            )
+        from repro.sweep import ParameterGrid
+
+        remaining_axes = {
+            name: values for name, values in grid.axes if name not in serialisable
+        }
+        if len(remaining_axes) != len(grid.axes):
+            grid = ParameterGrid(grid.task, axes=remaining_axes, fixed=dict(grid.fixed))
+        grid = grid.with_fixed(**serialisable)
     try:
         store = ResultStore(args.out)
     except OSError as exc:

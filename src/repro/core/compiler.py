@@ -110,13 +110,26 @@ class DCMBQCCompiler:
     # ------------------------------------------------------------------ #
 
     def partition(self, computation: ComputationGraph) -> PartitionResult:
-        """Stage 1: adaptive graph partitioning (Algorithm 2)."""
+        """Stage 1: adaptive graph partitioning (Algorithm 2).
+
+        The system model constrains the search: heterogeneous fleets
+        balance part weights against per-QPU cell capacities instead of a
+        uniform ``1/N``, and sparse interconnects weight cut edges by the
+        hop distance between the parts they join.  Homogeneous
+        fully-connected systems pass ``None`` for both, which keeps the
+        seed partitioner's exact (bit-identical) code path.
+        """
+        system = self.system_model()
+        capacities = None if system.is_homogeneous else system.qpu_capacity_weights()
+        part_hops = None if system.is_fully_connected else system.hop_matrix()
         adaptive_config = AdaptivePartitionConfig(
             num_parts=self.config.num_qpus,
             epsilon_q=self.config.epsilon_q,
             alpha_max=self.config.alpha_max,
             gamma=self.config.gamma,
             seed=self.config.seed,
+            capacities=capacities,
+            part_hops=part_hops,
         )
         partition = AdaptivePartitioner(adaptive_config).partition(computation.graph)
         partition.validate_covers(computation.graph)
@@ -125,16 +138,23 @@ class DCMBQCCompiler:
     def compile_partitions(
         self, computation: ComputationGraph, partition: PartitionResult
     ) -> List[SingleQPUSchedule]:
-        """Stage 2: single-QPU compilation of every partition."""
+        """Stage 2: single-QPU compilation of every partition.
+
+        Each partition is mapped onto *its own* QPU's grid and resource
+        state, so a heterogeneous fleet compiles every part against the
+        hardware it will actually run on.
+        """
+        system = self.system_model()
         schedules: List[SingleQPUSchedule] = []
         for part_index, nodes in enumerate(partition.parts()):
+            qpu = system.qpus[part_index]
             subgraph = computation.induced_subgraph(
                 nodes, name=f"{computation.name}_qpu{part_index}"
             )
             mapper = LayeredGridMapper(
                 MapperConfig(
-                    grid_size=self.config.grid_size,
-                    rsg_type=ResourceStateType.from_name(self.config.rsg_type),
+                    grid_size=qpu.grid_size,
+                    rsg_type=qpu.rsg_type,
                     seed=self.config.seed + part_index,
                 )
             )
@@ -159,6 +179,7 @@ class DCMBQCCompiler:
             main_tasks.append(layers)
             node_layer_by_qpu.append(schedule.node_layer_index())
 
+        system = self.system_model()
         connectors = computation.cut_edges(partition.assignment)
         sync_tasks: List[SyncTask] = []
         for sync_id, (u, v) in enumerate(connectors):
@@ -166,6 +187,12 @@ class DCMBQCCompiler:
             qpu_v = partition.part_of(v)
             if qpu_u == qpu_v:  # pragma: no cover - defensive
                 raise CompilationError("cut edge endpoints are on the same QPU")
+            # Route the synchronisation along the interconnect: adjacent
+            # QPUs use their direct link (empty route, the seed behaviour);
+            # non-adjacent pairs relay through the shortest QPU path.
+            route: Tuple[int, ...] = ()
+            if not system.are_connected(qpu_u, qpu_v):
+                route = system.route(qpu_u, qpu_v)
             sync_tasks.append(
                 SyncTask(
                     sync_id=sync_id,
@@ -174,12 +201,29 @@ class DCMBQCCompiler:
                     qpu_b=qpu_v,
                     index_b=node_layer_by_qpu[qpu_v][v],
                     connector=(u, v),
+                    route=route,
                 )
             )
 
         local_fusee_pairs: List[Tuple[int, int]] = []
         for schedule in qpu_schedules:
             local_fusee_pairs.extend(schedule.fusee_pairs)
+
+        # Per-QPU and per-link capacity tables are only materialised when
+        # they constrain anything beyond the scalar K_max (heterogeneous
+        # capacities or a non-complete interconnect); the default system
+        # yields the seed problem object byte for byte.
+        qpu_capacities = None
+        if any(
+            qpu.connection_capacity != self.config.connection_capacity
+            for qpu in system.qpus
+        ):
+            qpu_capacities = system.qpu_connection_capacities()
+        link_capacities = None
+        if not system.is_fully_connected or any(
+            link.capacity != self.config.connection_capacity for link in system.links
+        ):
+            link_capacities = system.link_capacities()
 
         problem = LayerSchedulingProblem(
             num_qpus=self.config.num_qpus,
@@ -189,6 +233,8 @@ class DCMBQCCompiler:
             dependency=computation.dependency,
             local_fusee_pairs=local_fusee_pairs,
             removed_nodes=set(computation.removed_nodes),
+            qpu_capacities=qpu_capacities,
+            link_capacities=link_capacities,
         )
         return problem, connectors
 
@@ -245,8 +291,20 @@ class DCMBQCCompiler:
         """Run the full DC-MBQC pipeline on ``program``."""
         return self.compile_run(program)[0]
 
+    def system_model(self):
+        """The (cached) :class:`~repro.hardware.system.SystemModel` compiled for."""
+        system = getattr(self, "_system_model", None)
+        if system is None:
+            system = self.config.system_model()
+            self._system_model = system
+        return system
+
     def multi_qpu_system(self) -> MultiQPUSystem:
-        """Return the hardware system description implied by the config."""
+        """Return the homogeneous hardware description implied by the config.
+
+        Retained for backwards compatibility; heterogeneous configurations
+        should use :meth:`system_model` instead.
+        """
         return MultiQPUSystem(
             num_qpus=self.config.num_qpus,
             qpu=QPUSpec(

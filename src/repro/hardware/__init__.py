@@ -11,6 +11,10 @@ paper:
   Figure 1 and the required-photon-lifetime metric,
 * :mod:`~repro.hardware.qpu` — single-QPU and multi-QPU system descriptions
   (grid size, connection capacity ``K_max``, interconnect topology),
+* :mod:`~repro.hardware.system` — the first-class :class:`SystemModel`
+  consumed by every compile layer: per-QPU specs (heterogeneous fleets),
+  an explicit weighted interconnect graph with per-link capacities, cached
+  all-pairs hop distances/routes, topology builders and JSON custom specs,
 * :mod:`~repro.hardware.platforms` — the remote-entanglement platform survey
   of Table I.
 """
@@ -28,6 +32,13 @@ from repro.hardware.loss import (
     max_cycles_for_loss_budget,
 )
 from repro.hardware.qpu import QPUSpec, MultiQPUSystem, InterconnectTopology
+from repro.hardware.system import (
+    Link,
+    SystemModel,
+    build_system,
+    system_from_json,
+    system_to_json,
+)
 from repro.hardware.platforms import PlatformRecord, PLATFORM_SURVEY
 
 __all__ = [
@@ -43,6 +54,11 @@ __all__ = [
     "QPUSpec",
     "MultiQPUSystem",
     "InterconnectTopology",
+    "Link",
+    "SystemModel",
+    "build_system",
+    "system_from_json",
+    "system_to_json",
     "PlatformRecord",
     "PLATFORM_SURVEY",
 ]

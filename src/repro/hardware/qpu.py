@@ -30,11 +30,20 @@ DEFAULT_CONNECTION_CAPACITY = 4
 
 
 class InterconnectTopology(str, enum.Enum):
-    """How QPUs are wired together by heralded-entanglement links."""
+    """How QPUs are wired together by heralded-entanglement links.
+
+    The paper evaluates fully connected systems; the remaining shapes are
+    ablation topologies realised by :func:`repro.hardware.system.build_system`
+    (``CUSTOM`` marks a system built from an explicit link list).
+    """
 
     FULLY_CONNECTED = "fully-connected"
     LINE = "line"
     RING = "ring"
+    STAR = "star"
+    GRID_2D = "grid-2d"
+    TORUS = "torus"
+    CUSTOM = "custom"
 
 
 @dataclass(frozen=True)
@@ -76,7 +85,16 @@ class QPUSpec:
 
 @dataclass
 class MultiQPUSystem:
-    """A collection of identical QPUs plus an interconnect topology."""
+    """A collection of identical QPUs plus an interconnect topology.
+
+    Retained as the homogeneous convenience wrapper around
+    :class:`~repro.hardware.system.SystemModel` — the full model (per-QPU
+    specs, explicit links, custom adjacency) is what the compile pipeline
+    consumes; this class delegates its connectivity queries to one cached
+    model instead of rebuilding a networkx graph per call (the seed
+    implementation reconstructed the interconnect on every
+    ``are_connected``/``communication_distance`` query).
+    """
 
     num_qpus: int
     qpu: QPUSpec
@@ -85,42 +103,43 @@ class MultiQPUSystem:
     def __post_init__(self) -> None:
         if self.num_qpus < 1:
             raise ValueError("need at least one QPU")
+        self._model = None
+        self._model_key = None
 
     # ------------------------------------------------------------------ #
     # Topology
     # ------------------------------------------------------------------ #
 
+    def system_model(self):
+        """The cached :class:`~repro.hardware.system.SystemModel` equivalent.
+
+        Keyed on the (mutable) dataclass fields so reassigning ``topology``
+        or ``num_qpus`` invalidates the cache instead of serving stale
+        connectivity answers.
+        """
+        key = (self.num_qpus, self.qpu, self.topology)
+        if self._model is None or self._model_key != key:
+            from repro.hardware.system import build_system
+
+            self._model = build_system(self.num_qpus, self.qpu, self.topology)
+            self._model_key = key
+        return self._model
+
     def interconnect_graph(self) -> nx.Graph:
         """Return the QPU-level connectivity graph."""
         graph = nx.Graph()
         graph.add_nodes_from(range(self.num_qpus))
-        if self.num_qpus == 1:
-            return graph
-        if self.topology is InterconnectTopology.FULLY_CONNECTED:
-            for a in range(self.num_qpus):
-                for b in range(a + 1, self.num_qpus):
-                    graph.add_edge(a, b)
-        elif self.topology is InterconnectTopology.LINE:
-            for a in range(self.num_qpus - 1):
-                graph.add_edge(a, a + 1)
-        else:  # ring
-            for a in range(self.num_qpus):
-                graph.add_edge(a, (a + 1) % self.num_qpus)
+        for link in self.system_model().links:
+            graph.add_edge(link.qpu_a, link.qpu_b, capacity=link.capacity)
         return graph
 
     def are_connected(self, qpu_a: int, qpu_b: int) -> bool:
         """True if the two QPUs share a direct heralded-entanglement link."""
-        if qpu_a == qpu_b:
-            return True
-        return self.interconnect_graph().has_edge(qpu_a, qpu_b)
+        return self.system_model().are_connected(qpu_a, qpu_b)
 
     def communication_distance(self, qpu_a: int, qpu_b: int) -> int:
         """Hop count between two QPUs in the interconnect graph."""
-        if qpu_a == qpu_b:
-            return 0
-        return int(
-            nx.shortest_path_length(self.interconnect_graph(), qpu_a, qpu_b)
-        )
+        return self.system_model().communication_distance(qpu_a, qpu_b)
 
     # ------------------------------------------------------------------ #
     # Aggregate capacities

@@ -12,7 +12,7 @@ stagnates or the maximum imbalance ``alpha_max`` is reached.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import networkx as nx
 
@@ -37,6 +37,13 @@ class AdaptivePartitionConfig:
             (paper default 1.02).
         max_iterations: Safety bound on the search loop.
         seed: Seed forwarded to the underlying multilevel partitioner.
+        capacities: Optional relative per-part capacities (heterogeneous QPU
+            fleets); forwarded to the multilevel partitioner, which balances
+            part weights against capacity shares instead of uniform ``1/k``.
+        part_hops: Optional inter-part hop-distance matrix of the
+            interconnect; FM refinement weights cut edges by it so cuts
+            land on adjacent QPUs.  ``None`` keeps the topology-free
+            behaviour (fully-connected systems).
     """
 
     num_parts: int
@@ -45,6 +52,8 @@ class AdaptivePartitionConfig:
     gamma: float = 1.02
     max_iterations: int = 64
     seed: int = 0
+    capacities: Optional[Tuple[float, ...]] = None
+    part_hops: Optional[Tuple[Tuple[int, ...], ...]] = None
 
     def __post_init__(self) -> None:
         if self.num_parts < 1:
@@ -78,7 +87,12 @@ class AdaptivePartitioner:
         config = self.config
         self.trace = []
         if config.num_parts == 1 or graph.number_of_nodes() <= config.num_parts:
-            return MultilevelPartitioner(config.num_parts, seed=config.seed).partition(graph)
+            return MultilevelPartitioner(
+                config.num_parts,
+                seed=config.seed,
+                capacities=config.capacities,
+                part_hops=config.part_hops,
+            ).partition(graph)
 
         alpha = 1.0
         best_partition: Optional[PartitionResult] = None
@@ -87,7 +101,11 @@ class AdaptivePartitioner:
 
         for _ in range(config.max_iterations):
             partitioner = MultilevelPartitioner(
-                config.num_parts, imbalance=alpha, seed=config.seed
+                config.num_parts,
+                imbalance=alpha,
+                seed=config.seed,
+                capacities=config.capacities,
+                part_hops=config.part_hops,
             )
             candidate = partitioner.partition(graph)
             q = modularity(graph, candidate.assignment)

@@ -30,7 +30,7 @@ test suite against the balance constraint, cut-coverage invariants, and
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -147,6 +147,20 @@ class MultilevelPartitioner:
             perfectly balanced partition (rounded up to whole nodes).
         seed: Seed for the randomised matching / tie-breaking.
         refinement_passes: Number of FM boundary passes per level.
+        capacities: Optional relative capacity per part (e.g. RSG cells per
+            layer of a heterogeneous QPU fleet).  Part ``p``'s target weight
+            becomes ``total * capacities[p] / sum(capacities)`` instead of
+            the uniform ``total / num_parts``.  ``None`` (or an all-equal
+            sequence) keeps the exact uniform code path, bit-identical to
+            the homogeneous partitioner.
+        part_hops: Optional ``num_parts x num_parts`` hop-distance matrix of
+            the interconnect.  FM refinement then scores a boundary move by
+            the *hop-weighted* cut it leaves behind (an edge cut between
+            parts ``p`` and ``q`` costs ``weight * hops[p][q]``), steering
+            cut edges onto adjacent QPUs.  ``None`` (or an all-ones
+            off-diagonal, i.e. fully connected) keeps the classic
+            external-minus-internal gain, bit-identical to the seed
+            implementation.
     """
 
     def __init__(
@@ -155,6 +169,8 @@ class MultilevelPartitioner:
         imbalance: float = 1.0,
         seed: int = 0,
         refinement_passes: int = 4,
+        capacities: Optional[Sequence[float]] = None,
+        part_hops: Optional[Sequence[Sequence[int]]] = None,
     ) -> None:
         if num_parts < 1:
             raise PartitionError("num_parts must be at least 1")
@@ -164,6 +180,33 @@ class MultilevelPartitioner:
         self.imbalance = imbalance
         self.seed = seed
         self.refinement_passes = refinement_passes
+
+        # Degenerate inputs collapse to the uniform/topology-free paths so
+        # homogeneous fully-connected systems reproduce the seed partitioner
+        # bit for bit (no float arithmetic reordering).
+        self.capacities: Optional[Tuple[float, ...]] = None
+        if capacities is not None:
+            if len(capacities) != num_parts:
+                raise PartitionError(
+                    f"capacities lists {len(capacities)} parts, expected {num_parts}"
+                )
+            if any(value <= 0 for value in capacities):
+                raise PartitionError("part capacities must be positive")
+            if any(value != capacities[0] for value in capacities):
+                total = float(sum(capacities))
+                self.capacities = tuple(float(v) / total for v in capacities)
+        self.part_hops: Optional[Tuple[Tuple[float, ...], ...]] = None
+        if part_hops is not None:
+            matrix = tuple(tuple(float(h) for h in row) for row in part_hops)
+            if len(matrix) != num_parts or any(len(row) != num_parts for row in matrix):
+                raise PartitionError("part_hops must be a num_parts x num_parts matrix")
+            if any(
+                matrix[p][q] != 1.0
+                for p in range(num_parts)
+                for q in range(num_parts)
+                if p != q
+            ):
+                self.part_hops = matrix
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -289,11 +332,31 @@ class MultilevelPartitioner:
         # Always allow at least one extra unit so whole nodes fit.
         return max(self.imbalance * ideal, ideal + 1.0)
 
+    def _part_targets(self, total_weight: float) -> List[float]:
+        """Per-part ideal weights (capacity shares; uniform when None)."""
+        if self.capacities is None:
+            return [total_weight / self.num_parts] * self.num_parts
+        return [total_weight * share for share in self.capacities]
+
+    def _part_limits(self, total_weight: float) -> List[float]:
+        """Per-part weight ceilings under the imbalance factor."""
+        if self.capacities is None:
+            return [self._max_part_weight(total_weight)] * self.num_parts
+        return [
+            max(self.imbalance * target, target + 1.0)
+            for target in self._part_targets(total_weight)
+        ]
+
     def _initial_partition(self, graph: _ArrayGraph) -> List[int]:
         """Balanced region growing on the coarsest graph."""
         rng = make_rng(self.seed + 1)
         total_weight = sum(graph.node_weight)
-        limit = self._max_part_weight(total_weight)
+        if self.capacities is None:
+            limits = None
+            limit = self._max_part_weight(total_weight)
+        else:
+            limits = self._part_limits(total_weight)
+        targets = self._part_targets(total_weight)
 
         assignment = [-1] * graph.num_nodes
         part_weight = [0.0] * self.num_parts
@@ -305,17 +368,18 @@ class MultilevelPartitioner:
         for part in range(self.num_parts):
             if not unassigned:
                 break
+            part_limit = limit if limits is None else limits[part]
             # Seed with the highest-degree unassigned node.
             seed_node = next(n for n in nodes_by_degree if n in unassigned)
             frontier = [seed_node]
             cursor = 0  # frontier.pop(0) without the O(n) list shift
-            while cursor < len(frontier) and part_weight[part] < total_weight / self.num_parts:
+            while cursor < len(frontier) and part_weight[part] < targets[part]:
                 node = frontier[cursor]
                 cursor += 1
                 if node not in unassigned:
                     continue
                 weight = graph.node_weight[node]
-                if part_weight[part] + weight > limit:
+                if part_weight[part] + weight > part_limit:
                     continue
                 assignment[node] = part
                 part_weight[part] += weight
@@ -324,11 +388,18 @@ class MultilevelPartitioner:
                 rng.shuffle(neighbours)
                 frontier.extend(neighbours)
 
-        # Any leftovers go to the lightest part that can take them.  Sort by
-        # the caller's labels to match the original label-ordered sweep.
+        # Any leftovers go to the part with the most free capacity.  Sort by
+        # the caller's labels to match the original label-ordered sweep; the
+        # uniform branch keeps the seed's lightest-part rule verbatim.
         for node in sorted(unassigned, key=graph.label_of):
             weight = graph.node_weight[node]
-            part = min(range(self.num_parts), key=lambda p: part_weight[p])
+            if limits is None:
+                part = min(range(self.num_parts), key=lambda p: part_weight[p])
+            else:
+                part = min(
+                    range(self.num_parts),
+                    key=lambda p: part_weight[p] - targets[p],
+                )
             assignment[node] = part
             part_weight[part] += weight
         return assignment
@@ -338,10 +409,22 @@ class MultilevelPartitioner:
     # ------------------------------------------------------------------ #
 
     def _refine(self, graph: _ArrayGraph, assignment: List[int]) -> List[int]:
-        """FM-style boundary refinement respecting the imbalance limit."""
+        """FM-style boundary refinement respecting the imbalance limit.
+
+        With ``part_hops`` set, the gain of moving a boundary node weighs
+        every cut edge by the hop distance between the endpoint parts, so a
+        move that turns a 3-hop cut into a 1-hop cut is profitable even when
+        the plain cut size is unchanged.  The topology-free branch is the
+        seed implementation verbatim.
+        """
         assignment = list(assignment)
         total_weight = sum(graph.node_weight)
-        limit = self._max_part_weight(total_weight)
+        if self.capacities is None:
+            uniform_limit = self._max_part_weight(total_weight)
+            limits = [uniform_limit] * self.num_parts
+        else:
+            limits = self._part_limits(total_weight)
+        hops = self.part_hops
         part_weight = [0.0] * self.num_parts
         for node, part in enumerate(assignment):
             part_weight[part] += graph.node_weight[node]
@@ -375,18 +458,40 @@ class MultilevelPartitioner:
                 internal = connectivity.get(current, 0.0)
                 best_part = current
                 best_gain = 0.0
-                for part, external in connectivity.items():
-                    if part == current:
-                        continue
-                    if part_weight[part] + weight > limit:
-                        continue
-                    # Do not empty a part entirely.
-                    if part_weight[current] - weight <= 0:
-                        continue
-                    gain = external - internal
-                    if gain > best_gain + 1e-12:
-                        best_gain = gain
-                        best_part = part
+                if hops is None:
+                    for part, external in connectivity.items():
+                        if part == current:
+                            continue
+                        if part_weight[part] + weight > limits[part]:
+                            continue
+                        # Do not empty a part entirely.
+                        if part_weight[current] - weight <= 0:
+                            continue
+                        gain = external - internal
+                        if gain > best_gain + 1e-12:
+                            best_gain = gain
+                            best_part = part
+                else:
+                    current_cost = sum(
+                        connected * hops[current][part]
+                        for part, connected in connectivity.items()
+                    )
+                    for part in connectivity:
+                        if part == current:
+                            continue
+                        if part_weight[part] + weight > limits[part]:
+                            continue
+                        if part_weight[current] - weight <= 0:
+                            continue
+                        hop_row = hops[part]
+                        candidate_cost = sum(
+                            connected * hop_row[other]
+                            for other, connected in connectivity.items()
+                        )
+                        gain = current_cost - candidate_cost
+                        if gain > best_gain + 1e-12:
+                            best_gain = gain
+                            best_part = part
                 if best_part != current:
                     assignment[node] = best_part
                     part_weight[current] -= weight
@@ -405,7 +510,15 @@ def partition_graph(
     num_parts: int,
     imbalance: float = 1.0,
     seed: int = 0,
+    capacities: Optional[Sequence[float]] = None,
+    part_hops: Optional[Sequence[Sequence[int]]] = None,
 ) -> PartitionResult:
     """Convenience wrapper around :class:`MultilevelPartitioner`."""
-    partitioner = MultilevelPartitioner(num_parts, imbalance=imbalance, seed=seed)
+    partitioner = MultilevelPartitioner(
+        num_parts,
+        imbalance=imbalance,
+        seed=seed,
+        capacities=capacities,
+        part_hops=part_hops,
+    )
     return partitioner.partition(graph)

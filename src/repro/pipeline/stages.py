@@ -140,6 +140,10 @@ def config_params(config) -> Dict[str, object]:
     params = asdict(config)
     params["rsg_type"] = ResourceStateType.from_name(config.rsg_type).value
     params["topology"] = config.topology.value
+    if config.qpu_rsg_types is not None:
+        params["qpu_rsg_types"] = [
+            ResourceStateType.from_name(rsg).value for rsg in config.qpu_rsg_types
+        ]
     return params
 
 
@@ -154,13 +158,28 @@ def distributed_stages(compiler) -> List[Stage]:
     """
     config = compiler.config
     full_params = config_params(config)
+    # The system model shapes the partition (capacity targets from per-QPU
+    # cells, hop-weighted cuts from the adjacency) and the mapping
+    # (per-partition grids), so exactly the structure each stage consumes
+    # joins its cache key — K_max / link capacities only reach the
+    # scheduling stage, keeping partition+mapping artifacts shared across
+    # connection-capacity sweeps.
+    system = compiler.system_model()
     partition_params = {
         name: full_params[name]
         for name in ("num_qpus", "epsilon_q", "alpha_max", "gamma", "seed")
     }
+    partition_params["system"] = {
+        "grid_sizes": [qpu.grid_size for qpu in system.qpus],
+        "links": [[link.qpu_a, link.qpu_b] for link in system.links],
+    }
     mapping_params = {
         name: full_params[name]
         for name in ("num_qpus", "grid_size", "rsg_type", "seed")
+    }
+    mapping_params["system"] = {
+        "grid_sizes": [qpu.grid_size for qpu in system.qpus],
+        "rsg_types": [qpu.rsg_type.value for qpu in system.qpus],
     }
 
     def _partition(computation: ComputationGraph):

@@ -43,6 +43,7 @@ __all__ = [
     "table5_rows",
     "table6_rows",
     "table7_rows",
+    "table8_rows",
     "figure1_series",
     "figure7_series",
     "figure8_series",
@@ -220,6 +221,29 @@ def table7_rows(
     OneQ-vs-DC-MBQC comparison.
     """
     grid = grids.table7_grid(scale, seed=seed, num_qpus=num_qpus)
+    return run_grid(grid, workers=workers, store=store).results()
+
+
+# --------------------------------------------------------------------------- #
+# Table VIII — interconnect topology ablation
+# --------------------------------------------------------------------------- #
+
+
+def table8_rows(
+    scale: BenchmarkScale = BenchmarkScale.REDUCED,
+    seed: int = 0,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
+) -> List[Dict[str, object]]:
+    """Table VIII: topology x QPU count x heterogeneity ablation.
+
+    One row per system model of :func:`repro.sweep.grids.table8_grid` —
+    fully-connected / ring / line / 2D-grid interconnects at 4 and 8 QPUs,
+    homogeneous vs mixed grid sizes — each compiled end to end and replayed
+    on the runtime executor (the ``runtime_consistent`` column is the
+    executor's independent storage/lifetime cross-check).
+    """
+    grid = grids.table8_grid(scale, seed=seed)
     return run_grid(grid, workers=workers, store=store).results()
 
 

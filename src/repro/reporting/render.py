@@ -147,6 +147,43 @@ def render_table7(rows: Sequence[Dict[str, object]]) -> str:
     return table.render()
 
 
+def render_table8(rows: Sequence[Dict[str, object]]) -> str:
+    """Render Table VIII (topology / heterogeneity ablation)."""
+    table = Table(
+        title="Table VIII — Interconnect topology ablation",
+        columns=[
+            "Program",
+            "QPUs",
+            "Topology",
+            "Grids",
+            "Links",
+            "Connectors",
+            "Relay hops",
+            "Exec.",
+            "Lifetime",
+            "Runtime max storage",
+            "Consistent",
+        ],
+    )
+    for row in rows:
+        table.add_row(
+            [
+                f"{row['program']}-{row['num_qubits']}",
+                row["num_qpus"],
+                row["topology"],
+                row["grid_sizes"],
+                row["num_links"],
+                row["connectors"],
+                row["relay_hops"],
+                row["execution_time"],
+                row["required_photon_lifetime"],
+                row["runtime_max_storage"],
+                "yes" if row["runtime_consistent"] else "NO",
+            ]
+        )
+    return table.render()
+
+
 def render_series(rows: Sequence[Dict[str, object]], title: str) -> str:
     """Render a generic figure series (one column per dict key)."""
     if not rows:

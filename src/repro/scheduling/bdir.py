@@ -160,7 +160,7 @@ class BDIRScheduler:
             worst_gap = -1
             for sync in self.problem.sync_tasks:
                 sync_start = schedule.start_of(sync.key)
-                gap = max(
+                gap = sync.relay_hops + max(
                     abs(sync_start - schedule.start_of(key)) for key in sync.main_keys
                 )
                 if gap > worst_gap:

@@ -70,7 +70,8 @@ def list_schedule(
             raise SchedulingError(f"pinned task {key} is not part of the problem")
 
     num_qpus = problem.num_qpus
-    capacity = problem.connection_capacity
+    capacity = [problem.capacity_of(qpu) for qpu in range(num_qpus)]
+    link_limits = problem.link_capacities
 
     # Flat per-QPU views of the main-task queues.
     main_prio: List[List[float]] = [
@@ -81,7 +82,8 @@ def list_schedule(
     ]
 
     # Pending syncs in (priority, sync_id) order; scheduled entries are
-    # compacted out between cycles.
+    # compacted out between cycles.  A sync claims a communication slot on
+    # every QPU of its relay route and one capacity unit per route link.
     pending: List[SyncTask] = sorted(
         problem.sync_tasks, key=lambda s: (prio[s.key], s.sync_id)
     )
@@ -89,6 +91,25 @@ def list_schedule(
     sync_pin: Dict[int, int] = {
         s.sync_id: pins.get(s.key, 0) for s in problem.sync_tasks
     }
+    sync_route: Dict[int, tuple] = {s.sync_id: s.route_qpus for s in problem.sync_tasks}
+    sync_links: Dict[int, tuple] = {s.sync_id: s.links for s in problem.sync_tasks}
+
+    def claim(sync: SyncTask, sync_count: List[int], link_used: Dict) -> bool:
+        """Check route capacity and, if feasible, book the sync's resources."""
+        route = sync_route[sync.sync_id]
+        for qpu in route:
+            if sync_count[qpu] >= capacity[qpu]:
+                return False
+        if link_limits is not None:
+            for link in sync_links[sync.sync_id]:
+                if link_used.get(link, 0) >= link_limits[link]:
+                    return False
+        for qpu in route:
+            sync_count[qpu] += 1
+        if link_limits is not None:
+            for link in sync_links[sync.sync_id]:
+                link_used[link] = link_used.get(link, 0) + 1
+        return True
 
     schedule = Schedule()
     start_times = schedule.start_times
@@ -108,6 +129,7 @@ def list_schedule(
             )
         scheduled_this_slot = 0
         sync_count = [0] * num_qpus
+        link_used: Dict[tuple, int] = {}
         scheduled_syncs: List[int] = []  # positions in ``pending`` to compact
 
         # Priority of each QPU's next runnable main task, fixed for the
@@ -119,19 +141,18 @@ def list_schedule(
                 next_prio[qpu] = main_prio[qpu][index]
 
         # Phase 1: synchronisation tasks whose priority has come due on both
-        # of their QPUs claim communication resources first.
+        # of their QPUs claim communication resources first (relay routes
+        # book a slot on every intermediate QPU and every crossed link).
         for position, sync in enumerate(pending):
             if sync_pin[sync.sync_id] > time:
                 continue
             qpu_a, qpu_b = sync.qpu_a, sync.qpu_b
-            if sync_count[qpu_a] >= capacity or sync_count[qpu_b] >= capacity:
-                continue
             priority = sync_prio[sync.sync_id]
             if priority > next_prio[qpu_a] or priority > next_prio[qpu_b]:
                 continue
+            if not claim(sync, sync_count, link_used):
+                continue
             start_times[sync.key] = time
-            sync_count[qpu_a] += 1
-            sync_count[qpu_b] += 1
             scheduled_syncs.append(position)
             scheduled_this_slot += 1
 
@@ -141,7 +162,6 @@ def list_schedule(
         # the ones already running are pulled forward up to ``K_max``.  This
         # mirrors the paper's connection layers serving several connectors.
         if scheduled_this_slot:
-            window = float(capacity)
             taken = set(scheduled_syncs)
             sync_scans += len(pending)
             for position, sync in enumerate(pending):
@@ -150,17 +170,15 @@ def list_schedule(
                 if sync_pin[sync.sync_id] > time:
                     continue
                 qpu_a, qpu_b = sync.qpu_a, sync.qpu_b
-                count_a, count_b = sync_count[qpu_a], sync_count[qpu_b]
-                if count_a == 0 and count_b == 0:
+                if sync_count[qpu_a] == 0 and sync_count[qpu_b] == 0:
                     continue
-                if count_a >= capacity or count_b >= capacity:
-                    continue
+                window = float(min(capacity[qpu_a], capacity[qpu_b]))
                 due = min(next_prio[qpu_a], next_prio[qpu_b]) + window
                 if sync_prio[sync.sync_id] > due:
                     continue
+                if not claim(sync, sync_count, link_used):
+                    continue
                 start_times[sync.key] = time
-                sync_count[qpu_a] = count_a + 1
-                sync_count[qpu_b] = count_b + 1
                 scheduled_syncs.append(position)
                 scheduled_this_slot += 1
 

@@ -31,6 +31,7 @@ __all__ = [
     "table5_grid",
     "table6_grid",
     "table7_grid",
+    "table8_grid",
     "figure7_grid",
     "figure8_grid",
     "figure9_grid",
@@ -214,6 +215,40 @@ def table7_grid(
     )
 
 
+def table8_grid(
+    scale: BenchmarkScale = BenchmarkScale.REDUCED,
+    seed: int = 0,
+    topologies: Sequence[str] = ("fully-connected", "ring", "line", "grid-2d"),
+    num_qpus_list: Sequence[int] = (4, 8),
+    hetero_modes: Sequence[str] = ("homogeneous", "mixed"),
+) -> ParameterGrid:
+    """Table VIII (extension): topology x fleet-size x heterogeneity ablation.
+
+    Every point compiles one instance against a different
+    :class:`~repro.hardware.system.SystemModel` — interconnect shape
+    (fully-connected / ring / line / 2D grid), QPU count (4 / 8) and
+    homogeneous vs mixed grid sizes — and replays it on the runtime
+    executor, demonstrating that the interconnect constrains partitioning,
+    scheduling and execution end to end.
+    """
+    if scale is BenchmarkScale.PAPER:
+        instances = [("QFT", 16), ("QFT", 25), ("QAOA", 16), ("RCA", 16)]
+    elif scale is BenchmarkScale.REDUCED:
+        instances = [("QFT", 16), ("QAOA", 16)]
+    else:
+        instances = [("QFT", 8)]
+    return ParameterGrid(
+        "topology",
+        axes={
+            "instance": instances,
+            "num_qpus": num_qpus_list,
+            "topology": list(topologies),
+            "hetero": list(hetero_modes),
+        },
+        fixed={"seed": seed},
+    )
+
+
 def figure7_grid(
     scale: BenchmarkScale = BenchmarkScale.REDUCED,
     seed: int = 0,
@@ -292,6 +327,7 @@ GRID_REGISTRY: Dict[str, Callable[..., ParameterGrid]] = {
     "table5": table5_grid,
     "table6": table6_grid,
     "table7": table7_grid,
+    "table8": table8_grid,
     "figure7": figure7_grid,
     "figure8": figure8_grid,
     "figure9": figure9_grid,

@@ -45,7 +45,24 @@ def task(name: str) -> Callable[[TaskFunction], TaskFunction]:
 
 
 def config_for_point(point: SweepPoint) -> DCMBQCConfig:
-    """Translate a sweep point into a distributed-compiler configuration."""
+    """Translate a sweep point into a distributed-compiler configuration.
+
+    System-model parameters (interconnect topology, heterogeneous per-QPU
+    grids, per-link capacities, custom adjacencies) ride in the point's
+    ``extra`` channel so pre-existing grids keep their cache keys.
+    """
+    kwargs = {}
+    for name in (
+        "topology",
+        "qpu_grid_sizes",
+        "qpu_rsg_types",
+        "qpu_connection_capacities",
+        "link_capacity",
+        "custom_links",
+    ):
+        value = point.option(name)
+        if value is not None:
+            kwargs[name] = value
     return DCMBQCConfig(
         num_qpus=point.num_qpus,
         grid_size=paper_grid_size(point.num_qubits),
@@ -54,6 +71,7 @@ def config_for_point(point: SweepPoint) -> DCMBQCConfig:
         alpha_max=point.alpha_max,
         use_bdir=point.use_bdir,
         seed=point.seed,
+        **kwargs,
     )
 
 
@@ -140,6 +158,51 @@ def run_workload(point: SweepPoint) -> Dict[str, object]:
         "baseline_lifetime": comparison.baseline_lifetime,
         "our_lifetime": comparison.distributed_lifetime,
         "lifetime_improvement": comparison.lifetime_improvement,
+    }
+
+
+@task("topology")
+def run_topology(point: SweepPoint) -> Dict[str, object]:
+    """Topology/heterogeneity ablation of one instance (Table VIII).
+
+    Compiles the instance against the point's system model (interconnect
+    shape x QPU count x homogeneous-vs-mixed grids), replays the schedule
+    on the runtime executor, and reports how the interconnect constrained
+    the result: relay hops, cut size, makespan, required lifetime, and the
+    executor's independent storage/lifetime cross-check.
+    """
+    from repro.runtime.executor import DistributedRuntime
+
+    computation = build_computation(point.program, point.num_qubits, point.circuit_seed)
+    config = config_for_point(point)
+    hetero = str(point.option("hetero", "homogeneous"))
+    if hetero == "mixed":
+        # Deterministic mixed fleet: odd QPUs get a two-cell-larger grid.
+        base = config.grid_size
+        config = config.with_updates(
+            qpu_grid_sizes=tuple(
+                base + (2 if index % 2 else 0) for index in range(config.num_qpus)
+            )
+        )
+    result = DCMBQCCompiler(config).compile(computation)
+    system = config.system_model()
+    trace = DistributedRuntime(result).run()
+    relay_hops = sum(sync.relay_hops for sync in result.problem.sync_tasks)
+    return {
+        "program": point.program,
+        "num_qubits": point.num_qubits,
+        "topology": system.topology.value,
+        "num_qpus": point.num_qpus,
+        "hetero": hetero,
+        "grid_sizes": "/".join(str(qpu.grid_size) for qpu in system.qpus),
+        "num_links": system.num_links,
+        "connectors": result.num_connectors,
+        "relay_hops": relay_hops,
+        "execution_time": result.execution_time,
+        "required_photon_lifetime": result.required_photon_lifetime,
+        "runtime_max_storage": trace.max_storage,
+        "runtime_consistent": trace.max_storage <= result.required_photon_lifetime,
+        "utilisation": round(trace.utilisation(point.num_qpus), 4),
     }
 
 

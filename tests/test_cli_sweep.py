@@ -17,6 +17,7 @@ class TestExperimentRegistry:
             "table5",
             "table6",
             "table7",
+            "table8",
             "figure1",
             "figure7",
             "figure8",

@@ -1,0 +1,104 @@
+"""Validation tests for the system-model fields of DCMBQCConfig."""
+
+import pytest
+
+from repro.core.config import DCMBQCConfig
+from repro.hardware.qpu import InterconnectTopology
+from repro.hardware.resource_states import ResourceStateType
+from repro.utils.errors import CompilationError
+
+
+class TestTopologyValidation:
+    @pytest.mark.parametrize("topology", ["line", "ring", "star", "grid-2d", "torus"])
+    def test_multi_qpu_topology_rejects_single_qpu(self, topology):
+        with pytest.raises(CompilationError, match="at least 2 QPUs"):
+            DCMBQCConfig(num_qpus=1, topology=topology)
+
+    def test_single_qpu_fully_connected_allowed(self):
+        config = DCMBQCConfig(num_qpus=1)
+        assert config.system_model().num_qpus == 1
+
+    def test_topology_strings_are_normalised(self):
+        config = DCMBQCConfig(num_qpus=4, topology="ring")
+        assert config.topology is InterconnectTopology.RING
+
+
+class TestHeterogeneousValidation:
+    def test_grid_size_count_mismatch_rejected(self):
+        with pytest.raises(CompilationError, match="qpu_grid_sizes lists 3 QPUs"):
+            DCMBQCConfig(num_qpus=4, qpu_grid_sizes=(5, 5, 5))
+
+    def test_rsg_count_mismatch_rejected(self):
+        with pytest.raises(CompilationError, match="qpu_rsg_types lists 2 QPUs"):
+            DCMBQCConfig(num_qpus=4, qpu_rsg_types=("5-star", "4-ring"))
+
+    def test_capacity_count_mismatch_rejected(self):
+        with pytest.raises(CompilationError, match="qpu_connection_capacities"):
+            DCMBQCConfig(num_qpus=2, qpu_connection_capacities=(4,))
+
+    def test_nonpositive_grid_rejected(self):
+        with pytest.raises(CompilationError, match="grid size must be at least 1"):
+            DCMBQCConfig(num_qpus=2, qpu_grid_sizes=(5, 0))
+
+    def test_lists_are_normalised_to_tuples(self):
+        config = DCMBQCConfig(
+            num_qpus=2, qpu_grid_sizes=[5, 7], qpu_rsg_types=["5-star", "4-ring"]
+        )
+        assert config.qpu_grid_sizes == (5, 7)
+        assert config.qpu_rsg_types == (
+            ResourceStateType.STAR_5,
+            ResourceStateType.RING_4,
+        )
+        assert config.is_heterogeneous
+        assert hash(config)  # still hashable after normalisation
+
+    def test_homogeneous_overrides_are_not_heterogeneous(self):
+        config = DCMBQCConfig(num_qpus=2, qpu_grid_sizes=(7, 7))
+        assert not config.is_heterogeneous
+
+
+class TestCustomLinksValidation:
+    def test_custom_requires_links(self):
+        with pytest.raises(CompilationError, match="custom topology requires"):
+            DCMBQCConfig(num_qpus=3, topology="custom")
+
+    def test_custom_link_out_of_range_rejected(self):
+        with pytest.raises(CompilationError, match="outside 0..2"):
+            DCMBQCConfig(num_qpus=3, topology="custom", custom_links=((0, 5),))
+
+    def test_custom_link_arity_rejected(self):
+        with pytest.raises(CompilationError, match="must be"):
+            DCMBQCConfig(num_qpus=3, topology="custom", custom_links=((0, 1, 2, 3),))
+
+    def test_links_without_custom_topology_rejected(self):
+        with pytest.raises(CompilationError, match="only valid with the custom"):
+            DCMBQCConfig(num_qpus=3, topology="ring", custom_links=((0, 1),))
+
+    def test_valid_custom_system(self):
+        config = DCMBQCConfig(
+            num_qpus=3, topology="custom", custom_links=[(0, 1), (1, 2, 2)]
+        )
+        system = config.system_model()
+        assert system.num_links == 2
+        assert system.link_capacity(1, 2) == 2
+
+
+class TestSystemModelFromConfig:
+    def test_default_is_fully_connected_homogeneous(self):
+        system = DCMBQCConfig().system_model()
+        assert system.is_fully_connected
+        assert system.is_homogeneous
+        assert all(qpu.grid_size == 7 for qpu in system.qpus)
+
+    def test_heterogeneous_specs_reach_the_model(self):
+        config = DCMBQCConfig(
+            num_qpus=3,
+            topology="line",
+            qpu_grid_sizes=(5, 7, 5),
+            qpu_connection_capacities=(4, 2, 4),
+            link_capacity=2,
+        )
+        system = config.system_model()
+        assert [qpu.grid_size for qpu in system.qpus] == [5, 7, 5]
+        assert system.qpu_connection_capacities() == (4, 2, 4)
+        assert all(link.capacity == 2 for link in system.links)

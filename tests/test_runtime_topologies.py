@@ -1,0 +1,124 @@
+"""Runtime-executor lifetime cross-check across topologies and fleets.
+
+The library's core integration invariant: replaying a distributed schedule
+cycle by cycle must observe photon storage durations bounded by the
+compiler's reported required photon lifetime — on every interconnect shape
+and on heterogeneous fleets, not just the paper's fully-connected systems.
+"""
+
+import pytest
+
+from repro.core.compiler import DCMBQCCompiler
+from repro.core.config import DCMBQCConfig
+from repro.programs.registry import paper_grid_size
+from repro.runtime.executor import DistributedRuntime
+from repro.sweep.cache import build_computation
+
+FAMILIES = [("QFT", 12), ("QAOA", 8), ("GHZ", 8), ("RCA", 8)]
+TOPOLOGIES = ["line", "ring", "grid-2d"]
+
+
+def compile_for(program, qubits, **overrides):
+    computation = build_computation(program, qubits, 2026)
+    config = DCMBQCConfig(
+        num_qpus=overrides.pop("num_qpus", 4),
+        grid_size=paper_grid_size(qubits),
+        seed=0,
+        **overrides,
+    )
+    return DCMBQCCompiler(config).compile(computation)
+
+
+@pytest.mark.parametrize("program,qubits", FAMILIES)
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+class TestTopologyCrossCheck:
+    def test_storage_bounded_by_reported_lifetime(self, program, qubits, topology):
+        result = compile_for(program, qubits, topology=topology)
+        trace = DistributedRuntime(result).run()
+        assert trace.max_storage <= result.required_photon_lifetime
+        assert trace.total_cycles == result.evaluation.makespan
+
+    def test_fusee_records_match_metric(self, program, qubits, topology):
+        result = compile_for(program, qubits, topology=topology)
+        trace = DistributedRuntime(result).run()
+        fusee = [r.storage_cycles for r in trace.storage_records if r.reason == "fusee"]
+        assert max(fusee) == result.evaluation.lifetime_report.tau_fusee
+
+
+@pytest.mark.parametrize("program,qubits", FAMILIES[:3])
+class TestHeterogeneousCrossCheck:
+    def test_mixed_grid_fleet(self, program, qubits):
+        result = compile_for(
+            program,
+            qubits,
+            topology="ring",
+            qpu_grid_sizes=tuple(
+                paper_grid_size(qubits) + (2 if index % 2 else 0) for index in range(4)
+            ),
+        )
+        trace = DistributedRuntime(result).run()
+        assert trace.max_storage <= result.required_photon_lifetime
+
+    def test_mixed_rsg_fleet(self, program, qubits):
+        result = compile_for(
+            program,
+            qubits,
+            qpu_rsg_types=("5-star", "4-ring", "5-star", "6-ring"),
+        )
+        trace = DistributedRuntime(result).run()
+        assert trace.max_storage <= result.required_photon_lifetime
+
+
+class TestInterconnectConstrainsCompilation:
+    """Acceptance: a sparse interconnect provably changes the compilation."""
+
+    def test_line_topology_differs_from_fully_connected(self):
+        fc = compile_for("QFT", 12)
+        line = compile_for("QFT", 12, topology="line")
+        line_relays = sum(s.relay_hops for s in line.problem.sync_tasks)
+        assert sum(s.relay_hops for s in fc.problem.sync_tasks) == 0
+        assert line_relays > 0
+        assert line.execution_time > fc.execution_time
+
+    def test_relay_routes_follow_the_line(self):
+        line = compile_for("QFT", 12, topology="line")
+        for sync in line.problem.sync_tasks:
+            route = sync.route_qpus
+            for hop_a, hop_b in zip(route, route[1:]):
+                assert abs(hop_a - hop_b) == 1
+
+    def test_executor_rejects_route_missing_from_system(self):
+        line = compile_for("QAOA", 8, topology="line")
+        # Claim the same schedule was compiled for a *ring* with fewer
+        # relays than the line actually needs: the executor's independent
+        # system cross-check must notice any route over a missing link.
+        broken = False
+        for sync in line.problem.sync_tasks:
+            if sync.relay_hops > 0:
+                object.__setattr__(sync, "route", (sync.qpu_a, sync.qpu_b))
+                broken = True
+        assert broken
+        from repro.utils.errors import ReproError
+
+        with pytest.raises(ReproError):
+            DistributedRuntime(line).validate()
+
+    def test_connector_release_includes_relay_latency(self):
+        line = compile_for("QFT", 12, topology="line")
+        trace = DistributedRuntime(line).run()
+        relayed = [s for s in line.problem.sync_tasks if s.relay_hops > 0]
+        assert relayed
+        sync = relayed[0]
+        schedule_start = line.schedule.start_of(sync.key)
+        releases = {
+            record.node: record.released_at
+            for record in trace.storage_records
+            if record.reason == "connector" and record.node in sync.connector
+        }
+        for node, released in releases.items():
+            assert released >= schedule_start  # waited at least until the sync
+        assert any(
+            released == schedule_start + sync.relay_hops
+            or released > schedule_start
+            for released in releases.values()
+        )

@@ -1,0 +1,194 @@
+"""Topology-aware scheduling: relay routes, per-QPU and per-link capacities."""
+
+import pytest
+
+from repro.scheduling.list_scheduler import list_schedule
+from repro.scheduling.problem import LayerSchedulingProblem, MainTask, Schedule, SyncTask
+from repro.utils.errors import SchedulingError
+
+
+def chain_problem(num_qpus=3, layers=2, syncs=None, **kwargs):
+    """Small problem over a line of QPUs with explicit sync routes."""
+    main_tasks = [
+        [MainTask(qpu=q, index=i, nodes=(q * 100 + i,)) for i in range(layers)]
+        for q in range(num_qpus)
+    ]
+    return LayerSchedulingProblem(
+        num_qpus=num_qpus,
+        main_tasks=main_tasks,
+        sync_tasks=list(syncs or []),
+        **kwargs,
+    )
+
+
+class TestSyncTaskRoutes:
+    def test_default_route_is_direct(self):
+        sync = SyncTask(sync_id=0, qpu_a=0, index_a=0, qpu_b=2, index_b=0)
+        assert sync.route_qpus == (0, 2)
+        assert sync.relay_hops == 0
+        assert sync.links == ((0, 2),)
+
+    def test_relay_route_properties(self):
+        sync = SyncTask(
+            sync_id=0, qpu_a=0, index_a=0, qpu_b=2, index_b=0, route=(0, 1, 2)
+        )
+        assert sync.route_qpus == (0, 1, 2)
+        assert sync.relay_hops == 1
+        assert sync.links == ((0, 1), (1, 2))
+        assert sync.involves(1)
+
+    def test_route_must_join_endpoints(self):
+        with pytest.raises(SchedulingError, match="does not run"):
+            SyncTask(sync_id=0, qpu_a=0, index_a=0, qpu_b=2, index_b=0, route=(0, 1))
+
+    def test_route_must_not_revisit(self):
+        with pytest.raises(SchedulingError, match="revisits"):
+            SyncTask(
+                sync_id=0, qpu_a=0, index_a=0, qpu_b=2, index_b=0,
+                route=(0, 1, 0, 2),
+            )
+
+
+class TestProblemValidation:
+    def test_route_over_missing_link_rejected_at_construction(self):
+        sync = SyncTask(
+            sync_id=0, qpu_a=0, index_a=0, qpu_b=2, index_b=0, route=(0, 2)
+        )
+        with pytest.raises(SchedulingError, match="does not exist"):
+            chain_problem(
+                syncs=[sync], link_capacities={(0, 1): 4, (1, 2): 4}
+            )
+
+    def test_relay_occupies_intermediate_qpu(self):
+        sync = SyncTask(
+            sync_id=0, qpu_a=0, index_a=0, qpu_b=2, index_b=0, route=(0, 1, 2)
+        )
+        problem = chain_problem(syncs=[sync])
+        schedule = Schedule(
+            {
+                ("main", 0, 0): 1, ("main", 0, 1): 2,
+                ("main", 1, 0): 0, ("main", 1, 1): 2,
+                ("main", 2, 0): 1, ("main", 2, 1): 2,
+                ("sync", 0, 0): 0,
+            }
+        )
+        # QPU 1 runs a main task in cycle 0 while relaying the sync.
+        with pytest.raises(SchedulingError, match="mixes a main task"):
+            problem.validate(schedule)
+
+    def test_link_capacity_enforced(self):
+        syncs = [
+            SyncTask(sync_id=i, qpu_a=0, index_a=0, qpu_b=2, index_b=0, route=(0, 1, 2))
+            for i in range(2)
+        ]
+        problem = chain_problem(
+            syncs=syncs,
+            connection_capacity=4,
+            link_capacities={(0, 1): 1, (1, 2): 4},
+        )
+        schedule = Schedule(
+            {
+                ("main", 0, 0): 1, ("main", 0, 1): 2,
+                ("main", 1, 0): 1, ("main", 1, 1): 2,
+                ("main", 2, 0): 1, ("main", 2, 1): 2,
+                ("sync", 0, 0): 0, ("sync", 1, 0): 0,
+            }
+        )
+        with pytest.raises(SchedulingError, match="link \\(0, 1\\)"):
+            problem.validate(schedule)
+
+    def test_per_qpu_capacity_override_enforced(self):
+        syncs = [
+            SyncTask(sync_id=i, qpu_a=0, index_a=0, qpu_b=1, index_b=0)
+            for i in range(2)
+        ]
+        problem = chain_problem(
+            num_qpus=2, syncs=syncs, connection_capacity=4, qpu_capacities=(1, 4)
+        )
+        schedule = Schedule(
+            {
+                ("main", 0, 0): 1, ("main", 0, 1): 2,
+                ("main", 1, 0): 1, ("main", 1, 1): 2,
+                ("sync", 0, 0): 0, ("sync", 1, 0): 0,
+            }
+        )
+        with pytest.raises(SchedulingError, match="K_max = 1"):
+            problem.validate(schedule)
+
+
+class TestBoundsWithHeterogeneousCapacities:
+    def test_makespan_bound_uses_per_qpu_capacity(self):
+        from repro.scheduling.bounds import makespan_lower_bound, schedule_quality
+
+        syncs = [
+            SyncTask(sync_id=i, qpu_a=0, index_a=i % 2, qpu_b=1, index_b=i % 2)
+            for i in range(8)
+        ]
+        problem = chain_problem(
+            num_qpus=2,
+            syncs=syncs,
+            connection_capacity=2,
+            qpu_capacities=(4, 4),
+        )
+        # ceil(8/4) sync slots + 2 mains — not ceil(8/2) from the scalar.
+        assert makespan_lower_bound(problem) == 4
+        quality = schedule_quality(problem, list_schedule(problem))
+        assert quality["makespan_ratio"] >= 1.0
+
+
+class TestRelayEvaluation:
+    def test_relay_hops_extend_remote_gap(self):
+        direct = SyncTask(sync_id=0, qpu_a=0, index_a=0, qpu_b=2, index_b=0)
+        relayed = SyncTask(
+            sync_id=0, qpu_a=0, index_a=0, qpu_b=2, index_b=0, route=(0, 1, 2)
+        )
+        starts = {
+            ("main", 0, 0): 1, ("main", 0, 1): 3,
+            ("main", 1, 0): 1, ("main", 1, 1): 3,
+            ("main", 2, 0): 1, ("main", 2, 1): 3,
+            ("sync", 0, 0): 0,
+        }
+        tau_direct = (
+            chain_problem(syncs=[direct]).evaluate(Schedule(dict(starts))).tau_remote
+        )
+        tau_relayed = (
+            chain_problem(syncs=[relayed]).evaluate(Schedule(dict(starts))).tau_remote
+        )
+        assert tau_relayed == tau_direct + 1
+
+
+class TestListSchedulerWithTopology:
+    def test_relayed_syncs_schedule_and_validate(self):
+        syncs = [
+            SyncTask(
+                sync_id=i, qpu_a=0, index_a=i, qpu_b=2, index_b=i, route=(0, 1, 2)
+            )
+            for i in range(2)
+        ]
+        problem = chain_problem(
+            layers=3,
+            syncs=syncs,
+            connection_capacity=2,
+            link_capacities={(0, 1): 1, (1, 2): 1},
+        )
+        schedule = list_schedule(problem)
+        problem.validate(schedule)
+        # Per-link capacity 1 forces the two relayed syncs into distinct cycles.
+        assert schedule.start_of(("sync", 0, 0)) != schedule.start_of(("sync", 1, 0))
+
+    def test_heterogeneous_qpu_capacity_respected(self):
+        syncs = [
+            SyncTask(sync_id=i, qpu_a=0, index_a=i % 2, qpu_b=1, index_b=i % 2)
+            for i in range(4)
+        ]
+        problem = chain_problem(
+            num_qpus=2,
+            layers=3,
+            syncs=syncs,
+            connection_capacity=4,
+            qpu_capacities=(1, 4),
+        )
+        schedule = list_schedule(problem)
+        problem.validate(schedule)
+        starts = [schedule.start_of(("sync", i, 0)) for i in range(4)]
+        assert len(set(starts)) == 4  # K_max=1 on QPU 0 serialises them

@@ -1,0 +1,69 @@
+"""Golden tests: the SystemModel refactor leaves default rows byte-identical.
+
+``tests/golden/system_reference.json`` was recorded with the *pre-refactor*
+code (homogeneous ``MultiQPUSystem``, scalar K_max, no routes).  Fully
+connected homogeneous systems — the paper's configuration and the default
+of every table/figure — must reproduce those rows exactly: identical
+partition sizes, connectors, execution times, lifetimes, and the full
+schedule (pinned via a digest of every task start time).
+"""
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.core.compiler import DCMBQCCompiler
+from repro.core.config import DCMBQCConfig
+from repro.hardware.resource_states import ResourceStateType
+from repro.programs.registry import paper_grid_size
+from repro.sweep.cache import build_computation
+from repro.sweep.grids import BenchmarkScale, table3_grid, table4_grid, table6_grid
+from repro.sweep.tasks import TASK_REGISTRY
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "system_reference.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def schedule_digest(schedule):
+    canonical = json.dumps(sorted((list(k), v) for k, v in schedule.start_times.items()))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:20]
+
+
+@pytest.mark.parametrize(
+    "name,grid_factory",
+    [
+        ("table3_smoke", table3_grid),
+        ("table4_smoke", table4_grid),
+        ("table6_smoke", table6_grid),
+    ],
+)
+def test_default_rows_unchanged_from_seed(name, grid_factory):
+    reference = GOLDEN[name]
+    points = grid_factory(BenchmarkScale.SMOKE).expand()
+    assert len(points) == len(reference)
+    for point, expected in zip(points, reference):
+        assert point.label == expected["label"]
+        row = TASK_REGISTRY[point.task](point)
+        assert row == expected["row"], f"{name} {point.label} drifted from seed"
+
+
+@pytest.mark.parametrize("key,qpus,rsg", [("4qpu_5star", 4, "5-star"), ("8qpu_4ring", 8, "4-ring")])
+def test_default_compile_summaries_and_schedules_unchanged(key, qpus, rsg):
+    for label, expected in GOLDEN["compile_summaries"][key].items():
+        program, qubits = label.rsplit("-", 1)
+        computation = build_computation(program, int(qubits), 2026)
+        config = DCMBQCConfig(
+            num_qpus=qpus,
+            grid_size=paper_grid_size(int(qubits)),
+            rsg_type=ResourceStateType.from_name(rsg),
+            seed=0,
+        )
+        result = DCMBQCCompiler(config).compile(computation)
+        summary = dict(result.summary())
+        summary["schedule_digest"] = schedule_digest(result.schedule)
+        recorded = dict(expected)
+        # JSON stringified non-primitive values via ``default=str``.
+        recorded["part_sizes"] = expected["part_sizes"]
+        assert {k: summary[k] for k in recorded} == recorded, f"{key} {label}"
