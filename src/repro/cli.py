@@ -1,11 +1,13 @@
 """Command-line interface for the DC-MBQC reproduction.
 
-Four subcommands cover the common workflows::
+Six subcommands cover the common workflows::
 
     python -m repro.cli compile --program QFT --qubits 16 --qpus 4
     python -m repro.cli compare --program VQE --qubits 16 --qpus 8 --rsg 4-ring
     python -m repro.cli experiment --name table3
     python -m repro.cli sweep --grid table3 --workers 8 --out results/table3
+    python -m repro.cli trace summarize out.json
+    python -m repro.cli bench diff old/BENCH_figure10.json new/BENCH_figure10.json
 
 ``compile`` runs the distributed compiler and prints the schedule summary,
 ``compare`` additionally compiles the monolithic baseline and reports the
@@ -13,6 +15,11 @@ improvement factors, ``experiment`` regenerates one of the paper's tables or
 figures in-process, and ``sweep`` evaluates the same grids through the
 parallel sweep engine with a resumable on-disk result store (re-running the
 same command skips every completed point; ``--csv`` exports the run table).
+``compile`` and ``sweep`` take ``--trace [PATH]`` to record a
+:mod:`repro.obs` span trace and export it as Chrome trace-event JSON;
+``trace summarize`` renders an exported file as a text tree plus a self-time
+table, and ``bench diff`` compares two ``BENCH_*.json`` perf trajectories,
+exiting non-zero on op-counter regressions.
 
 ``compile`` and ``sweep`` route through the staged compilation pipeline
 (:mod:`repro.pipeline`): ``--cache-dir`` points the content-addressed
@@ -38,6 +45,14 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core import DCMBQCCompiler, DCMBQCConfig, compare_with_baseline
 from repro.hardware.qpu import InterconnectTopology
+from repro.obs.bench_diff import DEFAULT_SLACK, DEFAULT_TOLERANCE, diff_bench_files
+from repro.obs.export import (
+    load_chrome_trace,
+    render_span_tree,
+    render_top_spans,
+    write_chrome_trace,
+)
+from repro.obs.trace import TRACE_ENV, TRACER
 from repro.hardware.resource_states import ResourceStateType
 from repro.pipeline import CACHE_DIR_ENV, CACHE_DISABLE_ENV, resolve_store
 from repro.programs import build_benchmark
@@ -131,6 +146,12 @@ def build_parser() -> argparse.ArgumentParser:
             default="QFT",
             help="benchmark family: " + ", ".join(benchmark_names()),
         )
+        sub.add_argument(
+            "--benchmark",
+            dest="program",
+            default=argparse.SUPPRESS,
+            help="alias for --program",
+        )
         sub.add_argument("--qubits", type=int, default=16)
         sub.add_argument("--qpus", type=int, default=4)
         sub.add_argument("--grid-size", type=int, default=None)
@@ -172,9 +193,22 @@ def build_parser() -> argparse.ArgumentParser:
             help="print a machine-readable JSON summary instead of text",
         )
 
+    def add_trace_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--trace",
+            nargs="?",
+            const="trace.json",
+            default=None,
+            metavar="PATH.json",
+            help="record a span trace and export it as Chrome trace-event "
+            "JSON (load in Perfetto); ${DCMBQC_TRACE_DETERMINISTIC}=1 "
+            "timestamps spans by op-counter ticks for byte-stable output",
+        )
+
     compile_parser = subparsers.add_parser("compile", help="run the distributed compiler")
     add_program_arguments(compile_parser)
     add_cache_arguments(compile_parser)
+    add_trace_argument(compile_parser)
     compile_parser.add_argument(
         "--profile",
         action="store_true",
@@ -229,6 +263,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_system_arguments(sweep_parser)
     add_cache_arguments(sweep_parser)
+    add_trace_argument(sweep_parser)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect exported Chrome trace files"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    summarize_parser = trace_sub.add_parser(
+        "summarize", help="print the span tree and a top-N self-time table"
+    )
+    summarize_parser.add_argument("path", help="Chrome trace file (from --trace)")
+    summarize_parser.add_argument(
+        "--top", type=positive_int, default=10, help="rows in the self-time table"
+    )
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="benchmark trajectory tools"
+    )
+    bench_sub = bench_parser.add_subparsers(dest="bench_command", required=True)
+    diff_parser = bench_sub.add_parser(
+        "diff",
+        help="compare two BENCH_*.json trajectories; exit 1 on counter regressions",
+    )
+    diff_parser.add_argument("baseline", help="baseline BENCH_*.json")
+    diff_parser.add_argument("candidate", help="candidate BENCH_*.json")
+    diff_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed relative counter growth (default %(default)s)",
+    )
+    diff_parser.add_argument(
+        "--slack",
+        type=non_negative_int,
+        default=DEFAULT_SLACK,
+        help="absolute slack for tiny counters (default %(default)s)",
+    )
+    diff_parser.add_argument(
+        "--json", action="store_true", help="emit the diff as JSON"
+    )
     return parser
 
 
@@ -293,18 +366,53 @@ def _apply_cache_arguments(args: argparse.Namespace) -> None:
         os.environ[CACHE_DIR_ENV] = args.cache_dir
 
 
+def _apply_trace_arguments(args: argparse.Namespace) -> bool:
+    """Enable span tracing when ``--trace`` was given; returns the decision.
+
+    Sets ``DCMBQC_TRACE`` so sweep worker processes inherit the setting
+    through the environment (same channel as the cache flags).
+    """
+    if not getattr(args, "trace", None):
+        return False
+    os.environ[TRACE_ENV] = "1"
+    TRACER.reset()
+    TRACER.enable()
+    return True
+
+
+def _export_trace(args: argparse.Namespace) -> Dict[str, object]:
+    """Write the buffered spans to ``args.trace``; returns a summary dict."""
+    spans = TRACER.spans()
+    path = write_chrome_trace(args.trace, spans, deterministic=TRACER.deterministic)
+    return {"path": str(path), "spans": len(spans), "run_id": TRACER.run_id}
+
+
 def _run_compile(args: argparse.Namespace) -> int:
     _apply_cache_arguments(args)
+    tracing = _apply_trace_arguments(args)
     circuit = build_benchmark(args.program, args.qubits, seed=args.seed)
     config = _config_from_args(args)
     store = resolve_store(args.cache_dir, enabled=not args.no_cache)
-    result, run = DCMBQCCompiler(config).compile_run(
-        circuit, store=store, use_cache=not args.no_cache
-    )
+    with TRACER.span(
+        "cli.compile", program=args.program, qubits=args.qubits, qpus=config.num_qpus
+    ):
+        result, run = DCMBQCCompiler(config).compile_run(
+            circuit, store=store, use_cache=not args.no_cache
+        )
+        if tracing:
+            # Replay the schedule under the trace as well, so the exported
+            # timeline covers the full compile → runtime story.
+            from repro.runtime.executor import DistributedRuntime
+
+            DistributedRuntime(result).run()
     summary = result.summary()
     manifest = run.manifest()
+    trace_info = _export_trace(args) if tracing else None
     if args.json:
-        print(json.dumps({"summary": summary, "pipeline": manifest}, default=str))
+        document = {"summary": summary, "pipeline": manifest}
+        if trace_info is not None:
+            document["trace"] = trace_info
+        print(json.dumps(document, default=str))
         return 0
     print(f"Distributed compilation of {args.program}-{args.qubits} on {args.qpus} QPUs")
     for key, value in summary.items():
@@ -316,6 +424,8 @@ def _run_compile(args: argparse.Namespace) -> int:
         f"cache: {manifest['cache_hits']} hits, {manifest['executions']} misses"
         f" ({stages})"
     )
+    if trace_info is not None:
+        print(f"trace: {trace_info['spans']} spans -> {trace_info['path']}")
     if args.profile:
         print()
         print(render_profile_table(manifest))
@@ -368,6 +478,7 @@ def _run_experiment(args: argparse.Namespace) -> int:
 
 def _run_sweep(args: argparse.Namespace) -> int:
     _apply_cache_arguments(args)
+    tracing = _apply_trace_arguments(args)
     scale = experiments.BenchmarkScale(args.scale)
     grid = GRID_REGISTRY[args.grid](scale, seed=args.seed)
     system_overrides = _system_overrides(args)
@@ -412,27 +523,29 @@ def _run_sweep(args: argparse.Namespace) -> int:
         retries=args.retries,
         progress=None if args.json else progress,
     )
-    outcome = runner.run(grid, store)
+    with TRACER.span(
+        "cli.sweep", grid=args.grid, scale=scale.value, workers=args.workers
+    ):
+        outcome = runner.run(grid, store)
     summary = outcome.summary()
     cache = outcome.cache_summary()
+    trace_info = _export_trace(args) if tracing else None
     exported = None
     if args.csv:
         exported = store.export_csv(args.csv)
     if args.json:
-        print(
-            json.dumps(
-                {
-                    "grid": args.grid,
-                    "scale": scale.value,
-                    "workers": args.workers,
-                    "summary": summary,
-                    "cache": cache,
-                    "store": str(store.path),
-                    "csv_rows": exported,
-                },
-                default=str,
-            )
-        )
+        document = {
+            "grid": args.grid,
+            "scale": scale.value,
+            "workers": args.workers,
+            "summary": summary,
+            "cache": cache,
+            "store": str(store.path),
+            "csv_rows": exported,
+        }
+        if trace_info is not None:
+            document["trace"] = trace_info
+        print(json.dumps(document, default=str))
         return 1 if outcome.failed else 0
     print(
         f"Sweep {args.grid} (scale={scale.value}, workers={args.workers}): "
@@ -441,9 +554,37 @@ def _run_sweep(args: argparse.Namespace) -> int:
     )
     print(f"cache: {cache['hits']} hits, {cache['misses']} misses")
     print(f"store: {store.path}")
+    if trace_info is not None:
+        print(f"trace: {trace_info['spans']} spans -> {trace_info['path']}")
     if exported is not None:
         print(f"exported {exported} rows to {args.csv}")
     return 1 if outcome.failed else 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    spans = load_chrome_trace(args.path)
+    if not spans:
+        print(f"no spans in {args.path}", file=sys.stderr)
+        return 1
+    print(render_span_tree(spans))
+    print()
+    print(render_top_spans(spans, top=args.top))
+    return 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    try:
+        diff = diff_bench_files(
+            args.baseline, args.candidate, tolerance=args.tolerance, slack=args.slack
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(diff.as_dict()))
+    else:
+        print(diff.report())
+    return 0 if diff.ok else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -455,6 +596,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _run_compare,
         "experiment": _run_experiment,
         "sweep": _run_sweep,
+        "trace": _run_trace,
+        "bench": _run_bench,
     }
     return handlers[args.command](args)
 

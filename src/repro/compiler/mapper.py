@@ -38,6 +38,7 @@ from repro.hardware.resource_states import (
     ResourceStateSpec,
     ResourceStateType,
 )
+from repro.obs.trace import TRACER
 from repro.utils.counters import OP_COUNTERS
 from repro.utils.errors import CompilationError
 from repro.utils.grid import GridPoint, l_shaped_path, manhattan_distance, spiral_order
@@ -151,6 +152,14 @@ class LayeredGridMapper:
 
     def map(self, computation: ComputationGraph) -> SingleQPUSchedule:
         """Produce a :class:`SingleQPUSchedule` for ``computation``."""
+        with TRACER.span(
+            "mapper.map",
+            grid_size=self.config.grid_size,
+            nodes=computation.graph.number_of_nodes(),
+        ):
+            return self._map(computation)
+
+    def _map(self, computation: ComputationGraph) -> SingleQPUSchedule:
         size = self.config.usable_grid_size
         spec = self.config.resource_spec
         spiral = spiral_order(size)

@@ -272,20 +272,27 @@ class DCMBQCCompiler:
         benchmarks scope their cache bypass to the timed stages this way.
         ``memo`` overrides the process-global in-memory cache.
         """
+        from repro.obs.trace import TRACER
         from repro.pipeline import Pipeline, resolve_store
         from repro.pipeline.stages import distributed_stages, initial_program_state
 
-        if store is _DEFAULT_STORE:
-            store = resolve_store(enabled=use_cache)
-        pipeline = Pipeline(
-            distributed_stages(self),
-            store=store,
-            use_cache=use_cache,
-            no_cache_stages=no_cache_stages,
-            memo=memo,
-        )
-        run = pipeline.run(initial_program_state(program))
-        return run.state["result"], run
+        with TRACER.span(
+            "compile.distributed",
+            program=type(program).__name__,
+            num_qpus=self.config.num_qpus,
+            topology=str(self.config.topology),
+        ):
+            if store is _DEFAULT_STORE:
+                store = resolve_store(enabled=use_cache)
+            pipeline = Pipeline(
+                distributed_stages(self),
+                store=store,
+                use_cache=use_cache,
+                no_cache_stages=no_cache_stages,
+                memo=memo,
+            )
+            run = pipeline.run(initial_program_state(program))
+            return run.state["result"], run
 
     def compile(self, program: CompilationInput) -> DistributedCompilationResult:
         """Run the full DC-MBQC pipeline on ``program``."""

@@ -1,0 +1,75 @@
+"""``repro.obs`` — unified observability: tracing, metrics, exporters.
+
+The observability substrate every layer of the compiler reports through:
+
+* :mod:`repro.obs.trace` — hierarchical span tracer (context manager +
+  decorator API, per-process buffer, run/span identity, parent links,
+  op-counter deltas per span, deterministic clock mode for CI pinning);
+* :mod:`repro.obs.metrics` — the :class:`MetricsRegistry` core
+  (counters/gauges/histograms with label dimensions) that the legacy
+  ``TELEMETRY`` and ``OP_COUNTERS`` registries are now views over;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto-loadable),
+  text span trees and top-N self-time summaries;
+* :mod:`repro.obs.bench_diff` — ``repro bench diff``: counter-regression
+  comparison of two ``BENCH_*.json`` perf trajectories.
+
+Quick start::
+
+    from repro.obs import TRACER, span, write_chrome_trace
+
+    TRACER.enable()
+    with span("my.phase", items=3):
+        ...
+    write_chrome_trace("out.json", TRACER.spans())
+
+Tracing is off by default and the disabled per-span fast path is a no-op;
+merely importing this package changes no counter, no timing and no output.
+"""
+
+from repro.obs.bench_diff import BenchDiff, CounterChange, diff_bench_files
+from repro.obs.export import (
+    chrome_trace,
+    load_chrome_trace,
+    render_span_tree,
+    render_top_spans,
+    span_tree_signature,
+    write_chrome_trace,
+)
+from repro.obs.metrics import METRICS, HistogramSummary, MetricsRegistry
+from repro.obs.trace import (
+    DETERMINISTIC_ENV,
+    NULL_SPAN,
+    TRACE_ENV,
+    TRACER,
+    Span,
+    SpanRecord,
+    Tracer,
+    span,
+    traced,
+    tracing_enabled,
+)
+
+__all__ = [
+    "BenchDiff",
+    "CounterChange",
+    "DETERMINISTIC_ENV",
+    "HistogramSummary",
+    "METRICS",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "SpanRecord",
+    "TRACE_ENV",
+    "TRACER",
+    "Tracer",
+    "chrome_trace",
+    "diff_bench_files",
+    "load_chrome_trace",
+    "render_span_tree",
+    "render_top_spans",
+    "span",
+    "span_tree_signature",
+    "traced",
+    "tracing_enabled",
+    "write_chrome_trace",
+]

@@ -1,0 +1,236 @@
+"""Unified metrics core: counters, gauges and histograms with labels.
+
+Before this module existed the repo had two disjoint counter registries —
+:class:`repro.pipeline.telemetry.TelemetryRegistry` (per-stage wall time and
+cache hits) and :class:`repro.utils.counters.OpCounters` (deterministic
+hot-path op counts) — each with its own lock, snapshot and reset
+boilerplate.  Both are now thin compatibility views over one
+:class:`MetricsRegistry`:
+
+* **counters** — monotonically increasing integers (``inc``);
+* **gauges** — last-written floats (``set_gauge``);
+* **histograms** — streaming count/total/min/max summaries (``observe``).
+
+Every instrument takes optional **label dimensions** (``stage="translate"``,
+``source="disk"``), so one metric name fans out into a family of labelled
+series — the convention used by Prometheus-style metric systems.  Metric
+names are dot-separated, namespaced by subsystem (``ops.*`` for the compile
+hot path, ``pipeline.*`` for stage telemetry), and :meth:`MetricsRegistry.reset`
+accepts a prefix so one view can reset its namespace without clobbering the
+others.
+
+The registry is per process, mirroring the registries it replaced: sweep
+workers own a private copy and ship deltas back through their point records.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "HistogramSummary",
+    "MetricsRegistry",
+    "METRICS",
+]
+
+#: Canonical label identity: sorted (key, value) string pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+_NO_LABELS: LabelKey = ()
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    if not labels:
+        return _NO_LABELS
+    return tuple(sorted((str(key), str(value)) for key, value in labels.items()))
+
+
+def _render(name: str, key: LabelKey) -> str:
+    """Display form of one labelled series: ``name{k=v,...}``."""
+    if not key:
+        return name
+    inner = ",".join(f"{label}={value}" for label, value in key)
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class HistogramSummary:
+    """Streaming summary of one histogram series (no stored samples)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def copy(self) -> "HistogramSummary":
+        return HistogramSummary(self.count, self.total, self.minimum, self.maximum)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "min": round(self.minimum, 6) if self.count else None,
+            "max": round(self.maximum, 6) if self.count else None,
+            "mean": round(self.mean, 6),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe labelled counters/gauges/histograms behind one lock.
+
+    This is the shared core the legacy registries delegate to; their
+    snapshot/reset/locking boilerplate lives here exactly once.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Dict[LabelKey, int]] = {}
+        self._gauges: Dict[str, Dict[LabelKey, float]] = {}
+        self._histograms: Dict[str, Dict[LabelKey, HistogramSummary]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Writers
+    # ------------------------------------------------------------------ #
+
+    def inc(self, name: str, amount: int = 1, **labels: object) -> None:
+        """Increment counter ``name`` (labelled series) by ``amount``."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0) + int(amount)
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set gauge ``name`` (labelled series) to ``value``."""
+        key = _label_key(labels)
+        with self._lock:
+            self._gauges.setdefault(name, {})[key] = float(value)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record one sample into histogram ``name`` (labelled series)."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._histograms.setdefault(name, {})
+            summary = series.get(key)
+            if summary is None:
+                summary = series[key] = HistogramSummary()
+            summary.observe(float(value))
+
+    # ------------------------------------------------------------------ #
+    # Readers
+    # ------------------------------------------------------------------ #
+
+    def counter(self, name: str, **labels: object) -> int:
+        """Current value of one counter series (0 if never touched)."""
+        key = _label_key(labels)
+        with self._lock:
+            return self._counters.get(name, {}).get(key, 0)
+
+    def gauge(self, name: str, **labels: object) -> Optional[float]:
+        key = _label_key(labels)
+        with self._lock:
+            return self._gauges.get(name, {}).get(key)
+
+    def histogram(self, name: str, **labels: object) -> HistogramSummary:
+        """Copy of one histogram series (empty summary if never observed)."""
+        key = _label_key(labels)
+        with self._lock:
+            summary = self._histograms.get(name, {}).get(key)
+            return summary.copy() if summary is not None else HistogramSummary()
+
+    def counter_series(self, name: str) -> Dict[LabelKey, int]:
+        """Every labelled series of one counter, keyed by label tuple."""
+        with self._lock:
+            return dict(self._counters.get(name, {}))
+
+    def histogram_series(self, name: str) -> Dict[LabelKey, HistogramSummary]:
+        with self._lock:
+            return {
+                key: summary.copy()
+                for key, summary in self._histograms.get(name, {}).items()
+            }
+
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        """Unlabelled counters under ``prefix``, prefix stripped, sorted.
+
+        This is the view :class:`~repro.utils.counters.OpCounters` exposes:
+        its namespace holds plain (label-free) counters only.
+        """
+        with self._lock:
+            out: Dict[str, int] = {}
+            for name in sorted(self._counters):
+                if not name.startswith(prefix):
+                    continue
+                series = self._counters[name]
+                value = series.get(_NO_LABELS)
+                if value is not None:
+                    out[name[len(prefix):]] = value
+            return out
+
+    def label_values(self, name: str, label: str) -> Tuple[str, ...]:
+        """Distinct values one label takes across a counter's series."""
+        with self._lock:
+            seen = []
+            for key in self._counters.get(name, {}):
+                for key_label, value in key:
+                    if key_label == label and value not in seen:
+                        seen.append(value)
+            return tuple(seen)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Full registry dump: rendered series name → value/summary dict."""
+        with self._lock:
+            return {
+                "counters": {
+                    _render(name, key): value
+                    for name in sorted(self._counters)
+                    for key, value in sorted(self._counters[name].items())
+                },
+                "gauges": {
+                    _render(name, key): value
+                    for name in sorted(self._gauges)
+                    for key, value in sorted(self._gauges[name].items())
+                },
+                "histograms": {
+                    _render(name, key): summary.as_dict()
+                    for name in sorted(self._histograms)
+                    for key, summary in sorted(self._histograms[name].items())
+                },
+            }
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def reset(self, prefix: str = "") -> None:
+        """Drop every series whose metric name starts with ``prefix``.
+
+        An empty prefix clears the whole registry; the compatibility views
+        pass their namespace so resetting op counters leaves stage telemetry
+        (and vice versa) untouched.
+        """
+        with self._lock:
+            for table in (self._counters, self._gauges, self._histograms):
+                if not prefix:
+                    table.clear()
+                else:
+                    for name in [n for n in table if n.startswith(prefix)]:
+                        del table[name]
+
+
+#: Process-global metrics registry; the compatibility views
+#: (``TELEMETRY``, ``OP_COUNTERS``) and the tracer all report here.
+METRICS = MetricsRegistry()

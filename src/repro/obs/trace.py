@@ -1,0 +1,430 @@
+"""Hierarchical span tracing across compile → schedule → runtime → sweep.
+
+One :class:`Tracer` per process records a flat buffer of completed
+:class:`SpanRecord` objects.  Spans form a tree through parent links (a
+thread-local stack tracks the active span per thread), carry free-form
+attributes (stage name, QPU count, topology, cache outcome, …) and capture
+the :data:`~repro.utils.counters.OP_COUNTERS` delta over their lifetime, so
+a Perfetto timeline shows *which* scheduler cycles and evaluate calls a
+given BDIR iteration spent.
+
+Tracing is **off by default** and the disabled fast path is a no-op:
+:meth:`Tracer.span` returns a shared null context manager without
+allocating, touching the clock or snapshotting counters.  Enable it with
+:meth:`Tracer.enable`, the CLI ``--trace`` flag, or ``DCMBQC_TRACE=1`` in
+the environment (which is how sweep worker processes inherit the setting —
+their buffers serialize back to the parent inside point records, see
+:func:`repro.sweep.runner.execute_point`).
+
+Deterministic clock mode (``DCMBQC_TRACE_DETERMINISTIC=1``) timestamps
+spans by **op-counter ticks** — the running total of
+:data:`~repro.utils.counters.OP_COUNTERS` plus a per-process sequence —
+instead of wall clock, so the exported span tree (names, nesting, counts
+*and* timestamps) is byte-stable across runs of the same compile and CI can
+pin it with a golden file.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "DETERMINISTIC_ENV",
+    "NULL_SPAN",
+    "Span",
+    "SpanRecord",
+    "TRACE_ENV",
+    "TRACER",
+    "Tracer",
+    "span",
+    "traced",
+    "tracing_enabled",
+]
+
+#: Set to a truthy value to enable tracing process-wide (inherited by
+#: sweep worker processes through the environment).
+TRACE_ENV = "DCMBQC_TRACE"
+
+#: Set to a truthy value to timestamp spans by op-counter ticks instead of
+#: wall clock (byte-stable traces for CI pinning).
+DETERMINISTIC_ENV = "DCMBQC_TRACE_DETERMINISTIC"
+
+
+def _env_truthy(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() not in ("", "0", "false", "no")
+
+
+@dataclass
+class SpanRecord:
+    """One completed span.
+
+    Attributes:
+        name: Dot-namespaced span name (``stage.partition``,
+            ``bdir.iteration``, ``runtime.replay`` …).
+        span_id: Unique (per tracer) integer identifier.
+        parent_id: ``span_id`` of the enclosing span, or ``None`` for roots.
+        run_id: Identifier of the traced run this span belongs to.
+        start / end: Timestamps — ``time.perf_counter()`` seconds in wall
+            mode, op-counter ticks in deterministic mode.
+        attributes: Free-form key → JSON-serialisable value annotations.
+        counter_deltas: Non-zero op-counter increments over the span.
+        tid: Small per-process thread ordinal (0 for the first thread that
+            emitted a span).
+    """
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    run_id: str
+    start: float
+    end: float
+    attributes: Dict[str, object] = field(default_factory=dict)
+    counter_deltas: Dict[str, int] = field(default_factory=dict)
+    tid: int = 0
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end - self.start)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form used to ship spans across process boundaries."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "run_id": self.run_id,
+            "start": self.start,
+            "end": self.end,
+            "attributes": dict(self.attributes),
+            "counter_deltas": dict(self.counter_deltas),
+            "tid": self.tid,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SpanRecord":
+        return cls(
+            name=str(payload["name"]),
+            span_id=int(payload["span_id"]),  # type: ignore[arg-type]
+            parent_id=(
+                None if payload.get("parent_id") is None
+                else int(payload["parent_id"])  # type: ignore[arg-type]
+            ),
+            run_id=str(payload.get("run_id", "")),
+            start=float(payload["start"]),  # type: ignore[arg-type]
+            end=float(payload["end"]),  # type: ignore[arg-type]
+            attributes=dict(payload.get("attributes") or {}),
+            counter_deltas={
+                str(k): int(v)  # type: ignore[arg-type]
+                for k, v in (payload.get("counter_deltas") or {}).items()
+            },
+            tid=int(payload.get("tid", 0)),  # type: ignore[arg-type]
+        )
+
+
+class _NullSpan:
+    """Shared no-op span: the entire cost of tracing when it is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attributes: object) -> None:
+        pass
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+
+#: The singleton returned by :meth:`Tracer.span` while tracing is disabled.
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """An open span; use as a context manager (returned by :meth:`Tracer.span`)."""
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "attributes",
+        "span_id",
+        "parent_id",
+        "_start",
+        "_counters_before",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, object]):
+        self._tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self._start = 0.0
+        self._counters_before: Optional[Dict[str, int]] = None
+
+    def set(self, **attributes: object) -> None:
+        """Attach attributes to the span (last write per key wins)."""
+        self.attributes.update(attributes)
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._close(self)
+        return False
+
+
+class Tracer:
+    """Per-process span collector with a thread-local active-span stack."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._buffer: List[SpanRecord] = []
+        self._local = threading.local()
+        self._next_span_id = 1
+        self._next_run = 1
+        self._next_tid = 0
+        self._seq = 0
+        self.enabled = False
+        self.deterministic = False
+        self.run_id: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def enable(
+        self,
+        run_id: Optional[str] = None,
+        deterministic: Optional[bool] = None,
+    ) -> str:
+        """Turn tracing on; returns the run identifier.
+
+        Deterministic mode defaults to ``DCMBQC_TRACE_DETERMINISTIC``.  In
+        that mode the run id is a per-process sequence (``run-0001``) so two
+        fresh processes produce byte-identical traces; otherwise it is a
+        random UUID suffix.
+        """
+        with self._lock:
+            self.deterministic = (
+                _env_truthy(DETERMINISTIC_ENV) if deterministic is None else deterministic
+            )
+            if run_id is None:
+                if self.deterministic:
+                    run_id = f"run-{self._next_run:04d}"
+                    self._next_run += 1
+                else:
+                    run_id = f"run-{uuid.uuid4().hex[:12]}"
+            self.run_id = run_id
+            self.enabled = True
+            return run_id
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all buffered spans and restart id/clock sequences."""
+        with self._lock:
+            self._buffer.clear()
+            self._next_span_id = 1
+            self._next_tid = 0
+            self._seq = 0
+            self._local = threading.local()
+
+    def ensure_enabled_from_environment(self) -> bool:
+        """Enable tracing if ``DCMBQC_TRACE`` is set (sweep-worker path)."""
+        if not self.enabled and _env_truthy(TRACE_ENV):
+            self.enable()
+        return self.enabled
+
+    # ------------------------------------------------------------------ #
+    # Span API
+    # ------------------------------------------------------------------ #
+
+    def span(self, name: str, **attributes: object):
+        """Open a span named ``name``; no-op singleton while disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, dict(attributes))
+
+    def traced(self, name: Optional[str] = None, **attributes: object):
+        """Decorator form: trace every call of the wrapped function."""
+
+        def decorate(fn):
+            span_name = name or f"{fn.__module__.rpartition('.')[2]}.{fn.__qualname__}"
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                if not self.enabled:
+                    return fn(*args, **kwargs)
+                with self.span(span_name, **attributes):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # ------------------------------------------------------------------ #
+    # Buffer access
+    # ------------------------------------------------------------------ #
+
+    def spans(self) -> List[SpanRecord]:
+        """Copy of every buffered (completed) span, in completion order."""
+        with self._lock:
+            return list(self._buffer)
+
+    def mark(self) -> int:
+        """Current buffer length; pair with :meth:`drain_since`."""
+        with self._lock:
+            return len(self._buffer)
+
+    def drain_since(self, mark: int) -> List[Dict[str, object]]:
+        """Remove and serialize the spans completed after ``mark``.
+
+        Sweep workers call this once per point so their buffers never grow
+        across tasks; the returned dicts travel through the result pipe.
+        """
+        with self._lock:
+            drained = self._buffer[mark:]
+            del self._buffer[mark:]
+            return [record.as_dict() for record in drained]
+
+    def adopt(self, payload: List[Dict[str, object]]) -> int:
+        """Merge spans serialized by another process into this buffer.
+
+        Span ids are re-allocated (parent links inside the payload are
+        remapped consistently), the run id is rewritten to this tracer's,
+        and payload roots are attached under the calling thread's active
+        span, so a sweep's worker spans nest under its ``sweep.run`` span
+        with no lost or duplicated entries.  Returns the adopted count.
+        """
+        if not payload:
+            return 0
+        parent = self.current_span_id()
+        records = [SpanRecord.from_dict(entry) for entry in payload]
+        with self._lock:
+            id_map: Dict[int, int] = {}
+            for record in records:
+                id_map[record.span_id] = self._next_span_id
+                self._next_span_id += 1
+            run_id = self.run_id or ""
+            for record in records:
+                record.span_id = id_map[record.span_id]
+                if record.parent_id is not None and record.parent_id in id_map:
+                    record.parent_id = id_map[record.parent_id]
+                else:
+                    record.parent_id = parent
+                record.run_id = run_id
+                self._buffer.append(record)
+        return len(records)
+
+    def current_span_id(self) -> Optional[int]:
+        """Id of the calling thread's innermost open span (None outside)."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1].span_id if stack else None
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _clock(self) -> float:
+        if self.deterministic:
+            from repro.utils.counters import OP_COUNTERS
+
+            with self._lock:
+                self._seq += 1
+                seq = self._seq
+            # Op-counter ticks: a span's duration reads as "hot-path ops
+            # executed inside it"; the sequence keeps the clock strictly
+            # monotonic between counter increments.
+            return float(sum(OP_COUNTERS.snapshot().values()) + seq)
+        return time.perf_counter()
+
+    def _thread_ordinal(self) -> int:
+        tid = getattr(self._local, "tid", None)
+        if tid is None:
+            with self._lock:
+                tid = self._next_tid
+                self._next_tid += 1
+            self._local.tid = tid
+        return tid
+
+    def _open(self, span_obj: Span) -> None:
+        from repro.utils.counters import OP_COUNTERS
+
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        span_obj.parent_id = stack[-1].span_id if stack else None
+        with self._lock:
+            span_obj.span_id = self._next_span_id
+            self._next_span_id += 1
+        span_obj._counters_before = OP_COUNTERS.snapshot()
+        span_obj._start = self._clock()
+        stack.append(span_obj)
+
+    def _close(self, span_obj: Span) -> None:
+        from repro.utils.counters import OP_COUNTERS
+
+        end = self._clock()
+        deltas: Dict[str, int] = {}
+        if span_obj._counters_before is not None:
+            for name, value in OP_COUNTERS.delta_since(span_obj._counters_before).items():
+                if value:
+                    deltas[name] = value
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span_obj:
+            stack.pop()
+        elif stack and span_obj in stack:  # unbalanced exit: drop descendants
+            while stack and stack[-1] is not span_obj:
+                stack.pop()
+            if stack:
+                stack.pop()
+        record = SpanRecord(
+            name=span_obj.name,
+            span_id=span_obj.span_id,
+            parent_id=span_obj.parent_id,
+            run_id=self.run_id or "",
+            start=span_obj._start,
+            end=end,
+            attributes=span_obj.attributes,
+            counter_deltas=deltas,
+            tid=self._thread_ordinal(),
+        )
+        with self._lock:
+            self._buffer.append(record)
+
+
+#: Process-global tracer used by every instrumented subsystem.
+TRACER = Tracer()
+
+
+def span(name: str, **attributes: object):
+    """Module-level convenience for ``TRACER.span`` (the common call site)."""
+    if not TRACER.enabled:
+        return NULL_SPAN
+    return TRACER.span(name, **attributes)
+
+
+def traced(name: Optional[str] = None, **attributes: object):
+    """Module-level convenience for ``TRACER.traced``."""
+    return TRACER.traced(name, **attributes)
+
+
+def tracing_enabled() -> bool:
+    return TRACER.enabled

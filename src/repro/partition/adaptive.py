@@ -16,6 +16,7 @@ from typing import List, Optional, Tuple
 
 import networkx as nx
 
+from repro.obs.trace import TRACER
 from repro.partition.modularity import modularity
 from repro.partition.multilevel import MultilevelPartitioner
 from repro.partition.types import PartitionResult
@@ -84,6 +85,18 @@ class AdaptivePartitioner:
 
     def partition(self, graph: nx.Graph) -> PartitionResult:
         """Run the adaptive search and return the best partition found."""
+        with TRACER.span(
+            "partition.adaptive",
+            nodes=graph.number_of_nodes(),
+            parts=self.config.num_parts,
+        ) as search_span:
+            result = self._partition(graph)
+            search_span.set(
+                passes=len(self.trace), modularity=round(self.best_modularity, 6)
+            )
+        return result
+
+    def _partition(self, graph: nx.Graph) -> PartitionResult:
         config = self.config
         self.trace = []
         if config.num_parts == 1 or graph.number_of_nodes() <= config.num_parts:

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import networkx as nx
 import numpy as np
 
+from repro.obs.trace import TRACER
 from repro.partition.types import PartitionResult
 from repro.utils.counters import OP_COUNTERS
 from repro.utils.errors import PartitionError
@@ -214,6 +215,14 @@ class MultilevelPartitioner:
 
     def partition(self, graph: nx.Graph) -> PartitionResult:
         """Partition ``graph`` into ``num_parts`` parts."""
+        with TRACER.span(
+            "partition.multilevel",
+            nodes=graph.number_of_nodes(),
+            parts=self.num_parts,
+        ):
+            return self._partition(graph)
+
+    def _partition(self, graph: nx.Graph) -> PartitionResult:
         if graph.number_of_nodes() == 0:
             return PartitionResult({}, self.num_parts)
         if self.num_parts == 1:
@@ -233,20 +242,26 @@ class MultilevelPartitioner:
         for a, b in graph.edges:
             weighted.add_edge(index[a], index[b], 1)
 
-        levels = self._coarsen(weighted)
+        with TRACER.span("partition.coarsen") as coarsen_span:
+            levels = self._coarsen(weighted)
+            coarsen_span.set(levels=len(levels))
         OP_COUNTERS.add("partition.calls")
         OP_COUNTERS.add("partition.levels", len(levels))
         coarsest = levels[-1]
-        assignment = self._initial_partition(coarsest)
-        assignment = self._refine(coarsest, assignment)
+        with TRACER.span("partition.refine", levels=len(levels)):
+            assignment = self._initial_partition(coarsest)
+            assignment = self._refine(coarsest, assignment)
 
-        for level_index in range(len(levels) - 2, -1, -1):
-            finer = levels[level_index]
-            # ``finer.projection`` maps this level's nodes to the nodes of the
-            # next (coarser) level, whose assignment we already know.
-            projection = finer.projection or []
-            assignment = [assignment[projection[node]] for node in range(finer.num_nodes)]
-            assignment = self._refine(finer, assignment)
+            for level_index in range(len(levels) - 2, -1, -1):
+                finer = levels[level_index]
+                # ``finer.projection`` maps this level's nodes to the nodes
+                # of the next (coarser) level, whose assignment we already
+                # know.
+                projection = finer.projection or []
+                assignment = [
+                    assignment[projection[node]] for node in range(finer.num_nodes)
+                ]
+                assignment = self._refine(finer, assignment)
 
         result = PartitionResult(
             {labels[node]: part for node, part in enumerate(assignment)},

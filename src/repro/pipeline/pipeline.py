@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.obs.trace import TRACER
 from repro.pipeline.artifacts import ArtifactStore, caching_disabled
 from repro.pipeline.hashing import content_hash
 from repro.pipeline.stage import Stage
@@ -225,71 +226,90 @@ class Pipeline:
             if stage.output in state:
                 first_needed = index + 1
 
-        for index, stage in enumerate(self.stages):
-            if stage.output in state:
-                records.append(StageRecord(stage.name, "provided", None, 0.0, stage.output))
-                continue
-            if index < first_needed:
-                records.append(StageRecord(stage.name, "skipped", None, 0.0, stage.output))
-                continue
-            missing = [name for name in stage.inputs if name not in state]
-            if missing:
-                raise CompilationError(
-                    f"stage {stage.name!r} is missing inputs {missing}; provide "
-                    f"them in the initial state or add a producing stage"
+        with TRACER.span(
+            "pipeline.run", stages=len(self.stages), cached=use_cache
+        ) as run_span:
+            for index, stage in enumerate(self.stages):
+                if stage.output in state:
+                    records.append(
+                        StageRecord(stage.name, "provided", None, 0.0, stage.output)
+                    )
+                    continue
+                if index < first_needed:
+                    records.append(
+                        StageRecord(stage.name, "skipped", None, 0.0, stage.output)
+                    )
+                    continue
+                missing = [name for name in stage.inputs if name not in state]
+                if missing:
+                    raise CompilationError(
+                        f"stage {stage.name!r} is missing inputs {missing}; provide "
+                        f"them in the initial state or add a producing stage"
+                    )
+
+                key: Optional[str] = None
+                cacheable = (
+                    use_cache
+                    and stage.cacheable
+                    and all(name in hashes for name in stage.inputs)
+                )
+                value: object = _MISSING
+                status = "executed"
+
+                with TRACER.span(f"stage.{stage.name}", stage=stage.name) as stage_span:
+                    if cacheable:
+                        key = stage.key([hashes[name] for name in stage.inputs])
+                    if cacheable and stage.name not in self.no_cache_stages:
+                        # The memo holds pickled snapshots: every hit thaws a
+                        # private copy, so callers may mutate returned artifacts
+                        # freely without corrupting the cache (same semantics as
+                        # disk hits).
+                        cached = self.memo.get(key, _MISSING)
+                        if cached is not _MISSING:
+                            value, status = pickle.loads(cached), "memory-hit"
+                            self.telemetry.record_hit(stage.name, "memory")
+                        elif self.store is not None:
+                            loaded = self.store.get(key)
+                            if loaded is not None:
+                                value, status = loaded, "disk-hit"
+                                payload = pickle.dumps(loaded, pickle.HIGHEST_PROTOCOL)
+                                if len(payload) <= MEMO_MAX_ENTRY_BYTES:
+                                    self.memo.put(key, payload)
+                                self.telemetry.record_hit(stage.name, "disk")
+
+                    seconds = 0.0
+                    if value is _MISSING:
+                        start = time.perf_counter()
+                        value = stage.run(state)
+                        seconds = time.perf_counter() - start
+                        if value is None:
+                            raise CompilationError(
+                                f"stage {stage.name!r} returned None"
+                            )
+                        self.telemetry.record_execution(stage.name, seconds)
+                        if cacheable and key is not None:
+                            payload = pickle.dumps(value, pickle.HIGHEST_PROTOCOL)
+                            if len(payload) <= MEMO_MAX_ENTRY_BYTES:
+                                self.memo.put(key, payload)
+                            if self.store is not None:
+                                self.store.put(key, value, payload=payload)
+                    stage_span.set(status=status)
+
+                state[stage.output] = value
+                if use_cache:
+                    output_hash = content_hash(value)
+                    if output_hash is None:
+                        output_hash = key  # provenance key fallback
+                    if output_hash is not None:
+                        hashes[stage.output] = output_hash
+                records.append(
+                    StageRecord(stage.name, status, key, seconds, stage.output)
                 )
 
-            key: Optional[str] = None
-            cacheable = (
-                use_cache
-                and stage.cacheable
-                and all(name in hashes for name in stage.inputs)
+            run_span.set(
+                cache_hits=sum(1 for r in records if r.is_hit),
+                executions=sum(1 for r in records if r.status == "executed"),
             )
-            value: object = _MISSING
-            status = "executed"
-
-            if cacheable:
-                key = stage.key([hashes[name] for name in stage.inputs])
-            if cacheable and stage.name not in self.no_cache_stages:
-                # The memo holds pickled snapshots: every hit thaws a private
-                # copy, so callers may mutate returned artifacts freely
-                # without corrupting the cache (same semantics as disk hits).
-                cached = self.memo.get(key, _MISSING)
-                if cached is not _MISSING:
-                    value, status = pickle.loads(cached), "memory-hit"
-                    self.telemetry.record_hit(stage.name, "memory")
-                elif self.store is not None:
-                    loaded = self.store.get(key)
-                    if loaded is not None:
-                        value, status = loaded, "disk-hit"
-                        payload = pickle.dumps(loaded, pickle.HIGHEST_PROTOCOL)
-                        if len(payload) <= MEMO_MAX_ENTRY_BYTES:
-                            self.memo.put(key, payload)
-                        self.telemetry.record_hit(stage.name, "disk")
-
-            seconds = 0.0
-            if value is _MISSING:
-                start = time.perf_counter()
-                value = stage.run(state)
-                seconds = time.perf_counter() - start
-                if value is None:
-                    raise CompilationError(f"stage {stage.name!r} returned None")
-                self.telemetry.record_execution(stage.name, seconds)
-                if cacheable and key is not None:
-                    payload = pickle.dumps(value, pickle.HIGHEST_PROTOCOL)
-                    if len(payload) <= MEMO_MAX_ENTRY_BYTES:
-                        self.memo.put(key, payload)
-                    if self.store is not None:
-                        self.store.put(key, value, payload=payload)
-
-            state[stage.output] = value
-            if use_cache:
-                output_hash = content_hash(value)
-                if output_hash is None:
-                    output_hash = key  # provenance key fallback
-                if output_hash is not None:
-                    hashes[stage.output] = output_hash
-            records.append(StageRecord(stage.name, status, key, seconds, stage.output))
 
         return PipelineRun(
             state=state,

@@ -8,6 +8,14 @@ e.g. that a warm rerun of a sweep performs **zero** circuit→pattern and
 pattern→computation-graph recomputations — and the sweep runner snapshots it
 around each task to attach per-point hit/miss deltas to the run table.
 
+:class:`TelemetryRegistry` is a thin compatibility view over the unified
+metrics core (:class:`repro.obs.metrics.MetricsRegistry`): executions and
+hits are labelled counters (``pipeline.stage.executions{stage=...}``), wall
+time is a labelled histogram, and the lock/snapshot/reset machinery lives
+in the core exactly once.  The public API — ``record_execution``,
+``record_hit``, ``counters``, ``snapshot``, ``totals``, ``reset`` — is
+unchanged.
+
 The registry is per process: sweep workers each own a copy, and their deltas
 travel back to the parent inside the point records (see
 :func:`repro.sweep.runner.execute_point`).
@@ -15,11 +23,15 @@ travel back to the parent inside the point records (see
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import METRICS, MetricsRegistry
 
 __all__ = ["StageCounters", "TelemetryRegistry", "TELEMETRY"]
+
+#: Cache layers a stage short-circuit may come from.
+_HIT_SOURCES = ("memory", "disk")
 
 
 @dataclass
@@ -55,64 +67,71 @@ class StageCounters:
 
 
 class TelemetryRegistry:
-    """Thread-safe per-stage counter registry."""
+    """Per-stage counter registry: a namespaced view over the metrics core."""
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: Dict[str, StageCounters] = {}
+    #: Metric-name prefix the view owns inside the shared registry.
+    NAMESPACE = "pipeline.stage."
 
-    def _stage(self, name: str) -> StageCounters:
-        counters = self._counters.get(name)
-        if counters is None:
-            counters = self._counters[name] = StageCounters()
-        return counters
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        # A private registry by default keeps ad-hoc instances (tests,
+        # scoped pipelines) isolated; the process-global TELEMETRY shares
+        # the METRICS core.
+        self._registry = registry if registry is not None else MetricsRegistry()
 
     def record_execution(self, name: str, seconds: float) -> None:
         """Count one real execution of stage ``name`` taking ``seconds``."""
-        with self._lock:
-            counters = self._stage(name)
-            counters.executions += 1
-            counters.seconds += seconds
+        self._registry.inc(self.NAMESPACE + "executions", 1, stage=name)
+        self._registry.observe(self.NAMESPACE + "seconds", seconds, stage=name)
 
     def record_hit(self, name: str, source: str) -> None:
-        """Count one cache short-circuit (``source`` is ``memory``/``disk``)."""
-        with self._lock:
-            counters = self._stage(name)
-            if source == "disk":
-                counters.disk_hits += 1
-            else:
-                counters.memory_hits += 1
+        """Count one cache short-circuit; ``source`` must be memory/disk."""
+        if source not in _HIT_SOURCES:
+            raise ValueError(
+                f"unknown cache-hit source {source!r} for stage {name!r}; "
+                f"expected one of {_HIT_SOURCES}"
+            )
+        self._registry.inc(self.NAMESPACE + f"{source}_hits", 1, stage=name)
 
     def counters(self, name: str) -> StageCounters:
         """Copy of the counters for one stage (zeros if never seen)."""
-        with self._lock:
-            counters = self._counters.get(name, StageCounters())
-            return StageCounters(
-                executions=counters.executions,
-                memory_hits=counters.memory_hits,
-                disk_hits=counters.disk_hits,
-                seconds=counters.seconds,
-            )
+        registry = self._registry
+        return StageCounters(
+            executions=registry.counter(self.NAMESPACE + "executions", stage=name),
+            memory_hits=registry.counter(self.NAMESPACE + "memory_hits", stage=name),
+            disk_hits=registry.counter(self.NAMESPACE + "disk_hits", stage=name),
+            seconds=registry.histogram(self.NAMESPACE + "seconds", stage=name).total,
+        )
+
+    def _stage_names(self) -> List[str]:
+        """Stage names seen so far, in first-recorded order per counter."""
+        names: List[str] = []
+        for counter in ("executions", "memory_hits", "disk_hits"):
+            for stage in self._registry.label_values(self.NAMESPACE + counter, "stage"):
+                if stage not in names:
+                    names.append(stage)
+        return names
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Per-stage counter dicts, keyed by stage name."""
-        with self._lock:
-            return {name: counters.as_dict() for name, counters in self._counters.items()}
+        return {name: self.counters(name).as_dict() for name in self._stage_names()}
 
     def totals(self) -> Dict[str, int]:
         """Aggregate hit/execution counts across every stage."""
-        with self._lock:
-            return {
-                "executions": sum(c.executions for c in self._counters.values()),
-                "hits": sum(c.hits for c in self._counters.values()),
-                "disk_hits": sum(c.disk_hits for c in self._counters.values()),
-            }
+        executions = 0
+        hits = 0
+        disk_hits = 0
+        for name in self._stage_names():
+            counters = self.counters(name)
+            executions += counters.executions
+            hits += counters.hits
+            disk_hits += counters.disk_hits
+        return {"executions": executions, "hits": hits, "disk_hits": disk_hits}
 
     def reset(self) -> None:
-        """Zero every counter (used between test phases)."""
-        with self._lock:
-            self._counters.clear()
+        """Zero every counter in this namespace (used between test phases)."""
+        self._registry.reset(self.NAMESPACE)
 
 
-#: Process-global telemetry registry shared by every pipeline.
-TELEMETRY = TelemetryRegistry()
+#: Process-global telemetry registry shared by every pipeline, backed by
+#: the shared :data:`repro.obs.metrics.METRICS` core.
+TELEMETRY = TelemetryRegistry(registry=METRICS)

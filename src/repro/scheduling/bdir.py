@@ -31,6 +31,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from repro.obs.trace import TRACER
 from repro.scheduling.list_scheduler import list_schedule
 from repro.scheduling.problem import (
     LayerSchedulingProblem,
@@ -72,27 +73,42 @@ class BDIRScheduler:
 
     def refine(self, initial: Optional[Schedule] = None) -> Schedule:
         """Run Algorithm 3 and return the best schedule found."""
-        rng = make_rng(self.config.seed)
-        self._prepare_static_views()
-        current = initial.copy() if initial is not None else list_schedule(self.problem)
-        current_eval = self.problem.evaluate(current)
-        best = current.copy()
-        best_cost = float(current_eval.tau_photon)
-        temperature = self.config.initial_temperature
+        with TRACER.span(
+            "bdir.refine", max_iterations=self.config.max_iterations
+        ) as refine_span:
+            rng = make_rng(self.config.seed)
+            self._prepare_static_views()
+            current = (
+                initial.copy() if initial is not None else list_schedule(self.problem)
+            )
+            current_eval = self.problem.evaluate(current)
+            best = current.copy()
+            best_cost = float(current_eval.tau_photon)
+            temperature = self.config.initial_temperature
 
-        for _ in range(self.config.max_iterations):
-            OP_COUNTERS.add("bdir.iterations")
-            neighbour = self._generate_neighbor(current, current_eval)
-            if neighbour is None:
-                break
-            neighbour_eval = self.problem.evaluate(neighbour)
-            delta = float(neighbour_eval.tau_photon) - float(current_eval.tau_photon)
-            if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
-                current, current_eval = neighbour, neighbour_eval
-            if float(current_eval.tau_photon) < best_cost:
-                best = current.copy()
-                best_cost = float(current_eval.tau_photon)
-            temperature *= self.config.cooling_rate
+            for iteration in range(self.config.max_iterations):
+                OP_COUNTERS.add("bdir.iterations")
+                with TRACER.span("bdir.iteration", index=iteration) as step_span:
+                    neighbour = self._generate_neighbor(current, current_eval)
+                    if neighbour is None:
+                        step_span.set(outcome="exhausted")
+                        break
+                    neighbour_eval = self.problem.evaluate(neighbour)
+                    delta = (
+                        float(neighbour_eval.tau_photon)
+                        - float(current_eval.tau_photon)
+                    )
+                    accepted = delta <= 0 or rng.random() < math.exp(
+                        -delta / max(temperature, 1e-9)
+                    )
+                    if accepted:
+                        current, current_eval = neighbour, neighbour_eval
+                    if float(current_eval.tau_photon) < best_cost:
+                        best = current.copy()
+                        best_cost = float(current_eval.tau_photon)
+                    step_span.set(accepted=accepted, tau=int(current_eval.tau_photon))
+                temperature *= self.config.cooling_rate
+            refine_span.set(best_tau=int(best_cost))
         return best
 
     # ------------------------------------------------------------------ #

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional
 
+from repro.obs.trace import TRACER
 from repro.scheduling.problem import LayerSchedulingProblem, Schedule, SyncTask, TaskKey
 from repro.utils.counters import OP_COUNTERS
 from repro.utils.errors import SchedulingError
@@ -63,6 +64,19 @@ def list_schedule(
     Returns:
         A schedule satisfying all hard constraints.
     """
+    with TRACER.span(
+        "scheduler.list_schedule",
+        mains=problem.num_main_tasks,
+        syncs=problem.num_sync_tasks,
+    ):
+        return _list_schedule(problem, priorities, pinned)
+
+
+def _list_schedule(
+    problem: LayerSchedulingProblem,
+    priorities: Optional[Mapping[TaskKey, float]],
+    pinned: Optional[Mapping[TaskKey, int]],
+) -> Schedule:
     prio = dict(priorities) if priorities is not None else default_priorities(problem)
     pins = dict(pinned or {})
     for key in pins:

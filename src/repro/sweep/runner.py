@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Set, Union
 
+from repro.obs.trace import TRACER
 from repro.pipeline.telemetry import TELEMETRY
 from repro.sweep.grid import ParameterGrid, SweepPoint
 from repro.sweep.store import ResultStore
@@ -32,7 +33,9 @@ __all__ = ["SweepOutcome", "SweepRunner", "execute_point", "run_grid"]
 ProgressCallback = Callable[[SweepPoint, Dict[str, object], int, int], None]
 
 
-def execute_point(point: SweepPoint, retries: int = 0) -> Dict[str, object]:
+def execute_point(
+    point: SweepPoint, retries: int = 0, export_spans: bool = False
+) -> Dict[str, object]:
     """Run one point's task, retrying on failure; never raises.
 
     Returns an outcome dict with ``status`` (``"done"``/``"failed"``),
@@ -41,7 +44,15 @@ def execute_point(point: SweepPoint, retries: int = 0) -> Dict[str, object]:
     (``cache_hits``/``cache_misses`` — stage short-circuits vs real stage
     executions).  The deltas travel back through the pipe, so the parent can
     aggregate cache statistics across worker processes.
+
+    When tracing is active the point runs under a ``sweep.point`` span.
+    With ``export_spans=True`` (the process-pool path; workers inherit
+    ``DCMBQC_TRACE`` through the environment) the spans this point produced
+    are drained from the worker's buffer and shipped home in the record's
+    ``"spans"`` entry, where the parent re-parents them under its own run
+    (:meth:`repro.obs.trace.Tracer.adopt`).
     """
+    TRACER.ensure_enabled_from_environment()
     task_fn = TASK_REGISTRY.get(point.task)
     start = time.perf_counter()
     if task_fn is None:
@@ -52,6 +63,18 @@ def execute_point(point: SweepPoint, retries: int = 0) -> Dict[str, object]:
             "attempts": 0,
             "duration_s": 0.0,
         }
+    mark = TRACER.mark()
+    with TRACER.span("sweep.point", task=point.task, label=point.label) as point_span:
+        outcome = _execute_attempts(point, retries, task_fn, start)
+        point_span.set(status=outcome["status"], attempts=outcome["attempts"])
+    if export_spans and TRACER.enabled:
+        outcome["spans"] = TRACER.drain_since(mark)
+    return outcome
+
+
+def _execute_attempts(
+    point: SweepPoint, retries: int, task_fn, start: float
+) -> Dict[str, object]:
     attempts = 0
     while True:
         attempts += 1
@@ -202,6 +225,11 @@ class SweepRunner:
 
         def resolve(point: SweepPoint, result: Dict[str, object]) -> None:
             nonlocal finished
+            # Worker-produced spans are transport, not result data: merge
+            # them into this process's tracer instead of the run table.
+            worker_spans = result.pop("spans", None)
+            if worker_spans and TRACER.enabled:
+                TRACER.adopt(worker_spans)
             record = (
                 store.record(point, result)
                 if store is not None
@@ -226,7 +254,9 @@ class SweepRunner:
             max_workers = min(self.workers, len(pending))
             with concurrent.futures.ProcessPoolExecutor(max_workers) as executor:
                 futures = {
-                    executor.submit(execute_point, point, self.retries): point
+                    executor.submit(
+                        execute_point, point, self.retries, True
+                    ): point
                     for point in pending
                 }
                 for future in concurrent.futures.as_completed(futures):

@@ -7,6 +7,14 @@ which are exact, platform-independent functions of the input (for a fixed
 seed).  A regression that makes a loop quadratic again shows up as a counter
 jump long before it shows up reliably in seconds.
 
+:class:`OpCounters` is a thin compatibility view over the unified metrics
+core (:class:`repro.obs.metrics.MetricsRegistry`): every ``add`` lands in
+the shared registry under the ``ops.`` namespace, so the same counters the
+perf harness pins are visible to the tracer (per-span op deltas) and to the
+metrics facade, without a second lock or snapshot implementation.  The view
+keeps the original public API — ``add``/``get``/``snapshot``/
+``delta_since``/``reset`` with un-namespaced names — byte-compatible.
+
 The registry is process-global (mirroring
 :data:`repro.pipeline.telemetry.TELEMETRY`) and intentionally cheap: the
 hot paths call :meth:`OpCounters.add` with pre-aggregated increments (once
@@ -15,33 +23,36 @@ per cycle / pass / call), never once per element.
 
 from __future__ import annotations
 
-import threading
-from typing import Dict
+from typing import Dict, Optional
+
+from repro.obs.metrics import METRICS, MetricsRegistry
 
 __all__ = ["OpCounters", "OP_COUNTERS"]
 
 
 class OpCounters:
-    """Thread-safe named integer counters."""
+    """Named integer counters: a namespaced view over a metrics registry."""
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counts: Dict[str, int] = {}
+    #: Metric-name prefix the view owns inside the shared registry.
+    NAMESPACE = "ops."
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        # A private registry by default keeps ad-hoc instances (tests,
+        # scoped measurements) isolated; the process-global OP_COUNTERS
+        # shares the METRICS core.
+        self._registry = registry if registry is not None else MetricsRegistry()
 
     def add(self, name: str, amount: int = 1) -> None:
         """Increment counter ``name`` by ``amount``."""
-        with self._lock:
-            self._counts[name] = self._counts.get(name, 0) + int(amount)
+        self._registry.inc(self.NAMESPACE + name, amount)
 
     def get(self, name: str) -> int:
         """Current value of one counter (0 if never touched)."""
-        with self._lock:
-            return self._counts.get(name, 0)
+        return self._registry.counter(self.NAMESPACE + name)
 
     def snapshot(self) -> Dict[str, int]:
         """Copy of every counter, sorted by name."""
-        with self._lock:
-            return {name: self._counts[name] for name in sorted(self._counts)}
+        return self._registry.counters_with_prefix(self.NAMESPACE)
 
     def delta_since(self, baseline: Dict[str, int]) -> Dict[str, int]:
         """Per-counter difference against an earlier :meth:`snapshot`."""
@@ -52,10 +63,10 @@ class OpCounters:
         }
 
     def reset(self) -> None:
-        """Zero every counter (used between benchmark phases)."""
-        with self._lock:
-            self._counts.clear()
+        """Zero every counter in this namespace (used between benchmark phases)."""
+        self._registry.reset(self.NAMESPACE)
 
 
-#: Process-global operation-counter registry for the compile hot path.
-OP_COUNTERS = OpCounters()
+#: Process-global operation-counter registry for the compile hot path,
+#: backed by the shared :data:`repro.obs.metrics.METRICS` core.
+OP_COUNTERS = OpCounters(registry=METRICS)

@@ -1,0 +1,134 @@
+"""Tests for the CLI tracing surface: --trace, --benchmark, trace summarize."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs.trace import TRACE_ENV, TRACER
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer(monkeypatch):
+    monkeypatch.delenv(TRACE_ENV, raising=False)
+    monkeypatch.delenv("DCMBQC_TRACE_DETERMINISTIC", raising=False)
+    yield
+    # ``main`` mutates os.environ directly (--trace, --no-cache); undo it so
+    # later tests see a caching-enabled, tracing-off process.
+    import os
+
+    from repro.pipeline import CACHE_DIR_ENV, CACHE_DISABLE_ENV
+
+    os.environ.pop(TRACE_ENV, None)
+    os.environ.pop(CACHE_DIR_ENV, None)
+    os.environ.pop(CACHE_DISABLE_ENV, None)
+    TRACER.disable()
+    TRACER.reset()
+
+
+def test_benchmark_is_an_alias_for_program():
+    parser = build_parser()
+    assert parser.parse_args(["compile", "--benchmark", "qft"]).program == "qft"
+    assert parser.parse_args(["compile", "--program", "VQE"]).program == "VQE"
+    assert parser.parse_args(["compile"]).program == "QFT"
+
+
+def test_trace_flag_defaults_off():
+    args = build_parser().parse_args(["compile"])
+    assert args.trace is None
+    args = build_parser().parse_args(["compile", "--trace"])
+    assert args.trace == "trace.json"
+
+
+def test_compile_trace_exports_chrome_json(tmp_path, capsys, monkeypatch):
+    out = tmp_path / "compile.json"
+    code = main(
+        [
+            "compile",
+            "--benchmark",
+            "qft",
+            "--qubits",
+            "6",
+            "--qpus",
+            "2",
+            "--grid-size",
+            "5",
+            "--no-cache",
+            "--trace",
+            str(out),
+        ]
+    )
+    assert code == 0
+    assert f"trace:" in capsys.readouterr().out
+    document = json.loads(out.read_text())
+    names = {e["name"] for e in document["traceEvents"] if e.get("ph") == "X"}
+    assert {"cli.compile", "pipeline.run", "runtime.replay"} <= names
+    assert any(name.startswith("stage.") for name in names)
+
+
+def test_compile_trace_json_mode_reports_path(tmp_path, capsys):
+    out = tmp_path / "compile.json"
+    code = main(
+        [
+            "compile",
+            "--qubits",
+            "6",
+            "--qpus",
+            "2",
+            "--grid-size",
+            "5",
+            "--no-cache",
+            "--json",
+            "--trace",
+            str(out),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["trace"]["path"] == str(out)
+    assert payload["trace"]["spans"] > 0
+
+
+def test_compile_without_trace_leaves_tracer_off(tmp_path, capsys):
+    code = main(
+        ["compile", "--qubits", "6", "--qpus", "2", "--grid-size", "5", "--no-cache"]
+    )
+    assert code == 0
+    assert not TRACER.enabled
+    assert TRACER.spans() == []
+    assert "trace:" not in capsys.readouterr().out
+
+
+def test_trace_summarize_renders_tree_and_table(tmp_path, capsys):
+    out = tmp_path / "run.json"
+    assert (
+        main(
+            [
+                "compile",
+                "--qubits",
+                "6",
+                "--qpus",
+                "2",
+                "--grid-size",
+                "5",
+                "--no-cache",
+                "--trace",
+                str(out),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["trace", "summarize", str(out), "--top", "5"]) == 0
+    rendered = capsys.readouterr().out
+    assert "cli.compile" in rendered
+    assert "| count |" in rendered
+
+
+def test_trace_summarize_empty_file_fails(tmp_path, capsys):
+    path = tmp_path / "empty.json"
+    path.write_text(json.dumps({"traceEvents": []}))
+    assert main(["trace", "summarize", str(path)]) == 1
+    assert "no spans" in capsys.readouterr().err

@@ -1,0 +1,160 @@
+"""Tests for the BENCH trajectory diff tool and its CLI subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.bench_diff import diff_bench_files, load_bench_rows
+
+
+def _write_bench(path, rows, name="smoke"):
+    path.write_text(json.dumps({"name": name, "rows": rows}))
+    return path
+
+
+BASE_ROWS = [
+    {"qubits": 8, "ops_cycles": 1000, "ops_calls": 4, "compile_seconds": 0.5},
+    {"qubits": 16, "ops_cycles": 4000, "ops_calls": 9, "compile_seconds": 1.5},
+]
+
+
+class TestLoadBenchRows:
+    def test_rows_keyed_by_qubits(self, tmp_path):
+        name, rows = load_bench_rows(
+            _write_bench(tmp_path / "a.json", BASE_ROWS)
+        )
+        assert name == "smoke"
+        assert set(rows) == {"qubits=8", "qubits=16"}
+
+    def test_fallback_key_is_row_index(self, tmp_path):
+        _, rows = load_bench_rows(
+            _write_bench(tmp_path / "a.json", [{"ops": 1}])
+        )
+        assert set(rows) == {"row0"}
+
+    def test_rejects_non_trajectory(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"nope": 1}))
+        with pytest.raises(ValueError, match="no 'rows' list"):
+            load_bench_rows(path)
+
+
+class TestDiffBenchFiles:
+    def test_identical_files_are_ok(self, tmp_path):
+        a = _write_bench(tmp_path / "a.json", BASE_ROWS)
+        diff = diff_bench_files(a, a)
+        assert diff.ok
+        assert diff.regressions == []
+        assert diff.unchanged == 6  # three int fields per row (incl. qubits)
+
+    def test_regression_beyond_tolerance_fails(self, tmp_path):
+        a = _write_bench(tmp_path / "a.json", BASE_ROWS)
+        worse = json.loads(json.dumps(BASE_ROWS))
+        worse[1]["ops_cycles"] = 5000  # +25% on a large counter
+        b = _write_bench(tmp_path / "b.json", worse)
+        diff = diff_bench_files(a, b)
+        assert not diff.ok
+        [change] = diff.regressions
+        assert (change.row, change.counter) == ("qubits=16", "ops_cycles")
+        assert "REGRESS" in diff.report()
+
+    def test_small_counters_get_absolute_slack(self, tmp_path):
+        a = _write_bench(tmp_path / "a.json", BASE_ROWS)
+        wobble = json.loads(json.dumps(BASE_ROWS))
+        wobble[0]["ops_calls"] = 4 + 8  # within the absolute slack
+        b = _write_bench(tmp_path / "b.json", wobble)
+        assert diff_bench_files(a, b).ok
+
+    def test_wall_clock_fields_never_fail(self, tmp_path):
+        a = _write_bench(tmp_path / "a.json", BASE_ROWS)
+        slow = json.loads(json.dumps(BASE_ROWS))
+        slow[0]["compile_seconds"] = 500.0
+        b = _write_bench(tmp_path / "b.json", slow)
+        assert diff_bench_files(a, b).ok
+
+    def test_improvements_are_reported_not_fatal(self, tmp_path):
+        a = _write_bench(tmp_path / "a.json", BASE_ROWS)
+        better = json.loads(json.dumps(BASE_ROWS))
+        better[0]["ops_cycles"] = 500
+        b = _write_bench(tmp_path / "b.json", better)
+        diff = diff_bench_files(a, b)
+        assert diff.ok
+        assert len(diff.improvements) == 1
+        assert "improve" in diff.report()
+
+    def test_missing_row_is_a_failure(self, tmp_path):
+        a = _write_bench(tmp_path / "a.json", BASE_ROWS)
+        b = _write_bench(tmp_path / "b.json", BASE_ROWS[:1])
+        diff = diff_bench_files(a, b)
+        assert not diff.ok
+        assert diff.missing_rows == ["qubits=16"]
+
+    def test_missing_counter_is_a_failure(self, tmp_path):
+        a = _write_bench(tmp_path / "a.json", BASE_ROWS)
+        dropped = json.loads(json.dumps(BASE_ROWS))
+        del dropped[0]["ops_cycles"]
+        b = _write_bench(tmp_path / "b.json", dropped)
+        diff = diff_bench_files(a, b)
+        assert not diff.ok
+        assert diff.regressions[0].new == -1
+
+    def test_new_rows_are_informational(self, tmp_path):
+        a = _write_bench(tmp_path / "a.json", BASE_ROWS[:1])
+        b = _write_bench(tmp_path / "b.json", BASE_ROWS)
+        diff = diff_bench_files(a, b)
+        assert diff.ok
+        assert diff.new_rows == ["qubits=16"]
+
+    def test_custom_tolerance(self, tmp_path):
+        a = _write_bench(tmp_path / "a.json", BASE_ROWS)
+        worse = json.loads(json.dumps(BASE_ROWS))
+        worse[1]["ops_cycles"] = 4400  # +10%: fails at 5%, passes at 20%
+        b = _write_bench(tmp_path / "b.json", worse)
+        assert not diff_bench_files(a, b, tolerance=0.05).ok
+        assert diff_bench_files(a, b, tolerance=0.20).ok
+
+    def test_as_dict_shape(self, tmp_path):
+        a = _write_bench(tmp_path / "a.json", BASE_ROWS)
+        payload = diff_bench_files(a, a).as_dict()
+        assert payload["ok"] is True
+        assert payload["baseline"] == payload["candidate"] == "smoke"
+
+
+class TestBenchDiffCli:
+    def test_exit_zero_on_clean_diff(self, tmp_path, capsys):
+        a = _write_bench(tmp_path / "a.json", BASE_ROWS)
+        assert main(["bench", "diff", str(a), str(a)]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        a = _write_bench(tmp_path / "a.json", BASE_ROWS)
+        worse = json.loads(json.dumps(BASE_ROWS))
+        worse[0]["ops_cycles"] = 9999
+        b = _write_bench(tmp_path / "b.json", worse)
+        assert main(["bench", "diff", str(a), str(b)]) == 1
+        assert "REGRESS" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        a = _write_bench(tmp_path / "a.json", BASE_ROWS)
+        assert main(["bench", "diff", str(a), str(a), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+
+    def test_exit_two_on_unreadable_input(self, tmp_path, capsys):
+        a = _write_bench(tmp_path / "a.json", BASE_ROWS)
+        missing = tmp_path / "missing.json"
+        assert main(["bench", "diff", str(a), str(missing)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_committed_baselines_self_diff_clean(self):
+        """The repo's own BENCH files must diff clean against themselves."""
+        import pathlib
+
+        results = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "results"
+        for name in ("BENCH_figure10.json", "BENCH_optimize.json"):
+            diff = diff_bench_files(results / name, results / name)
+            assert diff.ok
+            assert diff.unchanged > 0

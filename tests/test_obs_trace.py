@@ -1,0 +1,246 @@
+"""Tests for the hierarchical span tracer."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.trace import NULL_SPAN, TRACER, SpanRecord, Tracer, tracing_enabled
+from repro.utils.counters import OP_COUNTERS
+
+
+@pytest.fixture
+def tracer():
+    """A private, enabled, deterministic tracer."""
+    instance = Tracer()
+    instance.enable(deterministic=True)
+    return instance
+
+
+@pytest.fixture(autouse=True)
+def _global_tracer_off():
+    """Keep the process-global tracer disabled and empty around each test."""
+    yield
+    TRACER.disable()
+    TRACER.reset()
+
+
+class TestDisabledFastPath:
+    def test_span_returns_null_singleton(self):
+        instance = Tracer()
+        assert instance.span("anything", key="value") is NULL_SPAN
+        assert instance.span("other") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            span.set(a=1)
+            span.set_attribute("b", 2)
+        assert not hasattr(NULL_SPAN, "attributes")
+
+    def test_disabled_tracer_buffers_nothing(self):
+        instance = Tracer()
+        with instance.span("x"):
+            pass
+        assert instance.spans() == []
+
+    def test_module_globals_disabled_by_default(self):
+        assert not tracing_enabled()
+
+
+class TestSpanTree:
+    def test_nesting_parent_links(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child2"):
+                pass
+        spans = {record.name: record for record in tracer.spans()}
+        assert len(spans) == 4
+        assert spans["root"].parent_id is None
+        assert spans["child"].parent_id == spans["root"].span_id
+        assert spans["grandchild"].parent_id == spans["child"].span_id
+        assert spans["child2"].parent_id == spans["root"].span_id
+
+    def test_attributes_and_set(self, tracer):
+        with tracer.span("s", stage="translate") as span:
+            span.set(status="executed", count=3)
+        [record] = tracer.spans()
+        assert record.attributes == {
+            "stage": "translate",
+            "status": "executed",
+            "count": 3,
+        }
+
+    def test_exception_annotates_and_propagates(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("no")
+        [record] = tracer.spans()
+        assert record.attributes["error"] == "RuntimeError"
+
+    def test_counter_deltas_captured(self, tracer):
+        OP_COUNTERS.reset()
+        try:
+            with tracer.span("counted"):
+                OP_COUNTERS.add("test.obs_trace_ticks", 5)
+            [record] = tracer.spans()
+            assert record.counter_deltas["test.obs_trace_ticks"] == 5
+        finally:
+            OP_COUNTERS.reset()
+
+    def test_deterministic_clock_monotonic_integers(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        spans = {record.name: record for record in tracer.spans()}
+        for record in spans.values():
+            assert float(record.start).is_integer()
+            assert record.end > record.start
+        assert spans["a"].start < spans["b"].start
+        assert spans["b"].end < spans["a"].end
+
+    def test_deterministic_run_ids_are_sequenced(self):
+        a, b = Tracer(), Tracer()
+        assert a.enable(deterministic=True) == "run-0001"
+        assert b.enable(deterministic=True) == "run-0001"
+        b.disable()
+        assert b.enable(deterministic=True) == "run-0002"
+
+    def test_wall_clock_run_ids_are_unique(self):
+        a, b = Tracer(), Tracer()
+        assert a.enable(deterministic=False) != b.enable(deterministic=False)
+
+    def test_reset_clears_buffer_and_ids(self, tracer):
+        with tracer.span("one"):
+            pass
+        first = tracer.spans()[0].span_id
+        tracer.reset()
+        assert tracer.spans() == []
+        with tracer.span("two"):
+            pass
+        assert tracer.spans()[0].span_id == first
+
+    def test_traced_decorator(self, tracer):
+        @tracer.traced("custom.name", flavour="x")
+        def work(value):
+            return value * 2
+
+        assert work(21) == 42
+        [record] = tracer.spans()
+        assert record.name == "custom.name"
+        assert record.attributes == {"flavour": "x"}
+
+    def test_traced_decorator_default_name(self, tracer):
+        @tracer.traced()
+        def helper():
+            return 1
+
+        helper()
+        [record] = tracer.spans()
+        assert record.name.endswith("helper")
+
+
+class TestDrainAndAdopt:
+    def test_mark_and_drain(self, tracer):
+        with tracer.span("keep"):
+            pass
+        mark = tracer.mark()
+        with tracer.span("ship"):
+            pass
+        drained = tracer.drain_since(mark)
+        assert [entry["name"] for entry in drained] == ["ship"]
+        assert [record.name for record in tracer.spans()] == ["keep"]
+
+    def test_record_dict_round_trip(self, tracer):
+        with tracer.span("x", a=1) as span:
+            span.set(b="two")
+        [record] = tracer.spans()
+        clone = SpanRecord.from_dict(record.as_dict())
+        assert clone == record
+
+    def test_adopt_reparents_under_active_span(self, tracer):
+        worker = Tracer()
+        worker.enable(deterministic=True)
+        with worker.span("sweep.point"):
+            with worker.span("pipeline.run"):
+                pass
+        payload = worker.drain_since(0)
+
+        with tracer.span("cli.sweep"):
+            adopted = tracer.adopt(payload)
+        assert adopted == 2
+        spans = {record.name: record for record in tracer.spans()}
+        assert len(spans) == 3
+        assert spans["sweep.point"].parent_id == spans["cli.sweep"].span_id
+        assert spans["pipeline.run"].parent_id == spans["sweep.point"].span_id
+        assert spans["sweep.point"].run_id == tracer.run_id
+        # Re-allocated ids never collide with local ones.
+        ids = [record.span_id for record in tracer.spans()]
+        assert len(set(ids)) == 3
+
+    def test_adopt_outside_any_span_makes_roots(self, tracer):
+        worker = Tracer()
+        worker.enable(deterministic=True)
+        with worker.span("orphan"):
+            pass
+        tracer.adopt(worker.drain_since(0))
+        [record] = tracer.spans()
+        assert record.parent_id is None
+
+    def test_adopt_empty_payload(self, tracer):
+        assert tracer.adopt([]) == 0
+
+
+class TestConcurrency:
+    def test_threads_get_independent_stacks(self, tracer):
+        """Satellite: concurrent span emission loses and duplicates nothing."""
+        workers = 6
+        per_worker = 40
+        barrier = threading.Barrier(workers)
+
+        def emit(index: int) -> None:
+            barrier.wait()
+            for step in range(per_worker):
+                with tracer.span(f"thread{index}.outer", step=step):
+                    with tracer.span(f"thread{index}.inner"):
+                        pass
+
+        threads = [
+            threading.Thread(target=emit, args=(i,)) for i in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        spans = tracer.spans()
+        assert len(spans) == workers * per_worker * 2
+        ids = [record.span_id for record in spans]
+        assert len(set(ids)) == len(ids), "span ids must be unique"
+        by_id = {record.span_id: record for record in spans}
+        for record in spans:
+            prefix = record.name.partition(".")[0]
+            if record.name.endswith(".inner"):
+                parent = by_id[record.parent_id]
+                # A thread's inner spans nest under that same thread's outer
+                # spans — never under another thread's.
+                assert parent.name == f"{prefix}.outer"
+                assert parent.tid == record.tid
+            else:
+                assert record.parent_id is None
+
+    def test_thread_ordinals_are_small_and_stable(self, tracer):
+        with tracer.span("main"):
+            pass
+
+        def emit():
+            with tracer.span("other"):
+                pass
+
+        thread = threading.Thread(target=emit)
+        thread.start()
+        thread.join()
+        spans = {record.name: record for record in tracer.spans()}
+        assert spans["main"].tid != spans["other"].tid

@@ -1,0 +1,103 @@
+"""Golden trace test: deterministic-clock spans are byte-stable.
+
+Runs ``repro.cli compile --benchmark qft --qubits 12 --trace`` twice in
+fresh subprocesses with ``DCMBQC_TRACE_DETERMINISTIC=1`` and asserts:
+
+* the two exported Chrome trace files are **byte-identical** — the
+  deterministic clock (op-counter ticks), the sequenced ``run-0001`` run id
+  and the pinned ``pid=0`` make the trace a pure function of the compile;
+* the span tree matches the committed golden signature
+  (``tests/golden/trace_qft12_tree.txt``) — nesting, names and counts —
+  covering every pipeline stage, the BDIR iterations and the runtime
+  replay, which is exactly what the CI trace-smoke job re-asserts.
+
+``--no-cache`` keeps cache-hit nondeterminism (a warm artifact store would
+swap ``executed`` stage spans for hit spans) out of the golden run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs.export import load_chrome_trace, span_tree_signature
+
+GOLDEN_TREE = pathlib.Path(__file__).parent / "golden" / "trace_qft12_tree.txt"
+REPO_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+
+
+def _compile_with_trace(out_path: pathlib.Path) -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC)
+    env["DCMBQC_TRACE_DETERMINISTIC"] = "1"
+    env.pop("DCMBQC_TRACE", None)
+    env.pop("DCMBQC_ARTIFACT_CACHE_DIR", None)
+    subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "compile",
+            "--benchmark",
+            "qft",
+            "--qubits",
+            "12",
+            "--no-cache",
+            "--trace",
+            str(out_path),
+        ],
+        check=True,
+        cwd=out_path.parent,
+        env=env,
+        capture_output=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def trace_pair(tmp_path_factory):
+    base = tmp_path_factory.mktemp("trace_golden")
+    first = base / "first.json"
+    second = base / "second.json"
+    _compile_with_trace(first)
+    _compile_with_trace(second)
+    return first, second
+
+
+class TestGoldenTrace:
+    def test_two_runs_are_byte_identical(self, trace_pair):
+        first, second = trace_pair
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_span_tree_matches_golden(self, trace_pair):
+        spans = load_chrome_trace(trace_pair[0])
+        signature = "\n".join(span_tree_signature(spans)) + "\n"
+        assert signature == GOLDEN_TREE.read_text(encoding="utf-8"), (
+            "span tree drifted from tests/golden/trace_qft12_tree.txt; if the "
+            "pipeline genuinely changed, regenerate the golden file"
+        )
+
+    def test_acceptance_spans_present(self, trace_pair):
+        names = {}
+        for span in load_chrome_trace(trace_pair[0]):
+            names[span.name] = names.get(span.name, 0) + 1
+        for stage in ("translate", "compgraph", "partition", "qpu_mapping",
+                      "scheduling"):
+            assert names.get(f"stage.{stage}") == 1
+        assert names.get("bdir.iteration", 0) >= 1
+        assert names.get("runtime.replay") == 1
+        assert names.get("cli.compile") == 1
+
+    def test_deterministic_identity_fields(self, trace_pair):
+        document = json.loads(trace_pair[0].read_text(encoding="utf-8"))
+        events = [e for e in document["traceEvents"] if e.get("ph") == "X"]
+        assert events, "trace must contain complete events"
+        assert {e["pid"] for e in events} == {0}
+        assert {e["args"]["run_id"] for e in events} == {"run-0001"}
+        for event in events:
+            assert float(event["ts"]).is_integer()
+            assert float(event["dur"]).is_integer()
