@@ -85,6 +85,36 @@ def collect_counters() -> dict:
     return table
 
 
+def check_zero_overhead(reference: dict) -> list:
+    """Guard the disabled-observability fast path.
+
+    With tracer, event log and resource sampler all off, a second collection
+    pass must produce an op-counter table byte-identical to ``reference``.
+    Any drift means an instrumentation layer leaked ops (or state) into the
+    hot path while disabled.
+    """
+    from repro.obs.events import EVENTS
+    from repro.obs.resources import RESOURCES
+    from repro.obs.trace import TRACER
+
+    problems = []
+    if TRACER.enabled:
+        problems.append("tracer unexpectedly enabled during perf smoke")
+    if EVENTS.enabled:
+        problems.append("event log unexpectedly enabled during perf smoke")
+    if RESOURCES.enabled:
+        problems.append("resource sampler unexpectedly enabled during perf smoke")
+    if problems:
+        return problems
+    second = collect_counters()
+    if json.dumps(reference, sort_keys=True) != json.dumps(second, sort_keys=True):
+        problems.append(
+            "op-counter tables differ between identical runs with "
+            "observability disabled — the disabled path is not zero-overhead"
+        )
+    return problems
+
+
 def compare(baseline: dict, current: dict) -> list:
     """Return a list of human-readable regression descriptions."""
     regressions = []
@@ -135,10 +165,16 @@ def main(argv=None) -> int:
         print(f"REGRESSION {line}", file=sys.stderr)
     if regressions:
         return 1
+    overhead = check_zero_overhead(current)
+    for line in overhead:
+        print(f"OVERHEAD {line}", file=sys.stderr)
+    if overhead:
+        return 1
     total = sum(sum(c.values()) for c in current.values())
     print(
         f"perf smoke OK: {len(current)} instances, "
-        f"{total} hot-path ops within {TOLERANCE:.0%} of baseline"
+        f"{total} hot-path ops within {TOLERANCE:.0%} of baseline; "
+        f"zero-overhead guard held (obs disabled, counters byte-identical)"
     )
     return 0
 

@@ -1,12 +1,16 @@
 """Command-line interface for the DC-MBQC reproduction.
 
-Six subcommands cover the common workflows::
+Eight subcommands cover the common workflows::
 
     python -m repro.cli compile --program QFT --qubits 16 --qpus 4
     python -m repro.cli compare --program VQE --qubits 16 --qpus 8 --rsg 4-ring
     python -m repro.cli experiment --name table3
     python -m repro.cli sweep --grid table3 --workers 8 --out results/table3
-    python -m repro.cli trace summarize out.json
+    python -m repro.cli sweep status results/table3/results.jsonl
+    python -m repro.cli trace summarize out.json --json
+    python -m repro.cli trace flamegraph out.json --out out.collapsed
+    python -m repro.cli metrics export metrics.json
+    python -m repro.cli obs report --trace out.json --events run.events.jsonl
     python -m repro.cli bench diff old/BENCH_figure10.json new/BENCH_figure10.json
 
 ``compile`` runs the distributed compiler and prints the schedule summary,
@@ -15,11 +19,22 @@ improvement factors, ``experiment`` regenerates one of the paper's tables or
 figures in-process, and ``sweep`` evaluates the same grids through the
 parallel sweep engine with a resumable on-disk result store (re-running the
 same command skips every completed point; ``--csv`` exports the run table).
-``compile`` and ``sweep`` take ``--trace [PATH]`` to record a
-:mod:`repro.obs` span trace and export it as Chrome trace-event JSON;
-``trace summarize`` renders an exported file as a text tree plus a self-time
-table, and ``bench diff`` compares two ``BENCH_*.json`` perf trajectories,
-exiting non-zero on op-counter regressions.
+
+The run-health flags (``compile`` and ``sweep``) feed :mod:`repro.obs`:
+``--trace [PATH]`` records a span trace and exports it as Chrome trace-event
+JSON; ``--events [PATH]`` journals a structured JSONL event log (manifest,
+stage/cache events, errors with tracebacks, sweep point health);
+``--metrics [PATH]`` dumps the metrics registry (histogram buckets included)
+as JSON; ``--trace-resources`` / ``--trace-malloc`` annotate spans with
+RSS/CPU deltas and tracemalloc peaks.  ``trace summarize`` renders an
+exported trace as a text tree plus a self-time table (``--json`` for the
+machine-readable form), ``trace flamegraph`` emits collapsed stacks for
+flamegraph.pl/speedscope, ``metrics export`` renders a metrics dump as
+Prometheus text, ``obs report`` merges trace + events + metrics into one
+markdown run report, ``sweep status`` digests a result store into a health
+summary (failure rate, duration quantiles, stragglers, tracebacks), and
+``bench diff`` compares two ``BENCH_*.json`` perf trajectories, exiting
+non-zero on op-counter regressions.
 
 ``compile`` and ``sweep`` route through the staged compilation pipeline
 (:mod:`repro.pipeline`): ``--cache-dir`` points the content-addressed
@@ -46,13 +61,21 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.core import DCMBQCCompiler, DCMBQCConfig, compare_with_baseline
 from repro.hardware.qpu import InterconnectTopology
 from repro.obs.bench_diff import DEFAULT_SLACK, DEFAULT_TOLERANCE, diff_bench_files
+from repro.obs.events import EVENTS, read_events
 from repro.obs.export import (
+    collapsed_stacks,
     load_chrome_trace,
     render_span_tree,
     render_top_spans,
+    summarize_trace,
     write_chrome_trace,
+    write_collapsed_stacks,
 )
-from repro.obs.trace import TRACE_ENV, TRACER
+from repro.obs.exposition import render_prometheus
+from repro.obs.metrics import METRICS
+from repro.obs.report import build_report
+from repro.obs.resources import RESOURCES, RESOURCES_ENV, TRACEMALLOC_ENV
+from repro.obs.trace import DETERMINISTIC_ENV, TRACE_ENV, TRACER
 from repro.hardware.resource_states import ResourceStateType
 from repro.pipeline import CACHE_DIR_ENV, CACHE_DISABLE_ENV, resolve_store
 from repro.programs import build_benchmark
@@ -204,6 +227,36 @@ def build_parser() -> argparse.ArgumentParser:
             "JSON (load in Perfetto); ${DCMBQC_TRACE_DETERMINISTIC}=1 "
             "timestamps spans by op-counter ticks for byte-stable output",
         )
+        sub.add_argument(
+            "--events",
+            nargs="?",
+            const="run.events.jsonl",
+            default=None,
+            metavar="PATH.jsonl",
+            help="journal a structured JSONL event log (run manifest, stage "
+            "and cache events, errors with tracebacks, sweep point health)",
+        )
+        sub.add_argument(
+            "--metrics",
+            nargs="?",
+            const="metrics.json",
+            default=None,
+            metavar="PATH.json",
+            help="dump the metrics registry (histogram buckets included) as "
+            "JSON after the run; render it with `metrics export`",
+        )
+        sub.add_argument(
+            "--trace-resources",
+            action="store_true",
+            help="annotate spans with RSS and CPU-time deltas "
+            "(forced off under ${DCMBQC_TRACE_DETERMINISTIC}=1)",
+        )
+        sub.add_argument(
+            "--trace-malloc",
+            action="store_true",
+            help="additionally track tracemalloc allocation peaks per span "
+            "(slower; implies --trace-resources)",
+        )
 
     compile_parser = subparsers.add_parser("compile", help="run the distributed compiler")
     add_program_arguments(compile_parser)
@@ -244,10 +297,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser = subparsers.add_parser(
         "sweep", help="run a parameter grid through the parallel sweep engine"
     )
-    sweep_parser.add_argument("--grid", required=True, choices=SWEEPABLE_GRIDS)
+    # --grid/--out are required for running a sweep but validated in the
+    # handler (exit 2), so the `sweep status` subcommand can omit them.
+    sweep_parser.add_argument("--grid", default=None, choices=SWEEPABLE_GRIDS)
     sweep_parser.add_argument("--workers", type=positive_int, default=1)
     sweep_parser.add_argument(
-        "--out", required=True, help="result-store directory (or .jsonl path)"
+        "--out", default=None, help="result-store directory (or .jsonl path)"
     )
     sweep_parser.add_argument(
         "--scale",
@@ -264,6 +319,21 @@ def build_parser() -> argparse.ArgumentParser:
     add_system_arguments(sweep_parser)
     add_cache_arguments(sweep_parser)
     add_trace_argument(sweep_parser)
+    sweep_sub = sweep_parser.add_subparsers(dest="sweep_command")
+    sweep_status_parser = sweep_sub.add_parser(
+        "status",
+        help="run-health digest of a result store: failure rate, duration "
+        "quantiles, stragglers, failed points with tracebacks",
+    )
+    sweep_status_parser.add_argument(
+        "store", help="result-store directory or .jsonl path"
+    )
+    sweep_status_parser.add_argument(
+        "--json",
+        dest="status_json",
+        action="store_true",
+        help="emit the health digest as JSON",
+    )
 
     trace_parser = subparsers.add_parser(
         "trace", help="inspect exported Chrome trace files"
@@ -275,6 +345,83 @@ def build_parser() -> argparse.ArgumentParser:
     summarize_parser.add_argument("path", help="Chrome trace file (from --trace)")
     summarize_parser.add_argument(
         "--top", type=positive_int, default=10, help="rows in the self-time table"
+    )
+    summarize_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the span tree and self-time table as JSON "
+        "(bench diff --json convention)",
+    )
+    flamegraph_parser = trace_sub.add_parser(
+        "flamegraph",
+        help="export collapsed stacks (flamegraph.pl / speedscope format)",
+    )
+    flamegraph_parser.add_argument("path", help="Chrome trace file (from --trace)")
+    flamegraph_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write collapsed stacks here (default: stdout)",
+    )
+
+    metrics_parser = subparsers.add_parser(
+        "metrics", help="metrics registry tools"
+    )
+    metrics_sub = metrics_parser.add_subparsers(dest="metrics_command", required=True)
+    metrics_export_parser = metrics_sub.add_parser(
+        "export",
+        help="render a metrics dump (from --metrics) as Prometheus text",
+    )
+    metrics_export_parser.add_argument(
+        "path", help="metrics dump JSON (from compile/sweep --metrics)"
+    )
+    metrics_export_parser.add_argument(
+        "--prefix",
+        default="",
+        help="restrict the exposition to one metric namespace (e.g. sweep.)",
+    )
+    metrics_export_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the exposition here (default: stdout)",
+    )
+
+    obs_parser = subparsers.add_parser(
+        "obs", help="run-health reports over obs artifacts"
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    report_parser = obs_sub.add_parser(
+        "report",
+        help="merge a trace + event log + metrics dump into a markdown "
+        "run report",
+    )
+    report_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH.json",
+        help="Chrome trace file (from --trace)",
+    )
+    report_parser.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH.jsonl",
+        help="event-log file (from --events)",
+    )
+    report_parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH.json",
+        help="metrics dump (from --metrics)",
+    )
+    report_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH.md",
+        help="write the report here (default: stdout)",
+    )
+    report_parser.add_argument(
+        "--top", type=positive_int, default=10, help="rows in the tables"
     )
 
     bench_parser = subparsers.add_parser(
@@ -387,9 +534,63 @@ def _export_trace(args: argparse.Namespace) -> Dict[str, object]:
     return {"path": str(path), "spans": len(spans), "run_id": TRACER.run_id}
 
 
+def _apply_obs_arguments(args: argparse.Namespace, **manifest: object) -> None:
+    """Enable resource sampling and the event log per the run-health flags.
+
+    Resource sampling exports through the environment so sweep workers
+    inherit it (same channel as ``DCMBQC_TRACE``); the event log is
+    parent-process-only — worker outcomes reach it through the runner's
+    per-point ``sweep.point`` events.
+    """
+    if getattr(args, "trace_resources", False) or getattr(args, "trace_malloc", False):
+        os.environ[RESOURCES_ENV] = "1"
+        if getattr(args, "trace_malloc", False):
+            os.environ[TRACEMALLOC_ENV] = "1"
+        RESOURCES.enable(tracemalloc_peaks=getattr(args, "trace_malloc", False))
+    if getattr(args, "events", None):
+        EVENTS.open(
+            args.events,
+            run_id=TRACER.run_id or "",
+            command=args.command,
+            **manifest,
+        )
+
+
+def _export_obs(args: argparse.Namespace) -> Dict[str, Dict[str, object]]:
+    """Close the event log / dump metrics per the run-health flags.
+
+    Returns ``{"events": {...}, "metrics": {...}}`` entries for whatever was
+    produced, for the text/JSON run summaries.
+    """
+    info: Dict[str, Dict[str, object]] = {}
+    if EVENTS.enabled:
+        path = EVENTS.close()
+        if path is not None:
+            info["events"] = {"path": path}
+    if getattr(args, "metrics", None):
+        deterministic = (
+            TRACER.deterministic or os.environ.get(DETERMINISTIC_ENV) == "1"
+        )
+        document = METRICS.dump(deterministic=deterministic)
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        info["metrics"] = {
+            "path": args.metrics,
+            "series": sum(
+                len(document[kind])  # type: ignore[arg-type]
+                for kind in ("counters", "gauges", "histograms")
+            ),
+        }
+    return info
+
+
 def _run_compile(args: argparse.Namespace) -> int:
     _apply_cache_arguments(args)
     tracing = _apply_trace_arguments(args)
+    _apply_obs_arguments(
+        args, program=args.program, qubits=args.qubits, qpus=args.qpus
+    )
     circuit = build_benchmark(args.program, args.qubits, seed=args.seed)
     config = _config_from_args(args)
     store = resolve_store(args.cache_dir, enabled=not args.no_cache)
@@ -408,10 +609,12 @@ def _run_compile(args: argparse.Namespace) -> int:
     summary = result.summary()
     manifest = run.manifest()
     trace_info = _export_trace(args) if tracing else None
+    obs_info = _export_obs(args)
     if args.json:
         document = {"summary": summary, "pipeline": manifest}
         if trace_info is not None:
             document["trace"] = trace_info
+        document.update(obs_info)
         print(json.dumps(document, default=str))
         return 0
     print(f"Distributed compilation of {args.program}-{args.qubits} on {args.qpus} QPUs")
@@ -426,6 +629,13 @@ def _run_compile(args: argparse.Namespace) -> int:
     )
     if trace_info is not None:
         print(f"trace: {trace_info['spans']} spans -> {trace_info['path']}")
+    if "events" in obs_info:
+        print(f"events: {obs_info['events']['path']}")
+    if "metrics" in obs_info:
+        print(
+            f"metrics: {obs_info['metrics']['series']} series -> "
+            f"{obs_info['metrics']['path']}"
+        )
     if args.profile:
         print()
         print(render_profile_table(manifest))
@@ -477,8 +687,18 @@ def _run_experiment(args: argparse.Namespace) -> int:
 
 
 def _run_sweep(args: argparse.Namespace) -> int:
+    if getattr(args, "sweep_command", None) == "status":
+        return _run_sweep_status(args)
+    if not args.grid or not args.out:
+        print(
+            "error: sweep requires --grid and --out (or the `status` "
+            "subcommand)",
+            file=sys.stderr,
+        )
+        return 2
     _apply_cache_arguments(args)
     tracing = _apply_trace_arguments(args)
+    _apply_obs_arguments(args, grid=args.grid, scale=args.scale, workers=args.workers)
     scale = experiments.BenchmarkScale(args.scale)
     grid = GRID_REGISTRY[args.grid](scale, seed=args.seed)
     system_overrides = _system_overrides(args)
@@ -516,7 +736,10 @@ def _run_sweep(args: argparse.Namespace) -> int:
         status = record.get("status", "?")
         duration = record.get("duration_s")
         timing = f" ({duration:.2f}s)" if isinstance(duration, float) else ""
-        print(f"[{finished}/{total}] {status} {point.task} {point.label}{timing}")
+        flag = ""
+        if record.get("straggler"):
+            flag = f" STRAGGLER x{record.get('straggler_ratio')}"
+        print(f"[{finished}/{total}] {status} {point.task} {point.label}{timing}{flag}")
 
     runner = SweepRunner(
         workers=args.workers,
@@ -530,6 +753,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
     summary = outcome.summary()
     cache = outcome.cache_summary()
     trace_info = _export_trace(args) if tracing else None
+    obs_info = _export_obs(args)
     exported = None
     if args.csv:
         exported = store.export_csv(args.csv)
@@ -539,12 +763,14 @@ def _run_sweep(args: argparse.Namespace) -> int:
             "scale": scale.value,
             "workers": args.workers,
             "summary": summary,
+            "stragglers": len(outcome.stragglers),
             "cache": cache,
             "store": str(store.path),
             "csv_rows": exported,
         }
         if trace_info is not None:
             document["trace"] = trace_info
+        document.update(obs_info)
         print(json.dumps(document, default=str))
         return 1 if outcome.failed else 0
     print(
@@ -554,11 +780,59 @@ def _run_sweep(args: argparse.Namespace) -> int:
     )
     print(f"cache: {cache['hits']} hits, {cache['misses']} misses")
     print(f"store: {store.path}")
+    if outcome.stragglers:
+        print(f"stragglers: {len(outcome.stragglers)}")
     if trace_info is not None:
         print(f"trace: {trace_info['spans']} spans -> {trace_info['path']}")
+    if "events" in obs_info:
+        print(f"events: {obs_info['events']['path']}")
+    if "metrics" in obs_info:
+        print(
+            f"metrics: {obs_info['metrics']['series']} series -> "
+            f"{obs_info['metrics']['path']}"
+        )
     if exported is not None:
         print(f"exported {exported} rows to {args.csv}")
     return 1 if outcome.failed else 0
+
+
+def _run_sweep_status(args: argparse.Namespace) -> int:
+    try:
+        store = ResultStore(args.store)
+    except OSError as exc:
+        print(f"error: cannot open result store at {args.store}: {exc}", file=sys.stderr)
+        return 2
+    if len(store) == 0:
+        print(f"no records in {args.store}", file=sys.stderr)
+        return 1
+    health = store.summarize_health()
+    if getattr(args, "status_json", False):
+        print(json.dumps(health, default=str))
+        return 1 if health["failed"] else 0
+    durations = health["duration_s"]
+    print(
+        f"Sweep store {store.path}: {health['total']} points, "
+        f"{health['completed']} completed, {health['failed']} failed "
+        f"({100.0 * float(health['failure_rate']):.1f}% failure rate)"
+    )
+    print(
+        f"duration_s: p50={durations['p50']} p95={durations['p95']} "
+        f"p99={durations['p99']} max={durations['max']}"
+    )
+    for straggler in health["stragglers"]:
+        print(
+            f"straggler: {straggler['key']} ({straggler['task']}) "
+            f"{straggler['duration_s']:.3f}s = x{straggler['ratio']} median"
+        )
+    for failure in health["failures"]:
+        print(
+            f"failed: {failure['key']} ({failure['task']}, "
+            f"{failure['attempts']} attempts) "
+            f"{failure['error_type'] or '?'}: {failure['error']}"
+        )
+        if failure.get("traceback"):
+            print("  " + str(failure["traceback"]).rstrip().replace("\n", "\n  "))
+    return 1 if health["failed"] else 0
 
 
 def _run_trace(args: argparse.Namespace) -> int:
@@ -566,9 +840,74 @@ def _run_trace(args: argparse.Namespace) -> int:
     if not spans:
         print(f"no spans in {args.path}", file=sys.stderr)
         return 1
+    if args.trace_command == "flamegraph":
+        if args.out:
+            path = write_collapsed_stacks(args.out, spans)
+            print(f"collapsed stacks: {len(collapsed_stacks(spans))} -> {path}")
+        else:
+            print("\n".join(collapsed_stacks(spans)))
+        return 0
+    if getattr(args, "json", False):
+        print(json.dumps(summarize_trace(spans, top=args.top)))
+        return 0
     print(render_span_tree(spans))
     print()
     print(render_top_spans(spans, top=args.top))
+    return 0
+
+
+def _run_metrics(args: argparse.Namespace) -> int:
+    try:
+        with open(args.path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read metrics dump {args.path}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        text = render_prometheus(document, prefix=args.prefix)
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"error: malformed metrics dump {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if not text:
+        print(f"no series matching prefix {args.prefix!r}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"exposition -> {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _run_obs(args: argparse.Namespace) -> int:
+    spans = []
+    events = []
+    metrics_doc = None
+    if not (args.trace or args.events or args.metrics):
+        print(
+            "error: obs report needs at least one of --trace/--events/--metrics",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.trace:
+            spans = load_chrome_trace(args.trace)
+        if args.events:
+            events = read_events(args.events)
+        if args.metrics:
+            with open(args.metrics, encoding="utf-8") as handle:
+                metrics_doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read obs artifact: {exc}", file=sys.stderr)
+        return 2
+    report = build_report(spans, events=events, metrics_doc=metrics_doc, top=args.top)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"report -> {args.out}")
+    else:
+        print(report, end="")
     return 0
 
 
@@ -597,6 +936,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _run_experiment,
         "sweep": _run_sweep,
         "trace": _run_trace,
+        "metrics": _run_metrics,
+        "obs": _run_obs,
         "bench": _run_bench,
     }
     return handlers[args.command](args)

@@ -1,4 +1,4 @@
-"""``repro.obs`` — unified observability: tracing, metrics, exporters.
+"""``repro.obs`` — unified observability: tracing, metrics, run health.
 
 The observability substrate every layer of the compiler reports through:
 
@@ -6,10 +6,20 @@ The observability substrate every layer of the compiler reports through:
   decorator API, per-process buffer, run/span identity, parent links,
   op-counter deltas per span, deterministic clock mode for CI pinning);
 * :mod:`repro.obs.metrics` — the :class:`MetricsRegistry` core
-  (counters/gauges/histograms with label dimensions) that the legacy
-  ``TELEMETRY`` and ``OP_COUNTERS`` registries are now views over;
+  (counters/gauges and fixed log-bucketed quantile histograms with label
+  dimensions) that the legacy ``TELEMETRY`` and ``OP_COUNTERS`` registries
+  are now views over, plus JSON dump/restore for cross-process snapshots;
+* :mod:`repro.obs.resources` — per-span RSS/CPU-time deltas and optional
+  tracemalloc peaks (``--trace-resources`` / ``--trace-malloc``);
+* :mod:`repro.obs.events` — append-only JSONL run journal (manifest, stage
+  and cache events, errors with tracebacks, sweep point health);
 * :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto-loadable),
-  text span trees and top-N self-time summaries;
+  text span trees, top-N self-time summaries, machine-readable trace
+  summaries and collapsed-stack flamegraph export;
+* :mod:`repro.obs.exposition` — Prometheus text exposition of any registry
+  prefix (``repro metrics export``);
+* :mod:`repro.obs.report` — ``repro obs report``: one markdown run report
+  merging trace + event log + metrics snapshot;
 * :mod:`repro.obs.bench_diff` — ``repro bench diff``: counter-regression
   comparison of two ``BENCH_*.json`` perf trajectories.
 
@@ -22,20 +32,37 @@ Quick start::
         ...
     write_chrome_trace("out.json", TRACER.spans())
 
-Tracing is off by default and the disabled per-span fast path is a no-op;
-merely importing this package changes no counter, no timing and no output.
+Tracing, resource sampling and the event log are all off by default and
+the disabled per-span fast path is a no-op; merely importing this package
+changes no counter, no timing and no output.
 """
 
 from repro.obs.bench_diff import BenchDiff, CounterChange, diff_bench_files
+from repro.obs.events import EVENTS, EventLog, read_events
 from repro.obs.export import (
     chrome_trace,
+    collapsed_stacks,
     load_chrome_trace,
     render_span_tree,
     render_top_spans,
+    self_time_rows,
+    span_tree_dict,
     span_tree_signature,
+    summarize_trace,
     write_chrome_trace,
+    write_collapsed_stacks,
 )
-from repro.obs.metrics import METRICS, HistogramSummary, MetricsRegistry
+from repro.obs.exposition import render_prometheus
+from repro.obs.metrics import (
+    METRICS,
+    Histogram,
+    HistogramSummary,
+    MetricsRegistry,
+    is_volatile_metric,
+    registry_from_dump,
+)
+from repro.obs.report import build_report
+from repro.obs.resources import RESOURCES, ResourceSampler
 from repro.obs.trace import (
     DETERMINISTIC_ENV,
     NULL_SPAN,
@@ -53,23 +80,38 @@ __all__ = [
     "BenchDiff",
     "CounterChange",
     "DETERMINISTIC_ENV",
+    "EVENTS",
+    "EventLog",
+    "Histogram",
     "HistogramSummary",
     "METRICS",
     "MetricsRegistry",
     "NULL_SPAN",
+    "RESOURCES",
+    "ResourceSampler",
     "Span",
     "SpanRecord",
     "TRACE_ENV",
     "TRACER",
     "Tracer",
+    "build_report",
     "chrome_trace",
+    "collapsed_stacks",
     "diff_bench_files",
+    "is_volatile_metric",
     "load_chrome_trace",
+    "read_events",
+    "registry_from_dump",
+    "render_prometheus",
     "render_span_tree",
     "render_top_spans",
+    "self_time_rows",
     "span",
+    "span_tree_dict",
     "span_tree_signature",
+    "summarize_trace",
     "traced",
     "tracing_enabled",
     "write_chrome_trace",
+    "write_collapsed_stacks",
 ]

@@ -25,11 +25,16 @@ from repro.obs.trace import SpanRecord
 
 __all__ = [
     "chrome_trace",
+    "collapsed_stacks",
     "load_chrome_trace",
     "render_span_tree",
     "render_top_spans",
+    "self_time_rows",
+    "span_tree_dict",
     "span_tree_signature",
+    "summarize_trace",
     "write_chrome_trace",
+    "write_collapsed_stacks",
 ]
 
 #: Microseconds per wall-clock second (perf_counter spans) — deterministic
@@ -103,12 +108,23 @@ def write_chrome_trace(
 
 
 def load_chrome_trace(path: Union[str, pathlib.Path]) -> List[SpanRecord]:
-    """Reconstruct span records from an exported Chrome trace file."""
+    """Reconstruct span records from an exported Chrome trace file.
+
+    Wall-clock traces were exported with microsecond timestamps; they are
+    converted back to seconds here so loaded spans carry the same units as
+    in-memory ones.  Deterministic traces (recognisable by the pinned
+    ``pid=0``) use tick timestamps exported 1:1 and are left untouched.
+    """
     document = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    events = [
+        event
+        for event in document.get("traceEvents", [])
+        if event.get("ph") == "X"
+    ]
+    deterministic = bool(events) and all(event.get("pid") == 0 for event in events)
+    scale = 1.0 if deterministic else 1.0 / _US
     spans: List[SpanRecord] = []
-    for event in document.get("traceEvents", []):
-        if event.get("ph") != "X":
-            continue
+    for event in events:
         args = dict(event.get("args") or {})
         span_id = args.pop("span_id", None)
         parent_id = args.pop("parent_id", None)
@@ -121,7 +137,7 @@ def load_chrome_trace(path: Union[str, pathlib.Path]) -> List[SpanRecord]:
         attributes = {
             key: value for key, value in args.items() if not key.startswith("ops.")
         }
-        start = float(event.get("ts", 0.0))
+        start = float(event.get("ts", 0.0)) * scale
         spans.append(
             SpanRecord(
                 name=str(event.get("name", "?")),
@@ -129,7 +145,7 @@ def load_chrome_trace(path: Union[str, pathlib.Path]) -> List[SpanRecord]:
                 parent_id=None if parent_id is None else int(parent_id),
                 run_id=str(run_id),
                 start=start,
-                end=start + float(event.get("dur", 0.0)),
+                end=start + float(event.get("dur", 0.0)) * scale,
                 attributes=attributes,
                 counter_deltas=deltas,
                 tid=int(event.get("tid", 0)),
@@ -232,15 +248,18 @@ def render_span_tree(
     return "\n".join(lines)
 
 
-def render_top_spans(spans: Sequence[SpanRecord], top: int = 10) -> str:
-    """Top-N table of span names by aggregate *self* time.
+def self_time_rows(
+    spans: Sequence[SpanRecord], top: int = 10
+) -> List[Dict[str, object]]:
+    """Per-name self-time aggregates, ranked by ``(-self, name)``.
 
     Self time is a span's duration minus its direct children's durations —
     the quantity that answers "where did this compile actually spend its
-    time" without double counting the nesting.
+    time" without double counting the nesting.  Each row carries ``name``,
+    ``count``, ``self``, ``total`` and ``share`` (percent of all self time).
     """
     if not spans:
-        return "(no spans)"
+        return []
     _, children = _children_index(spans)
     totals: Dict[str, List[float]] = {}
     for span in spans:
@@ -252,15 +271,120 @@ def render_top_spans(spans: Sequence[SpanRecord], top: int = 10) -> str:
         bucket[2] += 1
     grand_total = sum(bucket[0] for bucket in totals.values()) or 1.0
     ranked = sorted(totals.items(), key=lambda item: (-item[1][0], item[0]))[:top]
-    width = max([len("span")] + [len(name) for name, _ in ranked])
+    return [
+        {
+            "name": name,
+            "count": int(count),
+            "self": round(self_time, 6),
+            "total": round(total_time, 6),
+            "share": round(100.0 * self_time / grand_total, 1),
+        }
+        for name, (self_time, total_time, count) in ranked
+    ]
+
+
+def render_top_spans(spans: Sequence[SpanRecord], top: int = 10) -> str:
+    """Top-N table of span names by aggregate *self* time (see
+    :func:`self_time_rows`)."""
+    rows = self_time_rows(spans, top=top)
+    if not rows:
+        return "(no spans)"
+    width = max([len("span")] + [len(str(row["name"])) for row in rows])
     lines = [
         f"{'span'.ljust(width)} | count |     self |    total | share",
         f"{'-' * width}-+-------+----------+----------+------",
     ]
-    for name, (self_time, total_time, count) in ranked:
-        share = 100.0 * self_time / grand_total
+    for row in rows:
         lines.append(
-            f"{name.ljust(width)} | {int(count):5d} | {self_time:8.4f} "
-            f"| {total_time:8.4f} | {share:4.1f}%"
+            f"{str(row['name']).ljust(width)} | {row['count']:5d} | {row['self']:8.4f} "
+            f"| {row['total']:8.4f} | {row['share']:4.1f}%"
         )
     return "\n".join(lines)
+
+
+def span_tree_dict(spans: Sequence[SpanRecord]) -> List[Dict[str, object]]:
+    """Nested-dict form of the span tree (the ``--json`` summarize payload).
+
+    Each node carries ``name``, ``duration``, ``ops`` (summed counter
+    deltas), selected ``attributes`` and its ``children`` — enough to
+    rebuild the text tree, stably ordered by ``(start, span_id)``.
+    """
+    roots, children = _children_index(spans)
+
+    def node(span: SpanRecord) -> Dict[str, object]:
+        return {
+            "name": span.name,
+            "span_id": span.span_id,
+            "duration": round(span.duration, 6),
+            "ops": sum(span.counter_deltas.values()),
+            "attributes": dict(sorted(span.attributes.items())),
+            "children": [node(child) for child in children.get(span.span_id, [])],
+        }
+
+    return [node(root) for root in roots]
+
+
+def summarize_trace(spans: Sequence[SpanRecord], top: int = 10) -> Dict[str, object]:
+    """Machine-readable trace summary: span tree + self-time table.
+
+    The JSON twin of ``trace summarize``'s text output, following the
+    ``bench diff --json`` convention.
+    """
+    unit = "ticks" if spans and all(
+        float(span.start).is_integer() for span in spans
+    ) else "s"
+    return {
+        "spans": len(spans),
+        "unit": unit,
+        "tree": span_tree_dict(spans),
+        "self_time": self_time_rows(spans, top=top),
+    }
+
+
+def collapsed_stacks(spans: Sequence[SpanRecord]) -> List[str]:
+    """Collapsed-stack flamegraph lines: ``root;child;leaf <self-time>``.
+
+    The format flamegraph.pl and speedscope ingest directly: one line per
+    distinct span path, the value being the aggregate *self* time spent at
+    that path in integer microseconds (wall mode) or ticks (deterministic
+    mode).  Lines are sorted so the export is deterministic.
+    """
+    if not spans:
+        return []
+    _, children = _children_index(spans)
+    by_id = {span.span_id: span for span in spans}
+    integral = all(float(span.start).is_integer() for span in spans)
+    scale = 1.0 if integral else _US
+
+    def path(span: SpanRecord) -> str:
+        parts = [span.name]
+        seen = {span.span_id}
+        current = span
+        while current.parent_id is not None and current.parent_id in by_id:
+            current = by_id[current.parent_id]
+            if current.span_id in seen:  # defensive: cyclic parent links
+                break
+            seen.add(current.span_id)
+            parts.append(current.name)
+        return ";".join(reversed(parts))
+
+    weights: Dict[str, float] = {}
+    for span in spans:
+        child_time = sum(c.duration for c in children.get(span.span_id, []))
+        self_time = max(0.0, span.duration - child_time)
+        key = path(span)
+        weights[key] = weights.get(key, 0.0) + self_time * scale
+    return [
+        f"{key} {int(round(value))}"
+        for key, value in sorted(weights.items())
+        if int(round(value)) > 0
+    ]
+
+
+def write_collapsed_stacks(
+    path: Union[str, pathlib.Path], spans: Sequence[SpanRecord]
+) -> pathlib.Path:
+    """Write :func:`collapsed_stacks` lines to ``path`` (one per line)."""
+    target = pathlib.Path(path)
+    target.write_text("\n".join(collapsed_stacks(spans)) + "\n", encoding="utf-8")
+    return target

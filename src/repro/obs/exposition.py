@@ -1,0 +1,132 @@
+"""Prometheus text exposition for :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Renders a registry (or a JSON dump of one, see
+:meth:`~repro.obs.metrics.MetricsRegistry.dump`) in the Prometheus text
+exposition format — the series a future compile-service daemon will serve
+on ``/metrics`` and that ``repro metrics export`` prints today:
+
+* counters → ``# TYPE name counter`` + one sample per labelled series;
+* gauges → ``# TYPE name gauge``;
+* histograms → the full contract: cumulative ``name_bucket{le="..."}``
+  samples over the shared bucket ladder, ``name_sum``, ``name_count``, plus
+  ``name_p50`` / ``name_p95`` / ``name_p99`` gauges carrying the quantile
+  estimates so dashboards need no PromQL ``histogram_quantile`` call.
+
+Metric names are sanitised to the Prometheus grammar (dots and other
+illegal characters become ``_``), label values are escaped, and both
+families and labels are emitted in sorted order so the exposition is
+deterministic for a deterministic registry.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = ["render_prometheus"]
+
+_NAME_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
+_QUANTILE_GAUGES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p95", 0.95),
+    ("p99", 0.99),
+)
+
+
+def _sanitize_name(name: str) -> str:
+    sanitized = _NAME_ILLEGAL.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: Sequence[Sequence[str]], extra: str = "") -> str:
+    parts = [
+        f'{_sanitize_name(str(key))}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(tuple(pair) for pair in labels)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: object) -> str:
+    number = float(value)  # type: ignore[arg-type]
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(
+    source: Union[MetricsRegistry, Mapping[str, object]],
+    prefix: str = "",
+) -> str:
+    """Render ``source`` (registry or registry dump) as Prometheus text.
+
+    ``prefix`` restricts output to one metric namespace (``sweep.`` …).
+    Returns the exposition ending in a trailing newline, or an empty string
+    when nothing matches.
+    """
+    doc: Mapping[str, object]
+    if isinstance(source, MetricsRegistry):
+        doc = source.dump(prefix=prefix)
+    else:
+        doc = source
+
+    lines: List[str] = []
+    by_family: Dict[str, List[Mapping[str, object]]] = {}
+
+    def families(kind: str) -> List[Tuple[str, List[Mapping[str, object]]]]:
+        by_family.clear()
+        for entry in doc.get(kind, ()):  # type: ignore[union-attr]
+            name = str(entry["name"])
+            if prefix and not name.startswith(prefix):
+                continue
+            by_family.setdefault(name, []).append(entry)
+        return sorted(by_family.items())
+
+    for name, entries in families("counters"):
+        metric = _sanitize_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        for entry in entries:
+            labels = _render_labels(entry.get("labels", ()))  # type: ignore[arg-type]
+            lines.append(f"{metric}{labels} {_format_value(entry['value'])}")
+
+    for name, entries in families("gauges"):
+        metric = _sanitize_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        for entry in entries:
+            labels = _render_labels(entry.get("labels", ()))  # type: ignore[arg-type]
+            lines.append(f"{metric}{labels} {_format_value(entry['value'])}")
+
+    for name, entries in families("histograms"):
+        metric = _sanitize_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        for entry in entries:
+            histogram = Histogram.from_parts(
+                entry["count"],  # type: ignore[arg-type]
+                entry["total"],  # type: ignore[arg-type]
+                entry.get("min"),  # type: ignore[arg-type]
+                entry.get("max"),  # type: ignore[arg-type]
+                entry.get("buckets", ()),  # type: ignore[arg-type]
+            )
+            raw_labels = entry.get("labels", ())
+            for le, cumulative in histogram.cumulative_buckets():
+                bucket_labels = _render_labels(raw_labels, extra=f'le="{le}"')  # type: ignore[arg-type]
+                lines.append(f"{metric}_bucket{bucket_labels} {cumulative}")
+            labels = _render_labels(raw_labels)  # type: ignore[arg-type]
+            lines.append(f"{metric}_sum{labels} {_format_value(histogram.total)}")
+            lines.append(f"{metric}_count{labels} {histogram.count}")
+            for suffix, q in _QUANTILE_GAUGES:
+                lines.append(
+                    f"{metric}_{suffix}{labels} "
+                    f"{_format_value(round(histogram.quantile(q), 6))}"
+                )
+
+    return "\n".join(lines) + "\n" if lines else ""

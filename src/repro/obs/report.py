@@ -1,0 +1,281 @@
+"""`repro obs report`: merge trace + event log + metrics into one markdown.
+
+A run leaves up to three artifacts behind — a Chrome trace (``--trace``), an
+event-log journal (``--events``) and a metrics dump (``--metrics``).  Each
+answers one question; :func:`build_report` merges whichever subset exists
+into a single markdown run report:
+
+* a **run header** (run id, span count, clock unit);
+* the **span self-time table** (where the time went, no double counting);
+* **top memory spans** when resource sampling annotated RSS deltas or
+  tracemalloc peaks onto spans;
+* an **event summary** (counts per event kind) plus every ``error`` event
+  with its exception type and message;
+* a **failure / straggler summary** from the sweep health monitor's
+  ``sweep.point`` events;
+* a **metrics snapshot** (counters and histogram quantiles).
+
+The report deliberately contains no filesystem paths and no wall-clock
+text of its own: under ``DCMBQC_TRACE_DETERMINISTIC=1`` every input is a
+pure function of the compile, so the rendered markdown is byte-identical
+across runs and golden-pinnable — the property the report golden test and
+the CI obs-report smoke step both pin.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.export import self_time_rows
+from repro.obs.trace import SpanRecord
+
+__all__ = ["build_report"]
+
+
+def _markdown_table(header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join(" --- " for _ in header) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def _format_duration(value: float, unit: str) -> str:
+    if unit == "ticks":
+        return f"{value:.0f}"
+    return f"{value:.4f}"
+
+
+def _self_time_section(spans: Sequence[SpanRecord], unit: str, top: int) -> str:
+    rows = self_time_rows(spans, top=top)
+    table = _markdown_table(
+        ("span", "count", f"self ({unit})", f"total ({unit})", "share"),
+        [
+            (
+                row["name"],
+                row["count"],
+                _format_duration(float(row["self"]), unit),
+                _format_duration(float(row["total"]), unit),
+                f"{row['share']}%",
+            )
+            for row in rows
+        ],
+    )
+    return f"## Span self-time (top {len(rows)})\n\n{table}"
+
+
+def _memory_section(spans: Sequence[SpanRecord], top: int) -> Optional[str]:
+    keys = ("rss_kb_delta", "py_alloc_peak_kb", "cpu_ms")
+    sampled = [
+        span for span in spans
+        if any(key in span.attributes for key in keys)
+    ]
+    if not sampled:
+        return None
+    ranked = sorted(
+        sampled,
+        key=lambda span: (
+            -float(span.attributes.get("rss_kb_delta", 0) or 0),
+            -float(span.attributes.get("py_alloc_peak_kb", 0) or 0),
+            span.name,
+            span.span_id,
+        ),
+    )[:top]
+    table = _markdown_table(
+        ("span", "rss Δ (kB)", "py alloc peak (kB)", "cpu (ms)"),
+        [
+            (
+                span.name,
+                span.attributes.get("rss_kb_delta", ""),
+                span.attributes.get("py_alloc_peak_kb", ""),
+                span.attributes.get("cpu_ms", ""),
+            )
+            for span in ranked
+        ],
+    )
+    return f"## Top memory spans\n\n{table}"
+
+
+def _events_section(events: Sequence[Mapping[str, object]]) -> Optional[str]:
+    if not events:
+        return None
+    counts: Dict[str, int] = {}
+    for event in events:
+        kind = str(event.get("event", "?"))
+        counts[kind] = counts.get(kind, 0) + 1
+    table = _markdown_table(
+        ("event", "count"), sorted(counts.items())
+    )
+    parts = [f"## Events ({len(events)} total)\n\n{table}"]
+    errors = [event for event in events if event.get("event") == "error"]
+    if errors:
+        error_rows = [
+            (
+                event.get("error_type", "?"),
+                str(event.get("message", "")).replace("|", "\\|"),
+                event.get("point", event.get("stage", "")),
+            )
+            for event in errors
+        ]
+        parts.append(
+            "### Errors\n\n"
+            + _markdown_table(("type", "message", "where"), error_rows)
+        )
+    return "\n\n".join(parts)
+
+
+def _sweep_section(events: Sequence[Mapping[str, object]]) -> Optional[str]:
+    points = [event for event in events if event.get("event") == "sweep.point"]
+    if not points:
+        return None
+    failed = [p for p in points if p.get("status") == "failed"]
+    stragglers = [p for p in points if p.get("straggler")]
+    lines = [
+        "## Sweep health",
+        "",
+        f"- points: {len(points)}",
+        f"- failed: {len(failed)}"
+        + (
+            f" ({100.0 * len(failed) / len(points):.1f}% failure rate)"
+            if points
+            else ""
+        ),
+        f"- stragglers: {len(stragglers)}",
+    ]
+    if failed:
+        lines.append("")
+        lines.append(
+            _markdown_table(
+                ("point", "error type", "error"),
+                [
+                    (
+                        p.get("key", "?"),
+                        p.get("error_type", "?"),
+                        str(p.get("error", "")).replace("|", "\\|"),
+                    )
+                    for p in failed
+                ],
+            )
+        )
+    if stragglers:
+        lines.append("")
+        lines.append(
+            _markdown_table(
+                ("straggler", "duration vs median"),
+                [
+                    (p.get("key", "?"), p.get("straggler_ratio", "?"))
+                    for p in stragglers
+                ],
+            )
+        )
+    return "\n".join(lines)
+
+
+def _metrics_section(doc: Mapping[str, object]) -> Optional[str]:
+    counters = list(doc.get("counters", ()))  # type: ignore[arg-type]
+    histograms = list(doc.get("histograms", ()))  # type: ignore[arg-type]
+    if not counters and not histograms:
+        return None
+    from repro.obs.metrics import Histogram
+
+    def series_name(entry: Mapping[str, object]) -> str:
+        name = str(entry["name"])
+        labels = entry.get("labels") or ()
+        if labels:
+            inner = ",".join(f"{k}={v}" for k, v in labels)  # type: ignore[misc]
+            return f"{name}{{{inner}}}"
+        return name
+
+    parts = ["## Metrics"]
+    if counters:
+        parts.append(
+            "### Counters\n\n"
+            + _markdown_table(
+                ("counter", "value"),
+                [(series_name(entry), entry["value"]) for entry in counters],
+            )
+        )
+    if histograms:
+        rows = []
+        for entry in histograms:
+            histogram = Histogram.from_parts(
+                entry["count"],
+                entry["total"],
+                entry.get("min"),
+                entry.get("max"),
+                entry.get("buckets", ()),
+            )
+            rows.append(
+                (
+                    series_name(entry),
+                    histogram.count,
+                    round(histogram.quantile(0.50), 6),
+                    round(histogram.quantile(0.95), 6),
+                    round(histogram.quantile(0.99), 6),
+                    round(histogram.maximum, 6) if histogram.count else "",
+                )
+            )
+        parts.append(
+            "### Histograms\n\n"
+            + _markdown_table(
+                ("histogram", "count", "p50", "p95", "p99", "max"), rows
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def build_report(
+    spans: Sequence[SpanRecord],
+    events: Optional[Sequence[Mapping[str, object]]] = None,
+    metrics_doc: Optional[Mapping[str, object]] = None,
+    top: int = 10,
+) -> str:
+    """Render the markdown run report for whatever artifacts exist.
+
+    ``spans`` may be empty (event-log-only report); ``events`` and
+    ``metrics_doc`` are optional.  Output ends in exactly one newline and
+    contains no filesystem paths, so a deterministic run renders
+    byte-identical markdown.
+    """
+    events = list(events or ())
+    run_ids = sorted({span.run_id for span in spans if span.run_id})
+    if not run_ids:
+        run_ids = sorted(
+            {
+                str(event["run_id"])
+                for event in events
+                if event.get("event") == "run.start" and event.get("run_id")
+            }
+        )
+    run_id = ", ".join(run_ids) if run_ids else "(unknown)"
+    unit = "ticks" if spans and all(
+        float(span.start).is_integer() for span in spans
+    ) else "s"
+
+    sections: List[str] = [
+        f"# Run report: {run_id}",
+        "\n".join(
+            [
+                "## Run",
+                "",
+                f"- spans: {len(spans)}",
+                f"- clock unit: {unit}",
+                f"- events: {len(events)}",
+            ]
+        ),
+    ]
+    if spans:
+        sections.append(_self_time_section(spans, unit, top))
+        memory = _memory_section(spans, top)
+        if memory:
+            sections.append(memory)
+    for section in (
+        _events_section(events),
+        _sweep_section(events),
+        _metrics_section(metrics_doc or {}),
+    ):
+        if section:
+            sections.append(section)
+    return "\n\n".join(sections) + "\n"

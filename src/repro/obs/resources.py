@@ -1,0 +1,157 @@
+"""Per-span resource profiling: RSS/CPU-time deltas and tracemalloc peaks.
+
+The tracer (PR 6) records *when* a span ran; this module records *what it
+cost*.  When sampling is enabled (``--trace-resources`` / the
+``DCMBQC_TRACE_RESOURCES=1`` environment variable) the tracer snapshots the
+process resident-set size and CPU time at span open, and on close attaches
+the deltas to the span's attrs:
+
+* ``rss_kb_delta`` — resident-set growth across the span, from
+  ``/proc/self/status`` ``VmRSS`` (Linux; 0 where /proc is unavailable);
+* ``cpu_ms`` — process CPU time (user+system, via
+  :func:`time.process_time`) consumed inside the span, in milliseconds;
+* ``py_alloc_peak_kb`` — optional tracemalloc traced-memory peak observed
+  during the span (``--trace-malloc`` / ``DCMBQC_TRACE_TRACEMALLOC=1``;
+  noticeably slower, so it is a separate opt-in).
+
+The sampler is a process singleton (:data:`RESOURCES`) mirroring ``TRACER``:
+disabled it costs one attribute read per span, so the perf-smoke
+byte-identical guarantee holds.  Under ``DCMBQC_TRACE_DETERMINISTIC=1``
+resource attrs are suppressed entirely — RSS and CPU time are not pure
+functions of the compile, and the deterministic trace/report must be.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "RESOURCES",
+    "RESOURCES_ENV",
+    "ResourceSampler",
+    "TRACEMALLOC_ENV",
+    "read_rss_kb",
+]
+
+#: Environment variable enabling RSS/CPU sampling (inherited by workers).
+RESOURCES_ENV = "DCMBQC_TRACE_RESOURCES"
+
+#: Environment variable additionally enabling tracemalloc peak tracking.
+TRACEMALLOC_ENV = "DCMBQC_TRACE_TRACEMALLOC"
+
+_DETERMINISTIC_ENV = "DCMBQC_TRACE_DETERMINISTIC"
+
+_PROC_STATUS = "/proc/self/status"
+
+
+def read_rss_kb() -> int:
+    """Current resident-set size in kB from ``/proc/self/status`` (0 if N/A)."""
+    try:
+        with open(_PROC_STATUS, "rb") as handle:
+            for line in handle:
+                if line.startswith(b"VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return 0
+
+
+class ResourceSampler:
+    """Samples process resources around spans; disabled by default.
+
+    ``before()`` returns an opaque snapshot tuple (or ``None`` when
+    disabled); ``delta(snapshot)`` turns it into span attrs.  The tracer
+    calls both, so instrumented code never touches this class directly.
+    """
+
+    __slots__ = ("enabled", "_tracemalloc", "_suppressed")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._tracemalloc = False
+        self._suppressed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def enable(self, tracemalloc_peaks: bool = False) -> None:
+        """Start sampling; optionally also track tracemalloc peaks."""
+        # Deterministic traces must stay a pure function of the compile;
+        # RSS/CPU numbers are not, so sampling is forced off under the
+        # deterministic clock (the flag is remembered for error messages).
+        self._suppressed = os.environ.get(_DETERMINISTIC_ENV) == "1"
+        self.enabled = not self._suppressed
+        self._tracemalloc = bool(tracemalloc_peaks) and self.enabled
+        if self._tracemalloc:
+            import tracemalloc
+
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+
+    def disable(self) -> None:
+        if self._tracemalloc:
+            import tracemalloc
+
+            if tracemalloc.is_tracing():
+                tracemalloc.stop()
+        self.enabled = False
+        self._tracemalloc = False
+        self._suppressed = False
+
+    def ensure_enabled_from_environment(self) -> None:
+        """Adopt the parent process's sampling config (worker-side hook)."""
+        if not self.enabled and os.environ.get(RESOURCES_ENV) == "1":
+            self.enable(
+                tracemalloc_peaks=os.environ.get(TRACEMALLOC_ENV) == "1"
+            )
+
+    @property
+    def suppressed(self) -> bool:
+        """True when enable() was requested but deterministic mode vetoed it."""
+        return self._suppressed
+
+    @property
+    def tracemalloc_enabled(self) -> bool:
+        return self._tracemalloc
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+
+    def before(self) -> Optional[Tuple[int, float, int]]:
+        """Snapshot (rss_kb, cpu_seconds, tracemalloc_peak_bytes) or None."""
+        if not self.enabled:
+            return None
+        peak = 0
+        if self._tracemalloc:
+            import tracemalloc
+
+            # Reset the peak so each span observes its own high-water mark.
+            tracemalloc.reset_peak()
+            peak = tracemalloc.get_traced_memory()[0]
+        return (read_rss_kb(), time.process_time(), peak)
+
+    def delta(
+        self, snapshot: Optional[Tuple[int, float, int]]
+    ) -> Dict[str, object]:
+        """Span attrs for the resources consumed since ``snapshot``."""
+        if snapshot is None or not self.enabled:
+            return {}
+        rss_before, cpu_before, _ = snapshot
+        attrs: Dict[str, object] = {
+            "rss_kb_delta": read_rss_kb() - rss_before,
+            "cpu_ms": round((time.process_time() - cpu_before) * 1000.0, 3),
+        }
+        if self._tracemalloc:
+            import tracemalloc
+
+            _, peak = tracemalloc.get_traced_memory()
+            attrs["py_alloc_peak_kb"] = peak // 1024
+        return attrs
+
+
+#: Process-global sampler; the tracer consults it at span open/close.
+RESOURCES = ResourceSampler()

@@ -34,6 +34,8 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs.resources import RESOURCES
+
 __all__ = [
     "DETERMINISTIC_ENV",
     "NULL_SPAN",
@@ -160,6 +162,7 @@ class Span:
         "parent_id",
         "_start",
         "_counters_before",
+        "_resources_before",
     )
 
     def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, object]):
@@ -170,6 +173,7 @@ class Span:
         self.parent_id: Optional[int] = None
         self._start = 0.0
         self._counters_before: Optional[Dict[str, int]] = None
+        self._resources_before = None
 
     def set(self, **attributes: object) -> None:
         """Attach attributes to the span (last write per key wins)."""
@@ -375,6 +379,8 @@ class Tracer:
             span_obj.span_id = self._next_span_id
             self._next_span_id += 1
         span_obj._counters_before = OP_COUNTERS.snapshot()
+        if RESOURCES.enabled:
+            span_obj._resources_before = RESOURCES.before()
         span_obj._start = self._clock()
         stack.append(span_obj)
 
@@ -387,6 +393,9 @@ class Tracer:
             for name, value in OP_COUNTERS.delta_since(span_obj._counters_before).items():
                 if value:
                     deltas[name] = value
+        if span_obj._resources_before is not None:
+            for key, value in RESOURCES.delta(span_obj._resources_before).items():
+                span_obj.attributes.setdefault(key, value)
         stack = getattr(self._local, "stack", None)
         if stack and stack[-1] is span_obj:
             stack.pop()

@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.obs.events import EVENTS
 from repro.obs.trace import TRACER
 from repro.pipeline.artifacts import ArtifactStore, caching_disabled
 from repro.pipeline.hashing import content_hash
@@ -256,6 +257,8 @@ class Pipeline:
                 value: object = _MISSING
                 status = "executed"
 
+                if EVENTS.enabled:
+                    EVENTS.emit("stage.start", stage=stage.name)
                 with TRACER.span(f"stage.{stage.name}", stage=stage.name) as stage_span:
                     if cacheable:
                         key = stage.key([hashes[name] for name in stage.inputs])
@@ -277,10 +280,22 @@ class Pipeline:
                                     self.memo.put(key, payload)
                                 self.telemetry.record_hit(stage.name, "disk")
 
+                    if EVENTS.enabled and status in ("memory-hit", "disk-hit"):
+                        EVENTS.emit(
+                            "cache.hit", stage=stage.name, layer=status[:-4]
+                        )
+
                     seconds = 0.0
                     if value is _MISSING:
+                        if EVENTS.enabled and cacheable:
+                            EVENTS.emit("cache.miss", stage=stage.name)
                         start = time.perf_counter()
-                        value = stage.run(state)
+                        try:
+                            value = stage.run(state)
+                        except Exception as exc:
+                            if EVENTS.enabled:
+                                EVENTS.error(exc, stage=stage.name)
+                            raise
                         seconds = time.perf_counter() - start
                         if value is None:
                             raise CompilationError(
@@ -295,6 +310,8 @@ class Pipeline:
                                 self.store.put(key, value, payload=payload)
                     stage_span.set(status=status)
 
+                if EVENTS.enabled:
+                    EVENTS.emit("stage.finish", stage=stage.name, status=status)
                 state[stage.output] = value
                 if use_cache:
                     output_hash = content_hash(value)

@@ -18,13 +18,17 @@ from __future__ import annotations
 
 import concurrent.futures
 import time
+import traceback as traceback_module
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Set, Union
 
+from repro.obs.events import EVENTS
+from repro.obs.metrics import METRICS
+from repro.obs.resources import RESOURCES
 from repro.obs.trace import TRACER
 from repro.pipeline.telemetry import TELEMETRY
 from repro.sweep.grid import ParameterGrid, SweepPoint
-from repro.sweep.store import ResultStore
+from repro.sweep.store import STRAGGLER_FACTOR, STRAGGLER_MIN_POINTS, ResultStore
 from repro.sweep.tasks import TASK_REGISTRY
 
 __all__ = ["SweepOutcome", "SweepRunner", "execute_point", "run_grid"]
@@ -53,6 +57,7 @@ def execute_point(
     (:meth:`repro.obs.trace.Tracer.adopt`).
     """
     TRACER.ensure_enabled_from_environment()
+    RESOURCES.ensure_enabled_from_environment()
     task_fn = TASK_REGISTRY.get(point.task)
     start = time.perf_counter()
     if task_fn is None:
@@ -60,6 +65,7 @@ def execute_point(
             "status": "failed",
             "result": None,
             "error": f"KeyError: unknown task {point.task!r}",
+            "error_type": "KeyError",
             "attempts": 0,
             "duration_s": 0.0,
         }
@@ -91,6 +97,12 @@ def _execute_attempts(
                 "status": "failed",
                 "result": None,
                 "error": f"{type(exc).__name__}: {exc}",
+                "error_type": type(exc).__name__,
+                "traceback": "".join(
+                    traceback_module.format_exception(
+                        type(exc), exc, exc.__traceback__
+                    )
+                ),
                 "attempts": attempts,
                 "duration_s": round(time.perf_counter() - start, 6),
                 "cache_hits": telemetry_after["hits"] - telemetry_before["hits"],
@@ -120,6 +132,9 @@ class SweepOutcome:
     completed: int = 0
     failed: int = 0
     fresh_keys: Set[str] = field(default_factory=set)
+    #: Keys the health monitor flagged as stragglers (duration far above the
+    #: rolling median); informational, deliberately not part of summary().
+    stragglers: List[str] = field(default_factory=list)
 
     @property
     def total(self) -> int:
@@ -223,6 +238,24 @@ class SweepRunner:
         for key in keys:
             occurrences[key] = occurrences.get(key, 0) + 1
 
+        # Health monitor state: durations of fresh completed points, in
+        # completion order, feeding the rolling-median straggler check.
+        completed_durations: List[float] = []
+
+        def flag_straggler(result: Dict[str, object]) -> None:
+            """Annotate ``result`` when it ran far beyond the rolling median."""
+            if result.get("status") != "done":
+                return
+            duration = float(result.get("duration_s") or 0.0)
+            prior = sorted(completed_durations)
+            completed_durations.append(duration)
+            if len(prior) < STRAGGLER_MIN_POINTS:
+                return
+            median = prior[len(prior) // 2]
+            if median > 0.0 and duration > STRAGGLER_FACTOR * median:
+                result["straggler"] = True
+                result["straggler_ratio"] = round(duration / median, 2)
+
         def resolve(point: SweepPoint, result: Dict[str, object]) -> None:
             nonlocal finished
             # Worker-produced spans are transport, not result data: merge
@@ -230,6 +263,7 @@ class SweepRunner:
             worker_spans = result.pop("spans", None)
             if worker_spans and TRACER.enabled:
                 TRACER.adopt(worker_spans)
+            flag_straggler(result)
             record = (
                 store.record(point, result)
                 if store is not None
@@ -239,11 +273,40 @@ class SweepRunner:
             count = occurrences[point.cache_key()]
             fresh[point.cache_key()] = record
             outcome.fresh_keys.add(point.cache_key())
-            if record.get("status") == "done":
+            status = str(record.get("status"))
+            if status == "done":
                 outcome.completed += count
             else:
                 outcome.failed += count
+            if record.get("straggler"):
+                outcome.stragglers.append(point.cache_key())
             finished += count
+            METRICS.inc("sweep.points_total", count, status=status, task=point.task)
+            METRICS.observe(
+                "sweep.point.duration_s",
+                float(record.get("duration_s") or 0.0),
+                task=point.task,
+            )
+            if status != "done":
+                METRICS.inc("sweep.failures_total", count, task=point.task)
+            if record.get("straggler"):
+                METRICS.inc("sweep.stragglers_total", count, task=point.task)
+            if EVENTS.enabled:
+                event_fields: Dict[str, object] = {
+                    "key": point.cache_key(),
+                    "task": point.task,
+                    "status": status,
+                    "attempts": record.get("attempts"),
+                    "duration_s": record.get("duration_s"),
+                }
+                if record.get("straggler"):
+                    event_fields["straggler"] = True
+                    event_fields["straggler_ratio"] = record.get("straggler_ratio")
+                if status != "done":
+                    event_fields["error_type"] = record.get("error_type")
+                    event_fields["error"] = record.get("error")
+                    event_fields["traceback"] = record.get("traceback")
+                EVENTS.emit("sweep.point", **event_fields)
             if self.progress is not None:
                 self.progress(point, record, finished, len(points))
 

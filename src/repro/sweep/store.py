@@ -29,11 +29,14 @@ from typing import Dict, List, Mapping, Optional, Set, Union
 
 from repro.sweep.grid import SweepPoint
 
-__all__ = ["ResultStore"]
+__all__ = ["ResultStore", "STRAGGLER_FACTOR", "STRAGGLER_MIN_POINTS"]
 
 STORE_FILENAME = "results.jsonl"
 
 #: Fixed metadata columns emitted before params/result columns in CSV export.
+#: Deliberately excludes the volatile health fields (``traceback`` holds
+#: absolute paths, ``straggler`` is wall-clock-derived) so the warm/cold CSV
+#: determinism gate keeps holding; they stay available in the JSONL record.
 _META_COLUMNS = (
     "key",
     "task",
@@ -44,7 +47,28 @@ _META_COLUMNS = (
     "cache_misses",
     "timestamp",
     "error",
+    "error_type",
 )
+
+#: Straggler threshold: a point is flagged when it takes more than this
+#: multiple of the median completed-point duration.
+STRAGGLER_FACTOR = 3.0
+
+#: Minimum completed points before straggler flagging means anything.
+STRAGGLER_MIN_POINTS = 5
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank-with-interpolation percentile of pre-sorted values."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] * (1.0 - fraction) + sorted_values[high] * fraction
 
 
 class ResultStore:
@@ -130,11 +154,71 @@ class ResultStore:
             "cache_misses": outcome.get("cache_misses", 0),
             "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         }
+        # Health fields (PR 7): only persisted when the runner produced them,
+        # so pre-existing stores and records stay byte-compatible.
+        for name in ("error_type", "traceback", "straggler", "straggler_ratio"):
+            if outcome.get(name) is not None:
+                record[name] = outcome[name]
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True, default=str) + "\n")
             handle.flush()
         self._records[str(record["key"])] = record
         return record
+
+    def summarize_health(self) -> Dict[str, object]:
+        """Run-health digest of the store: the `repro sweep status` payload.
+
+        Returns totals, failure rate, duration quantiles (p50/p95/p99 over
+        completed points), stragglers (duration > ``STRAGGLER_FACTOR`` × the
+        median, once ``STRAGGLER_MIN_POINTS`` points completed) and every
+        failed point with its error type and (when recorded) traceback.
+        """
+        records = self.rows()
+        done = [r for r in records if r.get("status") == "done"]
+        failed = [r for r in records if r.get("status") == "failed"]
+        durations = sorted(
+            float(r.get("duration_s") or 0.0) for r in done
+            if r.get("duration_s") is not None
+        )
+        median = _percentile(durations, 0.50)
+        stragglers: List[Dict[str, object]] = []
+        if len(durations) >= STRAGGLER_MIN_POINTS and median > 0.0:
+            for record in done:
+                duration = float(record.get("duration_s") or 0.0)
+                if duration > STRAGGLER_FACTOR * median:
+                    stragglers.append(
+                        {
+                            "key": record.get("key"),
+                            "task": record.get("task"),
+                            "duration_s": duration,
+                            "ratio": round(duration / median, 2),
+                        }
+                    )
+        stragglers.sort(key=lambda entry: (-float(entry["duration_s"]), str(entry["key"])))
+        return {
+            "total": len(records),
+            "completed": len(done),
+            "failed": len(failed),
+            "failure_rate": round(len(failed) / len(records), 4) if records else 0.0,
+            "duration_s": {
+                "p50": round(_percentile(durations, 0.50), 6),
+                "p95": round(_percentile(durations, 0.95), 6),
+                "p99": round(_percentile(durations, 0.99), 6),
+                "max": round(durations[-1], 6) if durations else 0.0,
+            },
+            "stragglers": stragglers,
+            "failures": [
+                {
+                    "key": record.get("key"),
+                    "task": record.get("task"),
+                    "attempts": record.get("attempts"),
+                    "error_type": record.get("error_type"),
+                    "error": record.get("error"),
+                    "traceback": record.get("traceback"),
+                }
+                for record in failed
+            ],
+        }
 
     def export_csv(self, csv_path: Union[str, pathlib.Path]) -> int:
         """Flatten the run table to CSV; returns the number of rows written.

@@ -39,11 +39,13 @@ class TestExperimentRegistry:
 
 
 class TestSweepParser:
-    def test_requires_grid_and_out(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["sweep", "--grid", "table3"])
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["sweep", "--out", "x"])
+    def test_requires_grid_and_out(self, capsys):
+        # --grid/--out are parser-optional (so `sweep status` works) but the
+        # run handler still demands both, exiting 2 with a usage message.
+        assert main(["sweep", "--grid", "table3"]) == 2
+        assert "requires --grid and --out" in capsys.readouterr().err
+        assert main(["sweep", "--out", "x"]) == 2
+        assert "requires --grid and --out" in capsys.readouterr().err
 
     def test_rejects_unsweepable_grid(self):
         with pytest.raises(SystemExit):
@@ -108,6 +110,62 @@ class TestSweepCommand:
         header = csv_path.read_text(encoding="utf-8").splitlines()[0]
         assert "bdir_lifetime" in header
 
+class TestSweepStatus:
+    @staticmethod
+    def _seed_store(tmp_path, with_failure=True):
+        """Build a store with six quick points and one injected failure."""
+        from repro.sweep.grid import SweepPoint
+        from repro.sweep.runner import run_grid
+
+        points = [
+            SweepPoint(task="_test_touch", extra=(("log", str(tmp_path / "log")), ("idx", str(i))))
+            for i in range(6)
+        ]
+        if with_failure:
+            points.append(SweepPoint(task="_test_boom"))
+        store = ResultStore(tmp_path / "store")
+        run_grid(points, store=store)
+        return store
+
+    def test_status_reports_failure_rate_and_traceback(self, tmp_path, capsys):
+        import tests.test_sweep_runner  # noqa: F401  (registers _test_* tasks)
+
+        store = self._seed_store(tmp_path)
+        assert main(["sweep", "status", str(store.path)]) == 1
+        output = capsys.readouterr().out
+        assert "7 points, 6 completed, 1 failed" in output
+        assert "14.3% failure rate" in output
+        assert "ValueError: always fails" in output
+        assert "Traceback (most recent call last)" in output
+
+    def test_status_json(self, tmp_path, capsys):
+        import json
+
+        import tests.test_sweep_runner  # noqa: F401
+
+        store = self._seed_store(tmp_path)
+        assert main(["sweep", "status", str(store.path), "--json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["total"] == 7
+        assert doc["failed"] == 1
+        assert doc["failure_rate"] > 0
+        assert doc["failures"][0]["error_type"] == "ValueError"
+        assert "always fails" in doc["failures"][0]["traceback"]
+
+    def test_status_healthy_store_exits_zero(self, tmp_path, capsys):
+        import tests.test_sweep_runner  # noqa: F401
+
+        store = self._seed_store(tmp_path, with_failure=False)
+        assert main(["sweep", "status", str(store.path)]) == 0
+        output = capsys.readouterr().out
+        assert "0.0% failure rate" in output
+
+    def test_status_missing_store_errors(self, tmp_path, capsys):
+        assert main(["sweep", "status", str(tmp_path / "absent.jsonl")]) == 1
+        assert "no records" in capsys.readouterr().err
+
+
+class TestSweepSeed:
     def test_seed_flag_reaches_circuit_construction(self, capsys):
         """`--seed` must vary the built circuit, not only the compiler."""
         main(["compile", "--program", "QAOA", "--qubits", "8", "--grid-size", "5", "--seed", "1"])

@@ -132,3 +132,91 @@ def test_trace_summarize_empty_file_fails(tmp_path, capsys):
     path.write_text(json.dumps({"traceEvents": []}))
     assert main(["trace", "summarize", str(path)]) == 1
     assert "no spans" in capsys.readouterr().err
+
+
+def _traced_compile(tmp_path, capsys):
+    out = tmp_path / "run.json"
+    assert (
+        main(
+            [
+                "compile",
+                "--qubits",
+                "6",
+                "--qpus",
+                "2",
+                "--grid-size",
+                "5",
+                "--no-cache",
+                "--trace",
+                str(out),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    return out
+
+
+def test_trace_summarize_json_mode(tmp_path, capsys):
+    out = _traced_compile(tmp_path, capsys)
+    assert main(["trace", "summarize", str(out), "--json", "--top", "5"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["spans"] > 0
+    assert doc["unit"] in ("ticks", "s")
+    assert doc["tree"][0]["name"] == "cli.compile"
+    assert len(doc["self_time"]) <= 5
+    assert {"name", "count", "self", "total", "share"} <= set(doc["self_time"][0])
+
+
+def test_trace_flamegraph_stdout_and_file(tmp_path, capsys):
+    out = _traced_compile(tmp_path, capsys)
+    assert main(["trace", "flamegraph", str(out)]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines == sorted(lines)
+    assert any(
+        line.startswith("cli.compile;compile.distributed;pipeline.run;")
+        for line in lines
+    )
+    for line in lines:
+        stack, _, weight = line.rpartition(" ")
+        assert stack and weight.lstrip("-").isdigit()
+
+    collapsed = tmp_path / "run.folded"
+    assert main(["trace", "flamegraph", str(out), "--out", str(collapsed)]) == 0
+    assert collapsed.read_text(encoding="utf-8").strip().splitlines() == lines
+
+
+def test_obs_report_without_inputs_errors(capsys):
+    assert main(["obs", "report"]) == 2
+    assert "at least one" in capsys.readouterr().err
+
+
+def test_metrics_export_renders_prometheus(tmp_path, capsys):
+    out = tmp_path / "run.json"
+    metrics = tmp_path / "metrics.json"
+    assert (
+        main(
+            [
+                "compile",
+                "--qubits",
+                "6",
+                "--qpus",
+                "2",
+                "--grid-size",
+                "5",
+                "--no-cache",
+                "--trace",
+                str(out),
+                "--metrics",
+                str(metrics),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["metrics", "export", str(metrics)]) == 0
+    text = capsys.readouterr().out
+    assert "# TYPE ops_scheduler_calls counter" in text
+    assert "runtime_replay_cycles_p50" in text
+
+    assert main(["metrics", "export", str(metrics), "--prefix", "nothing."]) == 1

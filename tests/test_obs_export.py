@@ -100,6 +100,25 @@ class TestChromeTrace:
         path = write_chrome_trace(tmp_path / "empty.json", [])
         assert load_chrome_trace(path) == []
 
+    def test_wall_trace_loads_back_in_seconds(self, tmp_path):
+        """Wall traces export µs timestamps; loading must restore seconds
+        (the exported-then-loaded spans carry in-memory units), so the
+        flamegraph/self-time scaling is applied exactly once."""
+        path = tmp_path / "wall.json"
+        spans = [_span("a", 1, None, 0.0, 0.25), _span("b", 2, 1, 0.0625, 0.125)]
+        write_chrome_trace(path, spans, deterministic=False)
+        loaded = {s.name: s for s in load_chrome_trace(path)}
+        assert loaded["a"].duration == 0.25
+        assert loaded["b"].duration == 0.0625
+
+        from repro.obs.export import collapsed_stacks
+
+        lines = dict(
+            line.rsplit(" ", 1) for line in collapsed_stacks(load_chrome_trace(path))
+        )
+        assert int(lines["a"]) == 187_500  # (0.25 - 0.0625) s of self time in µs
+        assert int(lines["a;b"]) == 62_500
+
 
 class TestSignatureAndRenderers:
     def test_signature_collapses_same_name_siblings(self):

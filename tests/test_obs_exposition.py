@@ -1,0 +1,113 @@
+"""Tests for the Prometheus text exposition renderer."""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.exposition import render_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+#: Prometheus text format: `name{labels} value` with a legal metric name.
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9].*$"
+)
+
+
+def _populated() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.inc("ops.scheduler.calls", 21)
+    registry.inc("sweep.points_total", 4, status="done", task="compare")
+    registry.inc("sweep.points_total", 1, status="failed", task="compare")
+    registry.set_gauge("depth", 4.0)
+    for value in (0.1, 0.2, 0.4, 0.8, 5.0):
+        registry.observe("sweep.point.duration_s", value, task="compare")
+    return registry
+
+
+class TestFormat:
+    def test_every_line_is_type_comment_or_sample(self):
+        text = render_prometheus(_populated())
+        assert text.endswith("\n")
+        for line in text.rstrip("\n").split("\n"):
+            assert line.startswith("# TYPE ") or _SAMPLE_LINE.match(line), line
+
+    def test_names_are_sanitised_and_sorted(self):
+        text = render_prometheus(_populated())
+        assert "ops_scheduler_calls 21" in text
+        for line in text.splitlines():
+            name = line.split()[2] if line.startswith("# TYPE") else line.split("{")[0].split()[0]
+            assert "." not in name, line  # dots survive only in label values
+        # Families are emitted sorted within each kind.
+        by_kind = {}
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split()
+                by_kind.setdefault(kind, []).append(name)
+        for kind, names in by_kind.items():
+            assert names == sorted(names), kind
+
+    def test_counter_labels_sorted_and_quoted(self):
+        text = render_prometheus(_populated())
+        assert 'sweep_points_total{status="done",task="compare"} 4' in text
+        assert 'sweep_points_total{status="failed",task="compare"} 1' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.inc("odd", 1, tag='say "hi"\nnow')
+        text = render_prometheus(registry)
+        assert 'tag="say \\"hi\\"\\nnow"' in text
+
+    def test_empty_registry_renders_empty_string(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestHistogramContract:
+    def test_buckets_sum_count_and_quantile_gauges(self):
+        text = render_prometheus(_populated())
+        assert "# TYPE sweep_point_duration_s histogram" in text
+        # Cumulative buckets end at +Inf with the full count.
+        assert (
+            'sweep_point_duration_s_bucket{task="compare",le="+Inf"} 5' in text
+        )
+        assert 'sweep_point_duration_s_count{task="compare"} 5' in text
+        assert 'sweep_point_duration_s_sum{task="compare"} 6.5' in text
+        for suffix in ("_p50", "_p95", "_p99"):
+            assert f"sweep_point_duration_s{suffix}" in text, suffix
+
+    def test_bucket_counts_are_monotone(self):
+        text = render_prometheus(_populated())
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("sweep_point_duration_s_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+
+    def test_quantiles_are_ordered(self):
+        text = render_prometheus(_populated())
+        values = {}
+        for line in text.splitlines():
+            for suffix in ("_p50", "_p95", "_p99"):
+                if line.startswith(f"sweep_point_duration_s{suffix}"):
+                    values[suffix] = float(line.rsplit(" ", 1)[1])
+        assert values["_p50"] <= values["_p95"] <= values["_p99"]
+
+
+class TestSources:
+    def test_registry_and_dump_render_identically(self):
+        registry = _populated()
+        assert render_prometheus(registry) == render_prometheus(registry.dump())
+
+    def test_prefix_filters_namespace(self):
+        text = render_prometheus(_populated(), prefix="sweep.")
+        assert "sweep_points_total" in text
+        assert "ops_scheduler_calls" not in text
+        assert "depth" not in text
+
+    def test_round_trip_through_registry_from_dump(self):
+        from repro.obs.metrics import registry_from_dump
+
+        registry = _populated()
+        clone = registry_from_dump(registry.dump())
+        assert render_prometheus(clone) == render_prometheus(registry)

@@ -6,7 +6,16 @@ import threading
 
 import pytest
 
-from repro.obs.metrics import METRICS, HistogramSummary, MetricsRegistry
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    DUMP_SCHEMA,
+    METRICS,
+    Histogram,
+    HistogramSummary,
+    MetricsRegistry,
+    is_volatile_metric,
+    registry_from_dump,
+)
 from repro.pipeline.telemetry import TELEMETRY, TelemetryRegistry
 from repro.utils.counters import OP_COUNTERS, OpCounters
 
@@ -209,6 +218,148 @@ class TestTelemetryView:
         telemetry.reset()
         ops.add("k2")
         assert ops.get("k2") == 1
+
+
+class TestHistogramBuckets:
+    def test_bucket_ladder_shape(self):
+        assert BUCKET_BOUNDS == tuple(sorted(BUCKET_BOUNDS))
+        assert len(BUCKET_BOUNDS) == len(set(BUCKET_BOUNDS))
+        # 1/2.5/5 per decade covers microseconds to hundreds of millions.
+        assert 1.0 in BUCKET_BOUNDS
+        assert 2.5 in BUCKET_BOUNDS
+        assert 5.0 in BUCKET_BOUNDS
+
+    def test_quantiles_interpolate_and_clamp(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        assert histogram.count == 100
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 100.0
+        p50 = histogram.quantile(0.50)
+        p95 = histogram.quantile(0.95)
+        p99 = histogram.quantile(0.99)
+        # Log-bucketed estimates: generous tolerance, strict ordering.
+        assert 25.0 <= p50 <= 75.0
+        assert p50 <= p95 <= p99 <= 100.0
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(1.0) == 100.0
+
+    def test_quantile_of_empty_histogram(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_single_observation_quantiles_are_exact(self):
+        histogram = Histogram()
+        histogram.observe(42.0)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert histogram.quantile(q) == 42.0
+
+    def test_as_dict_superset_of_summary(self):
+        histogram = Histogram()
+        histogram.observe(1.0)
+        histogram.observe(3.0)
+        doc = histogram.as_dict()
+        for key in ("count", "total", "min", "max", "mean", "p50", "p95", "p99"):
+            assert key in doc
+        # HistogramSummary.as_dict stays pinned to the original five keys.
+        assert set(histogram.summary().as_dict()) == {
+            "count",
+            "total",
+            "min",
+            "max",
+            "mean",
+        }
+
+    def test_from_parts_round_trip(self):
+        histogram = Histogram()
+        for value in (0.001, 0.25, 3.0, 700.0, 1e12):  # 1e12 overflows ladder
+            histogram.observe(value)
+        clone = Histogram.from_parts(
+            count=histogram.count,
+            total=histogram.total,
+            minimum=histogram.minimum,
+            maximum=histogram.maximum,
+            buckets=histogram.nonzero_buckets(),
+        )
+        assert clone.nonzero_buckets() == histogram.nonzero_buckets()
+        assert clone.quantile(0.5) == histogram.quantile(0.5)
+
+    def test_cumulative_buckets_end_at_count(self):
+        histogram = Histogram()
+        for value in (0.1, 0.2, 5.0):
+            histogram.observe(value)
+        buckets = histogram.cumulative_buckets()
+        assert buckets[-1] == ("+Inf", 3)
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts)
+
+
+class TestVolatileHeuristic:
+    def test_wall_clock_series_are_volatile(self):
+        for name in (
+            "pipeline.stage.seconds",
+            "sweep.point.duration_s",
+            "compile.wall_ms",
+            "stage.duration",
+        ):
+            assert is_volatile_metric(name), name
+
+    def test_deterministic_series_are_not(self):
+        for name in (
+            "ops.scheduler.cycles",
+            "runtime.replay.cycles",
+            "sweep.points_total",
+            "pipeline.stage.executions",
+        ):
+            assert not is_volatile_metric(name), name
+
+
+class TestDumpRoundTrip:
+    @staticmethod
+    def _populated():
+        registry = MetricsRegistry()
+        registry.inc("ops.calls", 3)
+        registry.inc("sweep.points_total", 2, status="done", task="compare")
+        registry.set_gauge("depth", 4.0)
+        for value in (1.0, 2.0, 30.0):
+            registry.observe("runtime.replay.cycles", value)
+        registry.observe("pipeline.stage.seconds", 0.5, stage="translate")
+        return registry
+
+    def test_dump_schema_and_round_trip(self):
+        registry = self._populated()
+        doc = registry.dump()
+        assert doc["schema"] == DUMP_SCHEMA
+
+        clone = registry_from_dump(doc)
+        assert clone.counter("ops.calls") == 3
+        assert clone.counter("sweep.points_total", status="done", task="compare") == 2
+        assert clone.gauge("depth") == 4.0
+        detail = clone.histogram_detail("runtime.replay.cycles")
+        assert detail.count == 3
+        assert detail.nonzero_buckets() == (
+            registry.histogram_detail("runtime.replay.cycles").nonzero_buckets()
+        )
+        assert clone.quantile("runtime.replay.cycles", 0.5) == (
+            registry.quantile("runtime.replay.cycles", 0.5)
+        )
+
+    def test_deterministic_dump_drops_volatile_series(self):
+        registry = self._populated()
+        doc = registry.dump(deterministic=True)
+        names = {entry["name"] for entry in doc["histograms"]}
+        assert "runtime.replay.cycles" in names
+        assert "pipeline.stage.seconds" not in names
+
+    def test_prefix_filter(self):
+        registry = self._populated()
+        doc = registry.dump(prefix="sweep.")
+        assert {entry["name"] for entry in doc["counters"]} == {"sweep.points_total"}
+        assert doc["histograms"] == []
+
+    def test_registry_from_dump_rejects_unknown_schema(self):
+        with pytest.raises(ValueError):
+            registry_from_dump({"schema": "bogus/9"})
 
 
 def test_histogram_summary_dataclass():

@@ -1,0 +1,131 @@
+"""Tests for the per-span resource sampler (RSS/CPU/tracemalloc)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.resources import (
+    RESOURCES,
+    RESOURCES_ENV,
+    TRACEMALLOC_ENV,
+    ResourceSampler,
+    read_rss_kb,
+)
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture(autouse=True)
+def _sampler_off():
+    """Keep the process-global sampler disabled around each test."""
+    yield
+    RESOURCES.disable()
+
+
+class TestReadRss:
+    def test_returns_positive_on_linux(self):
+        # /proc/self/status exists in this environment; a live Python
+        # process is never resident in zero kilobytes.
+        assert read_rss_kb() > 0
+
+
+class TestSampler:
+    def test_disabled_by_default(self):
+        sampler = ResourceSampler()
+        assert not sampler.enabled
+        assert sampler.before() is None
+        assert sampler.delta(None) == {}
+
+    def test_enable_disable_cycle(self):
+        sampler = ResourceSampler()
+        sampler.enable()
+        assert sampler.enabled
+        assert not sampler.tracemalloc_enabled
+        snapshot = sampler.before()
+        assert snapshot is not None
+        attrs = sampler.delta(snapshot)
+        assert set(attrs) == {"rss_kb_delta", "cpu_ms"}
+        assert isinstance(attrs["rss_kb_delta"], int)
+        assert attrs["cpu_ms"] >= 0.0
+        sampler.disable()
+        assert not sampler.enabled
+
+    def test_tracemalloc_peak_attr(self):
+        sampler = ResourceSampler()
+        sampler.enable(tracemalloc_peaks=True)
+        try:
+            assert sampler.tracemalloc_enabled
+            snapshot = sampler.before()
+            blob = bytearray(512 * 1024)  # force a visible allocation peak
+            attrs = sampler.delta(snapshot)
+            del blob
+            assert attrs["py_alloc_peak_kb"] >= 512
+        finally:
+            sampler.disable()
+
+    def test_deterministic_env_suppresses_sampling(self, monkeypatch):
+        monkeypatch.setenv("DCMBQC_TRACE_DETERMINISTIC", "1")
+        sampler = ResourceSampler()
+        sampler.enable()
+        assert not sampler.enabled
+        assert sampler.suppressed
+        assert sampler.before() is None
+        sampler.disable()
+        assert not sampler.suppressed
+
+    def test_ensure_enabled_from_environment(self, monkeypatch):
+        monkeypatch.delenv("DCMBQC_TRACE_DETERMINISTIC", raising=False)
+        monkeypatch.setenv(RESOURCES_ENV, "1")
+        monkeypatch.setenv(TRACEMALLOC_ENV, "0")
+        sampler = ResourceSampler()
+        sampler.ensure_enabled_from_environment()
+        try:
+            assert sampler.enabled
+            assert not sampler.tracemalloc_enabled
+        finally:
+            sampler.disable()
+
+    def test_ensure_enabled_noop_without_env(self, monkeypatch):
+        monkeypatch.delenv(RESOURCES_ENV, raising=False)
+        sampler = ResourceSampler()
+        sampler.ensure_enabled_from_environment()
+        assert not sampler.enabled
+
+
+class TestTracerIntegration:
+    def test_spans_annotated_when_sampling(self, monkeypatch):
+        monkeypatch.delenv("DCMBQC_TRACE_DETERMINISTIC", raising=False)
+        tracer = Tracer()
+        tracer.enable(deterministic=False)
+        RESOURCES.enable()
+        try:
+            with tracer.span("profiled"):
+                sum(range(10_000))
+        finally:
+            RESOURCES.disable()
+        [record] = tracer.spans()
+        assert "rss_kb_delta" in record.attributes
+        assert "cpu_ms" in record.attributes
+        assert record.attributes["cpu_ms"] >= 0.0
+
+    def test_spans_clean_when_sampler_disabled(self):
+        tracer = Tracer()
+        tracer.enable(deterministic=True)
+        with tracer.span("bare"):
+            pass
+        [record] = tracer.spans()
+        assert "rss_kb_delta" not in record.attributes
+        assert "cpu_ms" not in record.attributes
+
+    def test_explicit_attrs_win_over_sampler(self, monkeypatch):
+        """User-set attrs are never clobbered (setdefault semantics)."""
+        monkeypatch.delenv("DCMBQC_TRACE_DETERMINISTIC", raising=False)
+        tracer = Tracer()
+        tracer.enable(deterministic=False)
+        RESOURCES.enable()
+        try:
+            with tracer.span("explicit") as span:
+                span.set(cpu_ms="mine")
+        finally:
+            RESOURCES.disable()
+        [record] = tracer.spans()
+        assert record.attributes["cpu_ms"] == "mine"

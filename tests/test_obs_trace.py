@@ -191,6 +191,51 @@ class TestDrainAndAdopt:
 
     def test_adopt_empty_payload(self, tracer):
         assert tracer.adopt([]) == 0
+        assert tracer.spans() == []
+
+    def test_adopt_unknown_parent_ids_reparent_under_caller(self, tracer):
+        """A payload entry referencing a parent id that was never shipped
+        must not dangle: it is re-parented under the caller's active span."""
+        worker = Tracer()
+        worker.enable(deterministic=True)
+        with worker.span("first"):
+            pass
+        worker.drain_since(0)  # drop "first" — its id is now unknown
+        with worker.span("second"):
+            pass
+        payload = worker.drain_since(0)
+        # "second" is a root in the payload; corrupt one entry to point at
+        # the dropped span's id to simulate a partial drain.
+        payload[0]["parent_id"] = 999_999
+
+        with tracer.span("host"):
+            adopted = tracer.adopt(payload)
+        assert adopted == 1
+        spans = {record.name: record for record in tracer.spans()}
+        assert spans["second"].parent_id == spans["host"].span_id
+
+    def test_double_adoption_allocates_unique_ids(self, tracer):
+        worker = Tracer()
+        worker.enable(deterministic=True)
+        with worker.span("outer"):
+            with worker.span("inner"):
+                pass
+        payload = worker.drain_since(0)
+
+        with tracer.span("host"):
+            assert tracer.adopt(payload) == 2
+            assert tracer.adopt(payload) == 2
+        spans = tracer.spans()
+        assert len(spans) == 5
+        ids = [record.span_id for record in spans]
+        assert len(set(ids)) == 5
+        # Each adopted copy keeps its internal structure intact.
+        by_id = {record.span_id: record for record in spans}
+        inners = [record for record in spans if record.name == "inner"]
+        assert len(inners) == 2
+        assert by_id[inners[0].parent_id].name == "outer"
+        assert by_id[inners[1].parent_id].name == "outer"
+        assert inners[0].parent_id != inners[1].parent_id
 
 
 class TestConcurrency:

@@ -134,3 +134,85 @@ class TestSweepRunner:
         )
         run_grid(grid, progress=lambda p, r, done, total: events.append((done, total)))
         assert events == [(1, 2), (2, 2)]
+
+
+@task("_test_sleepy")
+def _sleepy_task(point):
+    """Sleeps for the per-point duration so straggler tests are seeded."""
+    import time
+
+    time.sleep(float(point.option("sleep_s")))
+    return {"ok": True}
+
+
+class TestRunHealth:
+    def test_failure_persists_type_and_traceback(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        outcome = run_grid([SweepPoint(task="_test_boom")], store=store)
+        record = outcome.records[0]
+        assert record["status"] == "failed"
+        assert record["error_type"] == "ValueError"
+        assert "always fails" in record["traceback"]
+        assert "Traceback (most recent call last)" in record["traceback"]
+        # The traceback round-trips through the JSONL store.
+        reloaded = ResultStore(tmp_path / "store").rows()[0]
+        assert reloaded["error_type"] == "ValueError"
+        assert "always fails" in reloaded["traceback"]
+
+    def test_unknown_task_reports_error_type(self):
+        outcome = execute_point(SweepPoint(task="no-such-task"))
+        assert outcome["error_type"] == "KeyError"
+
+    def test_successful_points_carry_no_health_fields(self, tmp_path):
+        log = tmp_path / "log"
+        log.touch()
+        store = ResultStore(tmp_path / "store")
+        point = SweepPoint(task="_test_touch", extra=(("log", str(log)),))
+        outcome = run_grid([point], store=store)
+        record = outcome.records[0]
+        assert "error_type" not in record
+        assert "traceback" not in record
+        assert "straggler" not in record
+
+    def test_straggler_flagged_against_rolling_median(self):
+        points = [
+            SweepPoint(
+                task="_test_sleepy",
+                extra=(("sleep_s", "0.01"), ("idx", str(index))),
+            )
+            for index in range(6)
+        ] + [
+            SweepPoint(task="_test_sleepy", extra=(("sleep_s", "0.3"), ("idx", "slow")))
+        ]
+        outcome = run_grid(points)
+        assert len(outcome.stragglers) == 1
+        straggler = next(r for r in outcome.records if r.get("straggler"))
+        assert straggler["straggler_ratio"] > 3.0
+        # summary() stays pinned to the original four keys.
+        assert set(outcome.summary()) == {"total", "completed", "skipped", "failed"}
+
+    def test_sweep_metrics_series_recorded(self):
+        from repro.obs.metrics import METRICS
+
+        METRICS.reset("sweep.")
+        run_grid([SweepPoint(task="_test_boom")])
+        assert METRICS.counter("sweep.points_total", status="failed", task="_test_boom") == 1
+        assert METRICS.counter("sweep.failures_total", task="_test_boom") == 1
+        assert METRICS.histogram("sweep.point.duration_s", task="_test_boom").count == 1
+        METRICS.reset("sweep.")
+
+    def test_sweep_point_events_emitted(self, tmp_path):
+        from repro.obs.events import EVENTS, read_events
+
+        path = tmp_path / "run.events.jsonl"
+        EVENTS.open(str(path), run_id="test")
+        try:
+            run_grid([SweepPoint(task="_test_boom")])
+        finally:
+            EVENTS.close()
+        events = read_events(str(path))
+        point_events = [e for e in events if e["event"] == "sweep.point"]
+        assert len(point_events) == 1
+        assert point_events[0]["status"] == "failed"
+        assert point_events[0]["error_type"] == "ValueError"
+        assert "always fails" in point_events[0]["traceback"]

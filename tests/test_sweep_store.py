@@ -98,3 +98,75 @@ class TestResultStore:
         store.record(point, _done({"v": 1.5}))
         line = store.path.read_text(encoding="utf-8").strip()
         assert json.loads(line)["params"]["note"] == "x"
+
+    def test_health_fields_persist_only_when_present(self, tmp_path):
+        store = ResultStore(tmp_path)
+        ok = SweepPoint(task="compare", program="QFT", num_qubits=8)
+        bad = SweepPoint(task="compare", program="VQE", num_qubits=8)
+        store.record(ok, _done({"v": 1}))
+        failure = _failed("ValueError: nope")
+        failure["error_type"] = "ValueError"
+        failure["traceback"] = "Traceback (most recent call last):\n..."
+        store.record(bad, failure)
+
+        reloaded = ResultStore(tmp_path)
+        ok_record = reloaded.get(ok.cache_key())
+        bad_record = reloaded.get(bad.cache_key())
+        assert "error_type" not in ok_record and "traceback" not in ok_record
+        assert bad_record["error_type"] == "ValueError"
+        assert bad_record["traceback"].startswith("Traceback")
+
+    def test_csv_excludes_traceback_but_keeps_error_type(self, tmp_path):
+        store = ResultStore(tmp_path)
+        bad = SweepPoint(task="compare", program="VQE", num_qubits=8)
+        failure = _failed("ValueError: nope")
+        failure["error_type"] = "ValueError"
+        failure["traceback"] = "Traceback (most recent call last):\n..."
+        store.record(bad, failure)
+
+        csv_path = tmp_path / "out.csv"
+        store.export_csv(csv_path)
+        with csv_path.open(encoding="utf-8", newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["error_type"] == "ValueError"
+        assert "traceback" not in rows[0]
+        assert "straggler" not in rows[0]
+
+
+class TestSummarizeHealth:
+    def test_empty_store(self, tmp_path):
+        health = ResultStore(tmp_path).summarize_health()
+        assert health["total"] == 0
+        assert health["failure_rate"] == 0.0
+        assert health["stragglers"] == []
+        assert health["failures"] == []
+
+    def test_quantiles_failures_and_stragglers(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for index in range(6):
+            point = SweepPoint(task="compare", extra=(("idx", str(index)),))
+            outcome = _done({"v": index})
+            outcome["duration_s"] = 0.1
+            store.record(point, outcome)
+        slow = SweepPoint(task="compare", extra=(("idx", "slow"),))
+        slow_outcome = _done({"v": 99})
+        slow_outcome["duration_s"] = 2.0
+        store.record(slow, slow_outcome)
+        bad = SweepPoint(task="compare", extra=(("idx", "bad"),))
+        failure = _failed("ValueError: nope")
+        failure["error_type"] = "ValueError"
+        failure["traceback"] = "Traceback (most recent call last):\n..."
+        store.record(bad, failure)
+
+        health = store.summarize_health()
+        assert health["total"] == 8
+        assert health["completed"] == 7
+        assert health["failed"] == 1
+        assert health["failure_rate"] == round(1 / 8, 4)
+        assert health["duration_s"]["p50"] == 0.1
+        assert health["duration_s"]["max"] == 2.0
+        assert len(health["stragglers"]) == 1
+        assert health["stragglers"][0]["key"] == slow.cache_key()
+        assert health["stragglers"][0]["ratio"] == 20.0
+        assert health["failures"][0]["error_type"] == "ValueError"
+        assert health["failures"][0]["traceback"].startswith("Traceback")
