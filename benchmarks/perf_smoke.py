@@ -67,7 +67,7 @@ def collect_counters() -> dict:
         counters = {
             name[len("ops_"):]: value
             for name, value in sorted(row.items())
-            if name.startswith("ops_")
+            if name.startswith("ops_") and value
         }
         before = OP_COUNTERS.snapshot()
         pattern = circuit_to_pattern(
@@ -82,6 +82,30 @@ def collect_counters() -> dict:
                 ) + value
         counters["dependency_edges"] = dependency.graph.number_of_edges()
         table[f"qft-{row['qubits']}"] = counters
+
+    # Sparse-interconnect point: a 4-QPU line exercises the pipelined
+    # relay scheduler — route re-evaluations, store-and-forward buffer
+    # conflicts, BDIR re-route/link-shift moves — which the
+    # fully-connected figure-10 grid never touches.
+    from repro.core.compiler import DCMBQCCompiler
+    from repro.core.config import DCMBQCConfig
+    from repro.programs.registry import paper_grid_size
+    from repro.sweep.cache import build_computation
+
+    computation = build_computation("QFT", QFT_SIZES[-1], SEED)
+    config = DCMBQCConfig(
+        num_qpus=4,
+        grid_size=paper_grid_size(QFT_SIZES[-1]),
+        topology="line",
+        seed=SEED,
+    )
+    before = OP_COUNTERS.snapshot()
+    DCMBQCCompiler(config).compile_run(computation, store=None, use_cache=False)
+    table[f"qft-{QFT_SIZES[-1]}-line"] = {
+        name.replace(".", "_"): value
+        for name, value in sorted(OP_COUNTERS.delta_since(before).items())
+        if value
+    }
     return table
 
 

@@ -1,0 +1,50 @@
+"""Pipelined vs atomic relay communication model on a 4-QPU line.
+
+Runs the table-8 ``topology`` task with the relay model as the swept axis:
+every instance is compiled twice on the same sparse line interconnect —
+once under the atomic (circuit-switched) model that holds the whole route
+for the whole transfer, once under the pipelined store-and-forward hop
+windows — and replayed on the runtime executor.  The assertions pin the
+headline claim of the pipelined communication model: same routes, same
+relay volume, strictly shorter makespan on at least one row, never a worse
+photon lifetime, and a runtime replay that agrees with the scheduler on
+every row.
+"""
+
+from repro.reporting.experiments import relay_ablation_rows
+from repro.reporting.render import render_table8
+
+
+def test_relay_ablation_line(benchmark, bench_scale, bench_workers, record_table):
+    rows = benchmark.pedantic(
+        relay_ablation_rows,
+        args=(bench_scale,),
+        kwargs={"workers": bench_workers},
+        rounds=1,
+        iterations=1,
+    )
+    record_table(
+        "relay_ablation_line",
+        render_table8(
+            rows, title="Pipelined vs atomic relay ablation (line interconnect)"
+        ),
+    )
+
+    by_instance = {}
+    for row in rows:
+        label = f"{row['program']}-{row['num_qubits']}/{row['relay_model']}"
+        # The runtime replay re-derives every hop window independently and
+        # must agree with the scheduler on makespan and storage bound.
+        assert row["runtime_consistent"], f"{label}: runtime replay diverged"
+        key = (row["program"], row["num_qubits"])
+        by_instance.setdefault(key, {})[row["relay_model"]] = row
+
+    wins = 0
+    for key, variants in by_instance.items():
+        atomic, pipelined = variants["atomic"], variants["pipelined"]
+        # Same partition, same routes: the relay volume is model-independent.
+        assert atomic["relay_hops"] == pipelined["relay_hops"] > 0
+        assert pipelined["required_photon_lifetime"] <= atomic["required_photon_lifetime"]
+        if pipelined["execution_time"] < atomic["execution_time"]:
+            wins += 1
+    assert wins >= 1, "pipelined relays never beat the atomic model"

@@ -91,11 +91,15 @@ class ExperimentSpec:
     """One entry of the experiment registry.
 
     Attributes:
-        driver: ``scale -> rows`` function producing the artefact's data.
+        driver: ``(scale, system_overrides) -> rows`` function producing the
+            artefact's data; ``system_overrides`` is ``None`` or the
+            serialised ``--topology``/``--system-spec`` description, which
+            grid-backed drivers pin onto their parameter grid (static
+            tables ignore it).
         renderer: ``rows -> str`` function producing the paper-style table.
     """
 
-    driver: Callable[[experiments.BenchmarkScale], Sequence]
+    driver: Callable[[experiments.BenchmarkScale, Optional[Dict[str, object]]], Sequence]
     renderer: Callable[[Sequence], str]
 
 
@@ -103,48 +107,84 @@ class ExperimentSpec:
 #: ``experiment --name`` dispatch and reused for the ``sweep --grid`` choices.
 EXPERIMENT_REGISTRY: Dict[str, ExperimentSpec] = {
     "table1": ExperimentSpec(
-        lambda scale: experiments.table1_rows(), render.render_table1
+        lambda scale, system=None: experiments.table1_rows(), render.render_table1
     ),
-    "table2": ExperimentSpec(experiments.table2_rows, render.render_table2),
+    "table2": ExperimentSpec(
+        lambda scale, system=None: experiments.table2_rows(scale),
+        render.render_table2,
+    ),
     "table3": ExperimentSpec(
-        experiments.table3_rows,
+        lambda scale, system=None: experiments.table3_rows(
+            scale, system_overrides=system
+        ),
         lambda rows: render.render_comparison_table(
             rows, "Table III — 4 QPUs, 5-star RSG, vs OneQ"
         ),
     ),
     "table4": ExperimentSpec(
-        experiments.table4_rows,
+        lambda scale, system=None: experiments.table4_rows(
+            scale, system_overrides=system
+        ),
         lambda rows: render.render_comparison_table(
             rows, "Table IV — 8 QPUs, 4-ring RSG, vs OneQ"
         ),
     ),
     "table5": ExperimentSpec(
-        experiments.table5_rows,
+        lambda scale, system=None: experiments.table5_rows(
+            scale, system_overrides=system
+        ),
         lambda rows: render.render_series(rows, "Table V — vs OneAdapt"),
     ),
     "table6": ExperimentSpec(
-        lambda scale: experiments.table6_rows(), render.render_table6
+        lambda scale, system=None: experiments.table6_rows(system_overrides=system),
+        render.render_table6,
     ),
-    "table7": ExperimentSpec(experiments.table7_rows, render.render_table7),
-    "table8": ExperimentSpec(experiments.table8_rows, render.render_table8),
+    "table7": ExperimentSpec(
+        lambda scale, system=None: experiments.table7_rows(
+            scale, system_overrides=system
+        ),
+        render.render_table7,
+    ),
+    "table8": ExperimentSpec(
+        lambda scale, system=None: experiments.table8_rows(
+            scale, system_overrides=system
+        ),
+        render.render_table8,
+    ),
+    "relay-ablation": ExperimentSpec(
+        lambda scale, system=None: experiments.relay_ablation_rows(
+            scale, system_overrides=system
+        ),
+        lambda rows: render.render_table8(
+            rows, title="Pipelined vs atomic relay ablation (line interconnect)"
+        ),
+    ),
     "figure1": ExperimentSpec(
-        lambda scale: experiments.figure1_series(),
+        lambda scale, system=None: experiments.figure1_series(),
         lambda rows: render.render_series(rows, "Figure 1 — photon loss"),
     ),
     "figure7": ExperimentSpec(
-        lambda scale: experiments.figure7_series(),
+        lambda scale, system=None: experiments.figure7_series(
+            system_overrides=system
+        ),
         lambda rows: render.render_series(rows, "Figure 7 — resource states"),
     ),
     "figure8": ExperimentSpec(
-        lambda scale: experiments.figure8_series(),
+        lambda scale, system=None: experiments.figure8_series(
+            system_overrides=system
+        ),
         lambda rows: render.render_series(rows, "Figure 8 — K_max sensitivity"),
     ),
     "figure9": ExperimentSpec(
-        lambda scale: experiments.figure9_series(),
+        lambda scale, system=None: experiments.figure9_series(
+            system_overrides=system
+        ),
         lambda rows: render.render_series(rows, "Figure 9 — alpha_max robustness"),
     ),
     "figure10": ExperimentSpec(
-        lambda scale: experiments.figure10_series(),
+        lambda scale, system=None: experiments.figure10_series(
+            system_overrides=system
+        ),
         lambda rows: render.render_series(rows, "Figure 10 — compile-time scaling"),
     ),
 }
@@ -281,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="reduced",
         choices=[scale.value for scale in experiments.BenchmarkScale],
     )
+    add_system_arguments(experiment_parser)
 
     def positive_int(value: str) -> int:
         count = int(value)
@@ -488,6 +529,27 @@ def _system_overrides(args: argparse.Namespace) -> Dict[str, object]:
     return overrides
 
 
+def _serialise_system_overrides(overrides: Dict[str, object]) -> Dict[str, object]:
+    """Reduce config-typed system overrides to sweep-point extras.
+
+    Enum values collapse to their names and the per-point scalar channels
+    (grid size, ``K_max``, shared RSG type) are dropped — the per-QPU
+    tuples carry them — so the result can ride any sweep point's
+    ``extra`` channel.  Shared by ``experiment`` and ``sweep``.
+    """
+    serialisable = {
+        name: value.value if hasattr(value, "value") else value
+        for name, value in overrides.items()
+        if name not in ("grid_size", "connection_capacity", "rsg_type")
+    }
+    if "qpu_rsg_types" in serialisable:
+        serialisable["qpu_rsg_types"] = tuple(
+            ResourceStateType.from_name(rsg).value
+            for rsg in serialisable["qpu_rsg_types"]
+        )
+    return serialisable
+
+
 def _config_from_args(args: argparse.Namespace) -> DCMBQCConfig:
     grid_size = args.grid_size or paper_grid_size(args.qubits)
     base = dict(
@@ -682,7 +744,8 @@ def _run_compare(args: argparse.Namespace) -> int:
 def _run_experiment(args: argparse.Namespace) -> int:
     scale = experiments.BenchmarkScale(args.scale)
     spec = EXPERIMENT_REGISTRY[args.name]
-    print(spec.renderer(spec.driver(scale)))
+    system = _serialise_system_overrides(_system_overrides(args)) or None
+    print(spec.renderer(spec.driver(scale, system)))
     return 0
 
 
@@ -701,31 +764,11 @@ def _run_sweep(args: argparse.Namespace) -> int:
     _apply_obs_arguments(args, grid=args.grid, scale=args.scale, workers=args.workers)
     scale = experiments.BenchmarkScale(args.scale)
     grid = GRID_REGISTRY[args.grid](scale, seed=args.seed)
-    system_overrides = _system_overrides(args)
+    system_overrides = _serialise_system_overrides(_system_overrides(args))
     if system_overrides:
-        # Fixed overrides ride the sweep points' ``extra`` channel.  Grid
-        # axes that sweep the same parameter (e.g. table8's topology axis,
-        # or a num_qpus axis when --system-spec pins the fleet size) are
-        # dropped — otherwise the axis value would win and clash with the
-        # pinned per-QPU tuples on every expanded point.
-        serialisable = {
-            name: value.value if hasattr(value, "value") else value
-            for name, value in system_overrides.items()
-            if name not in ("grid_size", "connection_capacity", "rsg_type")
-        }
-        if "qpu_rsg_types" in serialisable:
-            serialisable["qpu_rsg_types"] = tuple(
-                ResourceStateType.from_name(rsg).value
-                for rsg in serialisable["qpu_rsg_types"]
-            )
-        from repro.sweep import ParameterGrid
+        from repro.sweep.grids import pin_system_overrides
 
-        remaining_axes = {
-            name: values for name, values in grid.axes if name not in serialisable
-        }
-        if len(remaining_axes) != len(grid.axes):
-            grid = ParameterGrid(grid.task, axes=remaining_axes, fixed=dict(grid.fixed))
-        grid = grid.with_fixed(**serialisable)
+        grid = pin_system_overrides(grid, system_overrides)
     try:
         store = ResultStore(args.out)
     except OSError as exc:

@@ -71,6 +71,22 @@ class BaselineComparison:
         }
 
 
+def _baseline_spec(config: DCMBQCConfig):
+    """``(grid_size, rsg_type)`` the monolithic baseline is built with.
+
+    Homogeneous fleets use the shared spec — bit-identical to the historic
+    behaviour, so cached baseline compilations stay valid.  Heterogeneous
+    fleets compare against the most capable QPU in the fleet (largest grid,
+    first such QPU on ties): the monolithic machine a mixed fleet replaces
+    is at least as large as its biggest member, so mixed-fleet table-8 rows
+    do not understate the baseline.
+    """
+    if not config.is_heterogeneous:
+        return config.grid_size, config.rsg_type
+    best = max(config.qpu_specs(), key=lambda spec: spec.grid_size)
+    return best.grid_size, best.rsg_type
+
+
 def _to_computation_graph(program: CompilationInput) -> ComputationGraph:
     if isinstance(program, ComputationGraph):
         return program
@@ -98,14 +114,15 @@ def compare_with_baseline(
     computation = _to_computation_graph(program)
 
     baseline_key = baseline.lower()
+    grid_size, rsg_type = _baseline_spec(config)
     if baseline_key == "oneq":
         baseline_schedule = OneQCompiler(
-            grid_size=config.grid_size, rsg_type=config.rsg_type, seed=config.seed
+            grid_size=grid_size, rsg_type=rsg_type, seed=config.seed
         ).compile(computation)
     elif baseline_key == "oneadapt":
         baseline_schedule = OneAdaptCompiler(
-            grid_size=config.grid_size,
-            rsg_type=config.rsg_type,
+            grid_size=grid_size,
+            rsg_type=rsg_type,
             boundary_reservation=True,
             seed=config.seed,
         ).compile(computation)

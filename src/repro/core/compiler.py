@@ -115,13 +115,16 @@ class DCMBQCCompiler:
         The system model constrains the search: heterogeneous fleets
         balance part weights against per-QPU cell capacities instead of a
         uniform ``1/N``, and sparse interconnects weight cut edges by the
-        hop distance between the parts they join.  Homogeneous
-        fully-connected systems pass ``None`` for both, which keeps the
-        seed partitioner's exact (bit-identical) code path.
+        *communication volume* between the parts they join — the relay
+        cycles (QPU slots, store-and-forward buffers, capacity-weighted
+        link cycles) one pipelined sync costs under the current route
+        table.  Homogeneous fully-connected systems pass ``None`` for
+        both, which keeps the seed partitioner's exact (bit-identical)
+        code path.
         """
         system = self.system_model()
         capacities = None if system.is_homogeneous else system.qpu_capacity_weights()
-        part_hops = None if system.is_fully_connected else system.hop_matrix()
+        comm_costs = None if system.is_fully_connected else system.comm_volume_matrix()
         adaptive_config = AdaptivePartitionConfig(
             num_parts=self.config.num_qpus,
             epsilon_q=self.config.epsilon_q,
@@ -129,7 +132,7 @@ class DCMBQCCompiler:
             gamma=self.config.gamma,
             seed=self.config.seed,
             capacities=capacities,
-            part_hops=part_hops,
+            comm_costs=comm_costs,
         )
         partition = AdaptivePartitioner(adaptive_config).partition(computation.graph)
         partition.validate_covers(computation.graph)
@@ -235,6 +238,7 @@ class DCMBQCCompiler:
             removed_nodes=set(computation.removed_nodes),
             qpu_capacities=qpu_capacities,
             link_capacities=link_capacities,
+            relay_model=self.config.relay_model,
         )
         return problem, connectors
 
@@ -243,7 +247,9 @@ class DCMBQCCompiler:
         initial = list_schedule(problem)
         if not self.config.use_bdir:
             return initial
-        refined = BDIRScheduler(problem, self.config.bdir).refine(initial)
+        refined = BDIRScheduler(
+            problem, self.config.bdir, system=self.system_model()
+        ).refine(initial)
         return refined
 
     # ------------------------------------------------------------------ #

@@ -51,6 +51,13 @@ class DCMBQCConfig:
         use_bdir: Refine the schedule with BDIR (Algorithm 3); when False
             only priority-based list scheduling is used ("DC-MBQC (Core)").
         bdir: Simulated-annealing parameters for BDIR.
+        relay_model: Communication model for relayed syncs on sparse
+            interconnects: ``"pipelined"`` (store-and-forward hop windows,
+            the default) or ``"atomic"`` (circuit-switched: the whole route
+            held for the full transfer window; kept for before/after
+            ablations).  Direct syncs behave
+            identically under both, so fully-connected systems are
+            unaffected.
         seed: Master seed for every stochastic component.
     """
 
@@ -69,6 +76,7 @@ class DCMBQCConfig:
     gamma: float = 1.02
     use_bdir: bool = True
     bdir: BDIRConfig = field(default_factory=BDIRConfig)
+    relay_model: str = "pipelined"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -80,6 +88,10 @@ class DCMBQCConfig:
             raise CompilationError("connection_capacity must be at least 1")
         if self.alpha_max < 1.0:
             raise CompilationError("alpha_max must be at least 1.0")
+        if self.relay_model not in ("pipelined", "atomic"):
+            raise CompilationError(
+                f"relay_model must be 'pipelined' or 'atomic', got {self.relay_model!r}"
+            )
 
         # Normalise sequence fields so frozen configs stay hashable and
         # cache keys canonical regardless of whether callers pass lists.

@@ -43,6 +43,7 @@ __all__ = [
     "Link",
     "SystemModel",
     "build_system",
+    "enumerate_routes",
     "grid2d_dimensions",
     "system_from_json",
     "system_to_json",
@@ -50,6 +51,74 @@ __all__ = [
 
 UNREACHABLE = -1
 """Hop-distance marker for QPU pairs with no connecting path."""
+
+
+def _bfs_route(adjacency, qpu_a, qpu_b, banned=None):
+    """Lexicographically-smallest shortest path ``qpu_a -> qpu_b``.
+
+    ``adjacency`` maps each node to its neighbours in ascending order;
+    ``banned`` is one normalised link to avoid (detour search).  Returns
+    ``None`` when no path exists.
+    """
+
+    def blocked(u, v):
+        return banned is not None and (min(u, v), max(u, v)) == banned
+
+    distance = {qpu_b: 0}
+    frontier = [qpu_b]
+    while frontier:
+        upcoming = []
+        for node in frontier:
+            for neighbour in adjacency.get(node, ()):
+                if blocked(node, neighbour) or neighbour in distance:
+                    continue
+                distance[neighbour] = distance[node] + 1
+                upcoming.append(neighbour)
+        frontier = upcoming
+    if qpu_a not in distance:
+        return None
+    path = [qpu_a]
+    node = qpu_a
+    while node != qpu_b:
+        for neighbour in adjacency[node]:
+            if blocked(node, neighbour):
+                continue
+            if distance.get(neighbour, UNREACHABLE) == distance[node] - 1:
+                node = neighbour
+                break
+        else:  # pragma: no cover - unreachable on a consistent BFS table
+            return None
+        path.append(node)
+    return tuple(path)
+
+
+def enumerate_routes(links, qpu_a, qpu_b, limit=4):
+    """Deterministic simple routes between two QPUs over a raw link set.
+
+    ``links`` is any iterable (or mapping) of normalised ``(min, max)``
+    QPU pairs.  The primary route (lexicographically-smallest shortest
+    path) comes first, followed by the detours obtained by avoiding one
+    primary link at a time — shortest first, ties lexicographic — up to
+    ``limit`` routes in total.  This is the route set BDIR's re-route and
+    link-shift moves draw from when no :class:`SystemModel` is at hand.
+    """
+    neighbours: Dict[int, set] = {}
+    for u, v in links:
+        neighbours.setdefault(u, set()).add(v)
+        neighbours.setdefault(v, set()).add(u)
+    adjacency = {node: tuple(sorted(peers)) for node, peers in neighbours.items()}
+    primary = _bfs_route(adjacency, qpu_a, qpu_b)
+    if primary is None:
+        return []
+    seen = {primary}
+    detours = []
+    for u, v in zip(primary, primary[1:]):
+        detour = _bfs_route(adjacency, qpu_a, qpu_b, banned=(min(u, v), max(u, v)))
+        if detour is not None and detour not in seen:
+            seen.add(detour)
+            detours.append(detour)
+    detours.sort(key=lambda route: (len(route), route))
+    return [primary, *detours][:limit]
 
 
 @dataclass(frozen=True)
@@ -224,6 +293,58 @@ class SystemModel:
             node = self._next_hop[node][qpu_b]
             path.append(node)
         return tuple(path)
+
+    def alternate_routes(self, qpu_a: int, qpu_b: int, limit: int = 4) -> List[Tuple[int, ...]]:
+        """The canonical route plus deterministic link-avoiding detours.
+
+        The first entry is always :meth:`route`; each further entry is the
+        shortest path avoiding one canonical link (shortest first, ties
+        lexicographic), up to ``limit`` routes.  BDIR's re-route and
+        link-shift moves pick from this set.
+        """
+        primary = self.route(qpu_a, qpu_b)
+        adjacency = {qpu: self._adjacency[qpu] for qpu in range(self.num_qpus)}
+        seen = {primary}
+        detours = []
+        for u, v in zip(primary, primary[1:]):
+            detour = _bfs_route(adjacency, qpu_a, qpu_b, banned=(min(u, v), max(u, v)))
+            if detour is not None and detour not in seen:
+                seen.add(detour)
+                detours.append(detour)
+        detours.sort(key=lambda route: (len(route), route))
+        return [primary, *detours][:limit]
+
+    def comm_volume_matrix(self) -> Tuple[Tuple[float, ...], ...]:
+        """Per-pair communication volume: relay cycles under the route table.
+
+        One pipelined sync between QPUs ``p`` and ``q`` with an ``H``-hop
+        route consumes ``2H`` QPU communication cycles (the endpoints one
+        each, every store-and-forward intermediate two), ``H - 1`` buffer
+        cycles, and one link cycle per hop weighted by how narrow the link
+        is relative to the system's widest (``max_cap / cap``) — a
+        congested-prone link prices higher.  This replaces the raw
+        hop-count weighting as the partitioner's cut objective; on uniform
+        fully-connected systems all off-diagonal entries are equal, which
+        the partitioner collapses back to the classic unweighted gain.
+        """
+        widest = max((link.capacity for link in self.links), default=1)
+        size = self.num_qpus
+        matrix = []
+        for source in range(size):
+            row = []
+            for target in range(size):
+                if source == target:
+                    row.append(0.0)
+                    continue
+                route = self.route(source, target)
+                hops = len(route) - 1
+                link_cost = sum(
+                    widest / self.link_capacity(u, v)
+                    for u, v in zip(route, route[1:])
+                )
+                row.append(2.0 * hops + (hops - 1) + link_cost)
+            matrix.append(tuple(row))
+        return tuple(matrix)
 
     def link_capacity(self, qpu_a: int, qpu_b: int) -> int:
         """Per-link ``K_max`` of the direct link between two QPUs.

@@ -41,10 +41,11 @@ class AdaptivePartitionConfig:
         capacities: Optional relative per-part capacities (heterogeneous QPU
             fleets); forwarded to the multilevel partitioner, which balances
             part weights against capacity shares instead of uniform ``1/k``.
-        part_hops: Optional inter-part hop-distance matrix of the
-            interconnect; FM refinement weights cut edges by it so cuts
-            land on adjacent QPUs.  ``None`` keeps the topology-free
-            behaviour (fully-connected systems).
+        comm_costs: Optional inter-part communication-volume matrix of the
+            interconnect (relay QPU + buffer + capacity-weighted link
+            cycles per sync); FM refinement weights cut edges by it so
+            cuts land on cheap-to-reach QPUs.  ``None`` keeps the
+            topology-free behaviour (fully-connected systems).
     """
 
     num_parts: int
@@ -54,7 +55,7 @@ class AdaptivePartitionConfig:
     max_iterations: int = 64
     seed: int = 0
     capacities: Optional[Tuple[float, ...]] = None
-    part_hops: Optional[Tuple[Tuple[int, ...], ...]] = None
+    comm_costs: Optional[Tuple[Tuple[float, ...], ...]] = None
 
     def __post_init__(self) -> None:
         if self.num_parts < 1:
@@ -104,7 +105,7 @@ class AdaptivePartitioner:
                 config.num_parts,
                 seed=config.seed,
                 capacities=config.capacities,
-                part_hops=config.part_hops,
+                comm_costs=config.comm_costs,
             ).partition(graph)
 
         alpha = 1.0
@@ -118,7 +119,7 @@ class AdaptivePartitioner:
                 imbalance=alpha,
                 seed=config.seed,
                 capacities=config.capacities,
-                part_hops=config.part_hops,
+                comm_costs=config.comm_costs,
             )
             candidate = partitioner.partition(graph)
             q = modularity(graph, candidate.assignment)

@@ -154,12 +154,16 @@ class MultilevelPartitioner:
             the uniform ``total / num_parts``.  ``None`` (or an all-equal
             sequence) keeps the exact uniform code path, bit-identical to
             the homogeneous partitioner.
-        part_hops: Optional ``num_parts x num_parts`` hop-distance matrix of
-            the interconnect.  FM refinement then scores a boundary move by
-            the *hop-weighted* cut it leaves behind (an edge cut between
-            parts ``p`` and ``q`` costs ``weight * hops[p][q]``), steering
-            cut edges onto adjacent QPUs.  ``None`` (or an all-ones
-            off-diagonal, i.e. fully connected) keeps the classic
+        comm_costs: Optional ``num_parts x num_parts`` communication-cost
+            matrix of the interconnect (e.g. the pipelined relay volume —
+            QPU, buffer and capacity-weighted link cycles — one sync
+            between the parts costs).  FM refinement then scores a
+            boundary move by the *cost-weighted* cut it leaves behind (an
+            edge cut between parts ``p`` and ``q`` costs
+            ``weight * comm_costs[p][q]``), steering cut edges onto
+            cheap-to-reach QPUs.  ``None`` (or any matrix whose
+            off-diagonal entries are all equal, e.g. a uniform
+            fully-connected interconnect) keeps the classic
             external-minus-internal gain, bit-identical to the seed
             implementation.
     """
@@ -171,7 +175,7 @@ class MultilevelPartitioner:
         seed: int = 0,
         refinement_passes: int = 4,
         capacities: Optional[Sequence[float]] = None,
-        part_hops: Optional[Sequence[Sequence[int]]] = None,
+        comm_costs: Optional[Sequence[Sequence[float]]] = None,
     ) -> None:
         if num_parts < 1:
             raise PartitionError("num_parts must be at least 1")
@@ -196,18 +200,19 @@ class MultilevelPartitioner:
             if any(value != capacities[0] for value in capacities):
                 total = float(sum(capacities))
                 self.capacities = tuple(float(v) / total for v in capacities)
-        self.part_hops: Optional[Tuple[Tuple[float, ...], ...]] = None
-        if part_hops is not None:
-            matrix = tuple(tuple(float(h) for h in row) for row in part_hops)
+        self.comm_costs: Optional[Tuple[Tuple[float, ...], ...]] = None
+        if comm_costs is not None:
+            matrix = tuple(tuple(float(h) for h in row) for row in comm_costs)
             if len(matrix) != num_parts or any(len(row) != num_parts for row in matrix):
-                raise PartitionError("part_hops must be a num_parts x num_parts matrix")
-            if any(
-                matrix[p][q] != 1.0
+                raise PartitionError("comm_costs must be a num_parts x num_parts matrix")
+            off_diagonal = [
+                matrix[p][q]
                 for p in range(num_parts)
                 for q in range(num_parts)
                 if p != q
-            ):
-                self.part_hops = matrix
+            ]
+            if any(value != off_diagonal[0] for value in off_diagonal):
+                self.comm_costs = matrix
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -426,11 +431,12 @@ class MultilevelPartitioner:
     def _refine(self, graph: _ArrayGraph, assignment: List[int]) -> List[int]:
         """FM-style boundary refinement respecting the imbalance limit.
 
-        With ``part_hops`` set, the gain of moving a boundary node weighs
-        every cut edge by the hop distance between the endpoint parts, so a
-        move that turns a 3-hop cut into a 1-hop cut is profitable even when
-        the plain cut size is unchanged.  The topology-free branch is the
-        seed implementation verbatim.
+        With ``comm_costs`` set, the gain of moving a boundary node weighs
+        every cut edge by the communication volume between the endpoint
+        parts, so a move that turns an expensive multi-hop cut into a cheap
+        direct-link cut is profitable even when the plain cut size is
+        unchanged.  The topology-free branch is the seed implementation
+        verbatim.
         """
         assignment = list(assignment)
         total_weight = sum(graph.node_weight)
@@ -439,7 +445,7 @@ class MultilevelPartitioner:
             limits = [uniform_limit] * self.num_parts
         else:
             limits = self._part_limits(total_weight)
-        hops = self.part_hops
+        hops = self.comm_costs
         part_weight = [0.0] * self.num_parts
         for node, part in enumerate(assignment):
             part_weight[part] += graph.node_weight[node]
@@ -526,7 +532,7 @@ def partition_graph(
     imbalance: float = 1.0,
     seed: int = 0,
     capacities: Optional[Sequence[float]] = None,
-    part_hops: Optional[Sequence[Sequence[int]]] = None,
+    comm_costs: Optional[Sequence[Sequence[float]]] = None,
 ) -> PartitionResult:
     """Convenience wrapper around :class:`MultilevelPartitioner`."""
     partitioner = MultilevelPartitioner(
@@ -534,6 +540,6 @@ def partition_graph(
         imbalance=imbalance,
         seed=seed,
         capacities=capacities,
-        part_hops=part_hops,
+        comm_costs=comm_costs,
     )
     return partitioner.partition(graph)

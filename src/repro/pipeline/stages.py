@@ -159,7 +159,7 @@ def distributed_stages(compiler) -> List[Stage]:
     config = compiler.config
     full_params = config_params(config)
     # The system model shapes the partition (capacity targets from per-QPU
-    # cells, hop-weighted cuts from the adjacency) and the mapping
+    # cells, communication-volume-weighted cuts from the interconnect) and the mapping
     # (per-partition grids), so exactly the structure each stage consumes
     # joins its cache key — K_max / link capacities only reach the
     # scheduling stage, keeping partition+mapping artifacts shared across
@@ -169,9 +169,18 @@ def distributed_stages(compiler) -> List[Stage]:
         name: full_params[name]
         for name in ("num_qpus", "epsilon_q", "alpha_max", "gamma", "seed")
     }
+    # On sparse interconnects link capacity joins the partition key: the
+    # communication-volume cut objective weights link cycles by capacity,
+    # so the same adjacency with different link widths partitions
+    # differently.  Fully-connected systems ignore the matrix entirely,
+    # keeping partition artifacts shared across K_max sweeps.
+    if system.is_fully_connected:
+        links_key = [[link.qpu_a, link.qpu_b] for link in system.links]
+    else:
+        links_key = [[link.qpu_a, link.qpu_b, link.capacity] for link in system.links]
     partition_params["system"] = {
         "grid_sizes": [qpu.grid_size for qpu in system.qpus],
-        "links": [[link.qpu_a, link.qpu_b] for link in system.links],
+        "links": links_key,
     }
     mapping_params = {
         name: full_params[name]

@@ -19,7 +19,7 @@ evaluates the paper's full sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.hardware.loss import photon_loss_probability
 from repro.hardware.platforms import PLATFORM_SURVEY, meets_dqc_thresholds
@@ -27,7 +27,7 @@ from repro.programs import build_benchmark
 from repro.programs.registry import PAPER_TABLE2, paper_grid_size
 from repro.sweep import grids
 from repro.sweep.cache import build_computation
-from repro.sweep.grids import BenchmarkScale, benchmark_sizes
+from repro.sweep.grids import BenchmarkScale, benchmark_sizes, pin_system_overrides
 from repro.sweep.runner import run_grid
 from repro.sweep.store import ResultStore
 
@@ -44,12 +44,20 @@ __all__ = [
     "table6_rows",
     "table7_rows",
     "table8_rows",
+    "relay_ablation_rows",
     "figure1_series",
     "figure7_series",
     "figure8_series",
     "figure9_series",
     "figure10_series",
 ]
+
+#: System-model overrides every grid-backed driver accepts: a serialisable
+#: mapping (topology name, per-QPU tuples, relay model, ...) pinned onto the
+#: grid via :func:`repro.sweep.grids.pin_system_overrides`, so
+#: ``experiment --topology line`` and ``sweep --topology line`` evaluate
+#: byte-identical points.
+SystemOverrides = Optional[Mapping[str, object]]
 
 
 @dataclass(frozen=True)
@@ -140,9 +148,11 @@ def table3_rows(
     seed: int = 0,
     workers: int = 1,
     store: Optional[ResultStore] = None,
+    system_overrides: SystemOverrides = None,
 ) -> List[ComparisonRow]:
     """Table III: DC-MBQC vs OneQ with 4 QPUs and 5-star resource states."""
-    outcome = run_grid(grids.table3_grid(scale, seed=seed), workers=workers, store=store)
+    grid = pin_system_overrides(grids.table3_grid(scale, seed=seed), system_overrides)
+    outcome = run_grid(grid, workers=workers, store=store)
     return [ComparisonRow.from_result(result) for result in outcome.results()]
 
 
@@ -151,9 +161,11 @@ def table4_rows(
     seed: int = 0,
     workers: int = 1,
     store: Optional[ResultStore] = None,
+    system_overrides: SystemOverrides = None,
 ) -> List[ComparisonRow]:
     """Table IV: DC-MBQC vs OneQ with 8 QPUs and 4-ring resource states."""
-    outcome = run_grid(grids.table4_grid(scale, seed=seed), workers=workers, store=store)
+    grid = pin_system_overrides(grids.table4_grid(scale, seed=seed), system_overrides)
+    outcome = run_grid(grid, workers=workers, store=store)
     return [ComparisonRow.from_result(result) for result in outcome.results()]
 
 
@@ -163,9 +175,13 @@ def table5_rows(
     seed: int = 0,
     workers: int = 1,
     store: Optional[ResultStore] = None,
+    system_overrides: SystemOverrides = None,
 ) -> List[Dict[str, object]]:
     """Table V: DC-MBQC vs an OneAdapt-style baseline for 4 and 8 QPUs."""
-    grid = grids.table5_grid(scale, seed=seed, num_qpus_list=num_qpus_list)
+    grid = pin_system_overrides(
+        grids.table5_grid(scale, seed=seed, num_qpus_list=num_qpus_list),
+        system_overrides,
+    )
     outcome = run_grid(grid, workers=workers, store=store)
     rows: List[Dict[str, object]] = []
     for point, result in zip(outcome.points, outcome.results()):
@@ -196,9 +212,13 @@ def table6_rows(
     seed: int = 0,
     workers: int = 1,
     store: Optional[ResultStore] = None,
+    system_overrides: SystemOverrides = None,
 ) -> List[Dict[str, object]]:
     """Table VI: required lifetime of list scheduling vs BDIR on QFT programs."""
-    grid = grids.table6_grid(seed=seed, qft_sizes=qft_sizes, num_qpus=num_qpus)
+    grid = pin_system_overrides(
+        grids.table6_grid(seed=seed, qft_sizes=qft_sizes, num_qpus=num_qpus),
+        system_overrides,
+    )
     return run_grid(grid, workers=workers, store=store).results()
 
 
@@ -213,6 +233,7 @@ def table7_rows(
     seed: int = 0,
     workers: int = 1,
     store: Optional[ResultStore] = None,
+    system_overrides: SystemOverrides = None,
 ) -> List[Dict[str, object]]:
     """Table VII: every program family (paper + extended) vs OneQ.
 
@@ -220,7 +241,9 @@ def table7_rows(
     combining the workload's structural characteristics with the
     OneQ-vs-DC-MBQC comparison.
     """
-    grid = grids.table7_grid(scale, seed=seed, num_qpus=num_qpus)
+    grid = pin_system_overrides(
+        grids.table7_grid(scale, seed=seed, num_qpus=num_qpus), system_overrides
+    )
     return run_grid(grid, workers=workers, store=store).results()
 
 
@@ -234,6 +257,7 @@ def table8_rows(
     seed: int = 0,
     workers: int = 1,
     store: Optional[ResultStore] = None,
+    system_overrides: SystemOverrides = None,
 ) -> List[Dict[str, object]]:
     """Table VIII: topology x QPU count x heterogeneity ablation.
 
@@ -241,9 +265,35 @@ def table8_rows(
     fully-connected / ring / line / 2D-grid interconnects at 4 and 8 QPUs,
     homogeneous vs mixed grid sizes — each compiled end to end and replayed
     on the runtime executor (the ``runtime_consistent`` column is the
-    executor's independent storage/lifetime cross-check).
+    executor's independent storage/makespan cross-check).
     """
-    grid = grids.table8_grid(scale, seed=seed)
+    grid = pin_system_overrides(grids.table8_grid(scale, seed=seed), system_overrides)
+    return run_grid(grid, workers=workers, store=store).results()
+
+
+def relay_ablation_rows(
+    scale: BenchmarkScale = BenchmarkScale.REDUCED,
+    seed: int = 0,
+    topology: str = "line",
+    num_qpus: int = 4,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
+    system_overrides: SystemOverrides = None,
+) -> List[Dict[str, object]]:
+    """Pipelined vs atomic relay model on one sparse interconnect.
+
+    The before/after companion of Table VIII: every instance of
+    :func:`repro.sweep.grids.relay_ablation_grid` compiles twice against
+    the same sparse system — once per relay model — isolating what the
+    store-and-forward hop windows buy over booking the whole route
+    atomically.
+    """
+    grid = pin_system_overrides(
+        grids.relay_ablation_grid(
+            scale, seed=seed, topology=topology, num_qpus=num_qpus
+        ),
+        system_overrides,
+    )
     return run_grid(grid, workers=workers, store=store).results()
 
 
@@ -279,10 +329,17 @@ def figure7_series(
     seed: int = 0,
     workers: int = 1,
     store: Optional[ResultStore] = None,
+    system_overrides: SystemOverrides = None,
 ) -> List[Dict[str, object]]:
     """Figure 7: improvement factors for each resource-state shape."""
-    grid = grids.figure7_grid(
-        seed=seed, program_qubits=program_qubits, num_qpus=num_qpus, programs=programs
+    grid = pin_system_overrides(
+        grids.figure7_grid(
+            seed=seed,
+            program_qubits=program_qubits,
+            num_qpus=num_qpus,
+            programs=programs,
+        ),
+        system_overrides,
     )
     outcome = run_grid(grid, workers=workers, store=store)
     rows = []
@@ -305,13 +362,17 @@ def figure8_series(
     seed: int = 0,
     workers: int = 1,
     store: Optional[ResultStore] = None,
+    system_overrides: SystemOverrides = None,
 ) -> List[Dict[str, object]]:
     """Figure 8: sensitivity to the connection capacity K_max (QFT programs)."""
-    grid = grids.figure8_grid(
-        seed=seed,
-        program_qubits=program_qubits,
-        kmax_values=kmax_values,
-        num_qpus=num_qpus,
+    grid = pin_system_overrides(
+        grids.figure8_grid(
+            seed=seed,
+            program_qubits=program_qubits,
+            kmax_values=kmax_values,
+            num_qpus=num_qpus,
+        ),
+        system_overrides,
     )
     outcome = run_grid(grid, workers=workers, store=store)
     rows = []
@@ -334,13 +395,17 @@ def figure9_series(
     seed: int = 0,
     workers: int = 1,
     store: Optional[ResultStore] = None,
+    system_overrides: SystemOverrides = None,
 ) -> List[Dict[str, object]]:
     """Figure 9: robustness to the maximum imbalance factor alpha_max."""
-    grid = grids.figure9_grid(
-        seed=seed,
-        program_qubits=program_qubits,
-        alpha_values=alpha_values,
-        num_qpus=num_qpus,
+    grid = pin_system_overrides(
+        grids.figure9_grid(
+            seed=seed,
+            program_qubits=program_qubits,
+            alpha_values=alpha_values,
+            num_qpus=num_qpus,
+        ),
+        system_overrides,
     )
     outcome = run_grid(grid, workers=workers, store=store)
     rows = []
@@ -362,7 +427,11 @@ def figure10_series(
     seed: int = 0,
     workers: int = 1,
     store: Optional[ResultStore] = None,
+    system_overrides: SystemOverrides = None,
 ) -> List[Dict[str, object]]:
     """Figure 10: compilation-runtime scaling of the three compiler variants."""
-    grid = grids.figure10_grid(seed=seed, qft_sizes=qft_sizes, num_qpus=num_qpus)
+    grid = pin_system_overrides(
+        grids.figure10_grid(seed=seed, qft_sizes=qft_sizes, num_qpus=num_qpus),
+        system_overrides,
+    )
     return run_grid(grid, workers=workers, store=store).results()

@@ -147,14 +147,18 @@ def render_table7(rows: Sequence[Dict[str, object]]) -> str:
     return table.render()
 
 
-def render_table8(rows: Sequence[Dict[str, object]]) -> str:
-    """Render Table VIII (topology / heterogeneity ablation)."""
+def render_table8(
+    rows: Sequence[Dict[str, object]],
+    title: str = "Table VIII — Interconnect topology ablation",
+) -> str:
+    """Render Table VIII (topology / heterogeneity / relay-model ablation)."""
     table = Table(
-        title="Table VIII — Interconnect topology ablation",
+        title=title,
         columns=[
             "Program",
             "QPUs",
             "Topology",
+            "Relay model",
             "Grids",
             "Links",
             "Connectors",
@@ -171,6 +175,7 @@ def render_table8(rows: Sequence[Dict[str, object]]) -> str:
                 f"{row['program']}-{row['num_qubits']}",
                 row["num_qpus"],
                 row["topology"],
+                row.get("relay_model", "pipelined"),
                 row["grid_sizes"],
                 row["num_links"],
                 row["connectors"],

@@ -18,6 +18,25 @@ annealing loop.  A neighbour is produced in three steps:
 The annealing loop accepts improving neighbours unconditionally and worse
 ones with probability ``exp(-dE / T)``.
 
+On sparse interconnects (a link-capacity table with at least one relayed
+sync) two further move classes join the classic balance-point pin:
+
+* **re-route** — the bottleneck sync is moved onto one of the
+  interconnect's alternate paths (``SystemModel.alternate_routes``),
+  scored by the pipelined remote gap plus the congestion its hop windows
+  would add;
+* **link shift** — the most saturated link's worst sync is re-routed onto
+  the least-loaded alternative that avoids that link.
+
+Both mutate the problem's route table (``LayerSchedulingProblem.set_route``)
+and are rolled back when the annealing step rejects the neighbour; the
+route table matching the best schedule is restored before returning.  The
+balance point of a relayed sync accounts for congested-route cycles: the
+ideal cycle under the pipelined gap formula, nudged to the nearby cycle
+whose hop windows add the least link over-subscription.  Fully-connected
+problems never take these paths, so their refinement (including the RNG
+stream) is unchanged.
+
 Every static view the primitives need (node→task map, fusion partners and
 dependency neighbours per main task, syncs per main task) is precomputed
 once per scheduler, and each candidate schedule is evaluated exactly once —
@@ -29,8 +48,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
+from repro.hardware.system import SystemModel, enumerate_routes
 from repro.obs.trace import TRACER
 from repro.scheduling.list_scheduler import list_schedule
 from repro.scheduling.problem import (
@@ -39,6 +59,7 @@ from repro.scheduling.problem import (
     ScheduleEvaluation,
     SyncTask,
     TaskKey,
+    remote_sync_gaps,
 )
 from repro.utils.counters import OP_COUNTERS
 from repro.utils.rng import make_rng
@@ -66,6 +87,7 @@ class BDIRScheduler:
 
     problem: LayerSchedulingProblem
     config: BDIRConfig = field(default_factory=BDIRConfig)
+    system: Optional[SystemModel] = None
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -84,12 +106,15 @@ class BDIRScheduler:
             current_eval = self.problem.evaluate(current)
             best = current.copy()
             best_cost = float(current_eval.tau_photon)
+            best_routes = self._routes_snapshot()
             temperature = self.config.initial_temperature
 
             for iteration in range(self.config.max_iterations):
                 OP_COUNTERS.add("bdir.iterations")
                 with TRACER.span("bdir.iteration", index=iteration) as step_span:
-                    neighbour = self._generate_neighbor(current, current_eval)
+                    neighbour, undo_route = self._generate_neighbor(
+                        current, current_eval, rng
+                    )
                     if neighbour is None:
                         step_span.set(outcome="exhausted")
                         break
@@ -103,13 +128,28 @@ class BDIRScheduler:
                     )
                     if accepted:
                         current, current_eval = neighbour, neighbour_eval
+                    elif undo_route is not None:
+                        # Rejected route moves must not leak into later
+                        # iterations: restore the sync's previous route.
+                        self.problem.set_route(*undo_route)
                     if float(current_eval.tau_photon) < best_cost:
                         best = current.copy()
                         best_cost = float(current_eval.tau_photon)
+                        best_routes = self._routes_snapshot()
                     step_span.set(accepted=accepted, tau=int(current_eval.tau_photon))
                 temperature *= self.config.cooling_rate
+            # The returned schedule and the problem's route table must agree.
+            self._restore_routes(best_routes)
             refine_span.set(best_tau=int(best_cost))
         return best
+
+    def _routes_snapshot(self) -> Dict[int, Tuple[int, ...]]:
+        return {sync.sync_id: sync.route for sync in self.problem.sync_tasks}
+
+    def _restore_routes(self, routes: Dict[int, Tuple[int, ...]]) -> None:
+        for sync in self.problem.sync_tasks:
+            if sync.route != routes[sync.sync_id]:
+                self.problem.set_route(sync.sync_id, routes[sync.sync_id])
 
     # ------------------------------------------------------------------ #
     # Static problem views (computed once per refine call)
@@ -118,9 +158,18 @@ class BDIRScheduler:
     def _prepare_static_views(self) -> None:
         problem = self.problem
         self._node_task: Dict[int, TaskKey] = problem.node_task_map()
-        self._sync_by_key: Dict[TaskKey, SyncTask] = {
-            sync.key: sync for sync in problem.sync_tasks
+        # Routes are mutable (re-route moves), so syncs are looked up live
+        # by position instead of caching possibly-stale task objects.
+        self._sync_position: Dict[int, int] = {
+            sync.sync_id: position for position, sync in enumerate(problem.sync_tasks)
         }
+        # Congestion-aware moves only make sense on sparse interconnects:
+        # a link table to measure load against, and at least one relayed
+        # sync.  Fully-connected problems (the paper's default systems)
+        # never enter these paths, keeping their refinement bit-identical.
+        self._sparse = problem.link_capacities is not None and any(
+            sync.relay_hops for sync in problem.sync_tasks
+        )
         syncs_of_main: Dict[TaskKey, List[TaskKey]] = {}
         for sync in problem.sync_tasks:
             for key in sync.main_keys:
@@ -158,14 +207,41 @@ class BDIRScheduler:
     # Algorithm 3 primitives
     # ------------------------------------------------------------------ #
 
+    def _sync_of(self, key: TaskKey) -> SyncTask:
+        """The live sync task for a key (routes may have been replaced)."""
+        return self.problem.sync_tasks[self._sync_position[key[1]]]
+
+    def _sync_gap(self, schedule: Schedule, sync: SyncTask) -> int:
+        """Remote gap of one sync under the problem's relay model."""
+        return int(
+            remote_sync_gaps(
+                schedule.start_of(sync.key),
+                schedule.start_of(sync.main_keys[0]),
+                schedule.start_of(sync.main_keys[1]),
+                sync.relay_hops,
+                pipelined=self.problem.pipelined,
+            )
+        )
+
     def _generate_neighbor(
-        self, schedule: Schedule, evaluation: ScheduleEvaluation
-    ) -> Optional[Schedule]:
+        self, schedule: Schedule, evaluation: ScheduleEvaluation, rng
+    ) -> Tuple[Optional[Schedule], Optional[Tuple[int, Tuple[int, ...]]]]:
+        """Produce a neighbour schedule and, for route moves, an undo record."""
         bottleneck = self._find_bottleneck_task(schedule, evaluation)
         if bottleneck is None:
-            return None
+            return None, None
+        if self._sparse:
+            roll = rng.random()
+            if roll < 1.0 / 3.0 and bottleneck[0] == "sync":
+                move = self._reroute_move(schedule, self._sync_of(bottleneck))
+                if move is not None:
+                    return move
+            elif roll < 2.0 / 3.0:
+                move = self._link_shift_move(schedule)
+                if move is not None:
+                    return move
         target = self._calculate_balance_point(schedule, bottleneck)
-        return self._pin_and_reschedule(schedule, bottleneck, target)
+        return self._pin_and_reschedule(schedule, bottleneck, target), None
 
     def _find_bottleneck_task(
         self, schedule: Schedule, evaluation: ScheduleEvaluation
@@ -175,10 +251,7 @@ class BDIRScheduler:
             worst_sync: Optional[SyncTask] = None
             worst_gap = -1
             for sync in self.problem.sync_tasks:
-                sync_start = schedule.start_of(sync.key)
-                gap = sync.relay_hops + max(
-                    abs(sync_start - schedule.start_of(key)) for key in sync.main_keys
-                )
+                gap = self._sync_gap(schedule, sync)
                 if gap > worst_gap:
                     worst_gap = gap
                     worst_sync = sync
@@ -201,16 +274,180 @@ class BDIRScheduler:
         return schedule.start_of(key) if key is not None else 0
 
     def _calculate_balance_point(self, schedule: Schedule, key: TaskKey) -> int:
-        """Temporal equilibrium point of a task given everything else fixed."""
+        """Temporal equilibrium point of a task given everything else fixed.
+
+        For a relayed sync under the pipelined model the equilibrium shifts
+        by the relay latency (the destination is engaged at arrival, not at
+        departure), and on sparse interconnects the target is nudged to the
+        nearby cycle whose hop windows are least congested.
+        """
         if key[0] == "sync":
-            sync = self._sync_by_key[key]
-            anchor_keys = sync.main_keys
-        else:
-            anchor_keys = self._main_anchors.get(key, ())
+            sync = self._sync_of(key)
+            start_a, start_b = (schedule.start_of(k) for k in sync.main_keys)
+            hops = sync.relay_hops if self.problem.pipelined else 0
+            target = int(round((start_a + start_b - hops) / 2.0))
+            if self._sparse and sync.relay_hops:
+                target = self._least_congested_cycle(schedule, sync, target)
+            return target
+        anchor_keys = self._main_anchors.get(key, ())
         if not anchor_keys:
             return schedule.start_of(key)
         starts = [schedule.start_of(anchor) for anchor in anchor_keys]
         return int(round((min(starts) + max(starts)) / 2.0))
+
+    # ------------------------------------------------------------------ #
+    # Congestion-aware moves (sparse interconnects only)
+    # ------------------------------------------------------------------ #
+
+    def _link_loads(
+        self, schedule: Schedule, exclude: Optional[int] = None
+    ) -> Dict[Tuple[Tuple[int, int], int], int]:
+        """Per-(link, cycle) load of the current schedule's hop windows."""
+        loads: Dict[Tuple[Tuple[int, int], int], int] = {}
+        pipelined = self.problem.pipelined
+        for sync in self.problem.sync_tasks:
+            if sync.sync_id == exclude:
+                continue
+            start = schedule.start_of(sync.key)
+            for window in sync.link_windows(start, pipelined):
+                loads[window] = loads.get(window, 0) + 1
+        return loads
+
+    def _route_cost(
+        self,
+        loads: Dict[Tuple[Tuple[int, int], int], int],
+        route: Tuple[int, ...],
+        start: int,
+        start_a: int,
+        start_b: int,
+    ) -> Tuple[int, int, int]:
+        """(congestion, gap, length) score of carrying one sync on ``route``."""
+        caps = self.problem.link_capacities
+        pipelined = self.problem.pipelined
+        congestion = 0
+        hops = max(0, len(route) - 2)
+        for when, (u, v) in enumerate(zip(route, route[1:])):
+            link = (min(u, v), max(u, v))
+            # Pipelined: the link is busy only at its hop cycle.  Atomic:
+            # it is held for the whole transfer window.
+            cycles = (start + when,) if pipelined else range(start, start + hops + 1)
+            for cycle in cycles:
+                over = loads.get((link, cycle), 0) + 1 - caps[link]
+                if over > 0:
+                    congestion += over
+        gap = int(
+            remote_sync_gaps(start, start_a, start_b, hops, pipelined=pipelined)
+        )
+        return congestion, gap, len(route)
+
+    def _least_congested_cycle(
+        self, schedule: Schedule, sync: SyncTask, target: int
+    ) -> int:
+        """Nudge a balance point onto the least-congested nearby cycle.
+
+        Candidate cycles around ``target`` are scored by how many
+        over-capacity link-cycles the sync's hop windows would add given
+        everything else fixed; ties prefer the cycle closest to the
+        temporal equilibrium.
+        """
+        loads = self._link_loads(schedule, exclude=sync.sync_id)
+        start_a, start_b = (schedule.start_of(k) for k in sync.main_keys)
+        route = sync.route_qpus
+        window = max(2, sync.relay_hops + 1)
+        best_cycle = target
+        best_cost: Optional[int] = None
+        for cycle in range(max(0, target - window), target + window + 1):
+            cost = self._route_cost(loads, route, cycle, start_a, start_b)[0]
+            if (
+                best_cost is None
+                or cost < best_cost
+                or (cost == best_cost and abs(cycle - target) < abs(best_cycle - target))
+            ):
+                best_cycle, best_cost = cycle, cost
+        return best_cycle
+
+    def _alternate_routes(self, sync: SyncTask) -> List[Tuple[int, ...]]:
+        """Interconnect routes between the sync's endpoints, current excluded."""
+        if self.system is not None:
+            routes = self.system.alternate_routes(sync.qpu_a, sync.qpu_b)
+        else:
+            routes = enumerate_routes(
+                self.problem.link_capacities, sync.qpu_a, sync.qpu_b
+            )
+        return [route for route in routes if route != sync.route_qpus]
+
+    def _apply_route_move(
+        self, schedule: Schedule, sync: SyncTask, route: Tuple[int, ...]
+    ) -> Tuple[Schedule, Tuple[int, Tuple[int, ...]]]:
+        """Replace a sync's route, re-balance it, and rebuild the schedule."""
+        undo = (sync.sync_id, sync.route)
+        self.problem.set_route(sync.sync_id, route)
+        target = self._calculate_balance_point(schedule, sync.key)
+        return self._pin_and_reschedule(schedule, sync.key, target), undo
+
+    def _reroute_move(
+        self, schedule: Schedule, sync: SyncTask
+    ) -> Optional[Tuple[Schedule, Tuple[int, Tuple[int, ...]]]]:
+        """Re-route the bottleneck sync along the best-scoring alternate path."""
+        candidates = self._alternate_routes(sync)
+        if not candidates:
+            return None
+        start = schedule.start_of(sync.key)
+        start_a, start_b = (schedule.start_of(k) for k in sync.main_keys)
+        loads = self._link_loads(schedule, exclude=sync.sync_id)
+        best = min(
+            candidates,
+            key=lambda route: (
+                self._route_cost(loads, route, start, start_a, start_b),
+                route,
+            ),
+        )
+        OP_COUNTERS.add("bdir.reroute_moves")
+        return self._apply_route_move(schedule, sync, best)
+
+    def _link_shift_move(
+        self, schedule: Schedule
+    ) -> Optional[Tuple[Schedule, Tuple[int, Tuple[int, ...]]]]:
+        """Shift the most saturated link's worst sync onto a less-loaded path."""
+        caps = self.problem.link_capacities
+        loads = self._link_loads(schedule)
+        if not loads:
+            return None
+        # Pressure per link: saturated cycles first, then total load.
+        pressure: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        for (link, _cycle), count in loads.items():
+            saturated, total = pressure.get(link, (0, 0))
+            if count >= caps[link]:
+                saturated += 1
+            pressure[link] = (saturated, total + count)
+        hot = max(sorted(pressure), key=lambda link: pressure[link])
+        victims = [s for s in self.problem.sync_tasks if hot in s.links]
+        if not victims:
+            return None
+        victim = max(
+            victims, key=lambda s: (self._sync_gap(schedule, s), -s.sync_id)
+        )
+        detours = [
+            route
+            for route in self._alternate_routes(victim)
+            if hot
+            not in {
+                (min(u, v), max(u, v)) for u, v in zip(route, route[1:])
+            }
+        ]
+        if not detours:
+            return None
+        start = schedule.start_of(victim.key)
+        start_a, start_b = (schedule.start_of(k) for k in victim.main_keys)
+        best = min(
+            detours,
+            key=lambda route: (
+                self._route_cost(loads, route, start, start_a, start_b),
+                route,
+            ),
+        )
+        OP_COUNTERS.add("bdir.link_shift_moves")
+        return self._apply_route_move(schedule, victim, best)
 
     def _pin_and_reschedule(
         self, schedule: Schedule, key: TaskKey, target: int

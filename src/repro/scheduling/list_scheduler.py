@@ -19,6 +19,13 @@ list between cycles (the seed implementation re-scanned the full sync list
 twice per cycle, which is quadratic in the number of connectors), and the
 "next main priority" of each QPU is computed once per cycle instead of once
 per candidate sync.
+
+Relayed syncs book *windows*: under the pipelined store-and-forward model a
+sync starting at ``t`` occupies each route QPU, link, and intermediate
+buffer slot at its own hop cycle (``t``, ``t + 1``, …), so occupancy is kept
+in global ``(resource, cycle)`` maps rather than per-cycle arrays — a claim
+in cycle ``t`` may reserve capacity several cycles ahead.  Direct syncs book
+exactly one cycle and reproduce the pre-pipelining scheduler bit for bit.
 """
 
 from __future__ import annotations
@@ -85,7 +92,9 @@ def _list_schedule(
 
     num_qpus = problem.num_qpus
     capacity = [problem.capacity_of(qpu) for qpu in range(num_qpus)]
+    buffer_limit = [problem.buffer_limit_of(qpu) for qpu in range(num_qpus)]
     link_limits = problem.link_capacities
+    pipelined = problem.pipelined
 
     # Flat per-QPU views of the main-task queues.
     main_prio: List[List[float]] = [
@@ -97,7 +106,10 @@ def _list_schedule(
 
     # Pending syncs in (priority, sync_id) order; scheduled entries are
     # compacted out between cycles.  A sync claims a communication slot on
-    # every QPU of its relay route and one capacity unit per route link.
+    # every QPU of its relay route and one capacity unit per route link —
+    # at its own hop offset under the pipelined model, for the whole
+    # transfer window under the atomic one.  Window offsets are
+    # start-relative, so they are precomputed once per sync.
     pending: List[SyncTask] = sorted(
         problem.sync_tasks, key=lambda s: (prio[s.key], s.sync_id)
     )
@@ -105,31 +117,60 @@ def _list_schedule(
     sync_pin: Dict[int, int] = {
         s.sync_id: pins.get(s.key, 0) for s in problem.sync_tasks
     }
-    sync_route: Dict[int, tuple] = {s.sync_id: s.route_qpus for s in problem.sync_tasks}
-    sync_links: Dict[int, tuple] = {s.sync_id: s.links for s in problem.sync_tasks}
+    sync_qpu_windows: Dict[int, tuple] = {
+        s.sync_id: s.qpu_windows(0, pipelined) for s in problem.sync_tasks
+    }
+    sync_link_windows: Dict[int, tuple] = {
+        s.sync_id: s.link_windows(0, pipelined) for s in problem.sync_tasks
+    }
+    sync_buffer_windows: Dict[int, tuple] = {
+        s.sync_id: s.buffer_windows(0, pipelined) for s in problem.sync_tasks
+    }
+    relayed = any(s.relay_hops for s in problem.sync_tasks)
 
-    def claim(sync: SyncTask, sync_count: List[int], link_used: Dict) -> bool:
-        """Check route capacity and, if feasible, book the sync's resources."""
-        route = sync_route[sync.sync_id]
-        for qpu in route:
-            if sync_count[qpu] >= capacity[qpu]:
+    # Global occupancy, keyed by (resource, cycle): pipelined relays book
+    # future cycles, so per-cycle arrays are not enough.
+    sync_at: Dict[tuple, int] = {}
+    link_at: Dict[tuple, int] = {}
+    buffer_at: Dict[tuple, int] = {}
+    route_reevals = 0
+    buffer_conflicts = 0
+
+    def claim(sync: SyncTask, time: int) -> bool:
+        """Check route capacity hop by hop and, if feasible, book the windows."""
+        nonlocal route_reevals, buffer_conflicts
+        sync_id = sync.sync_id
+        if relayed and sync.relay_hops:
+            route_reevals += 1
+        for qpu, offset in sync_qpu_windows[sync_id]:
+            if sync_at.get((qpu, time + offset), 0) >= capacity[qpu]:
                 return False
         if link_limits is not None:
-            for link in sync_links[sync.sync_id]:
-                if link_used.get(link, 0) >= link_limits[link]:
+            for link, offset in sync_link_windows[sync_id]:
+                if link_at.get((link, time + offset), 0) >= link_limits[link]:
                     return False
-        for qpu in route:
-            sync_count[qpu] += 1
+        for qpu, offset in sync_buffer_windows[sync_id]:
+            if buffer_at.get((qpu, time + offset), 0) >= buffer_limit[qpu]:
+                buffer_conflicts += 1
+                return False
+        for qpu, offset in sync_qpu_windows[sync_id]:
+            slot = (qpu, time + offset)
+            sync_at[slot] = sync_at.get(slot, 0) + 1
         if link_limits is not None:
-            for link in sync_links[sync.sync_id]:
-                link_used[link] = link_used.get(link, 0) + 1
+            for link, offset in sync_link_windows[sync_id]:
+                slot = (link, time + offset)
+                link_at[slot] = link_at.get(slot, 0) + 1
+        for qpu, offset in sync_buffer_windows[sync_id]:
+            slot = (qpu, time + offset)
+            buffer_at[slot] = buffer_at.get(slot, 0) + 1
         return True
 
     schedule = Schedule()
     start_times = schedule.start_times
     next_main_index = [0] * num_qpus
     total_tasks = problem.num_main_tasks + problem.num_sync_tasks
-    horizon_limit = 4 * total_tasks + 16
+    total_relay_hops = sum(s.relay_hops for s in problem.sync_tasks)
+    horizon_limit = 4 * total_tasks + 16 + 4 * total_relay_hops
 
     time = 0
     cycles = 0
@@ -142,8 +183,6 @@ def _list_schedule(
                 "list scheduling exceeded its time horizon; the problem is inconsistent"
             )
         scheduled_this_slot = 0
-        sync_count = [0] * num_qpus
-        link_used: Dict[tuple, int] = {}
         scheduled_syncs: List[int] = []  # positions in ``pending`` to compact
 
         # Priority of each QPU's next runnable main task, fixed for the
@@ -164,7 +203,7 @@ def _list_schedule(
             priority = sync_prio[sync.sync_id]
             if priority > next_prio[qpu_a] or priority > next_prio[qpu_b]:
                 continue
-            if not claim(sync, sync_count, link_used):
+            if not claim(sync, time):
                 continue
             start_times[sync.key] = time
             scheduled_syncs.append(position)
@@ -184,22 +223,27 @@ def _list_schedule(
                 if sync_pin[sync.sync_id] > time:
                     continue
                 qpu_a, qpu_b = sync.qpu_a, sync.qpu_b
-                if sync_count[qpu_a] == 0 and sync_count[qpu_b] == 0:
+                if (
+                    sync_at.get((qpu_a, time), 0) == 0
+                    and sync_at.get((qpu_b, time), 0) == 0
+                ):
                     continue
                 window = float(min(capacity[qpu_a], capacity[qpu_b]))
                 due = min(next_prio[qpu_a], next_prio[qpu_b]) + window
                 if sync_prio[sync.sync_id] > due:
                     continue
-                if not claim(sync, sync_count, link_used):
+                if not claim(sync, time):
                     continue
                 start_times[sync.key] = time
                 scheduled_syncs.append(position)
                 scheduled_this_slot += 1
 
-        # Phase 2: every QPU without synchronisation work runs its next main
-        # task (in compilation order).
+        # Phase 2: every QPU without synchronisation work this cycle runs its
+        # next main task (in compilation order).  Relay windows booked by
+        # earlier cycles count: a QPU forwarding a store-and-forward photon
+        # is in communication mode and cannot run a main task.
         for qpu in range(num_qpus):
-            if sync_count[qpu] > 0:
+            if sync_at.get((qpu, time), 0) > 0:
                 continue
             index = next_main_index[qpu]
             if index >= len(main_prio[qpu]):
@@ -223,12 +267,36 @@ def _list_schedule(
                 time = min(future_pins)
                 continue
             # Otherwise force the lowest-priority pending synchronisation
-            # through (its partner QPUs are idle by construction here).
+            # through at the earliest cycle whose whole hop window is free
+            # (for direct syncs that is the current cycle: the partner QPUs
+            # are idle by construction here; relayed syncs may have to step
+            # past windows booked by earlier claims).
             if pending:
-                start_times[pending[0].key] = time
+                forced = pending[0]
+                forced_start = time
+                while not claim(forced, forced_start):
+                    forced_start += 1
+                    if forced_start > horizon_limit:
+                        raise SchedulingError(
+                            "list scheduling exceeded its time horizon; "
+                            "the problem is inconsistent"
+                        )
+                start_times[forced.key] = forced_start
                 scheduled_syncs.append(0)
             else:
-                raise SchedulingError("list scheduling stalled with unscheduled tasks")
+                # Every remaining task is a main task on a QPU whose
+                # communication layer is busy this cycle with a relay
+                # window booked by an earlier claim; the window passes,
+                # so skip ahead rather than declaring a stall.
+                blocked = any(
+                    next_main_index[qpu] < len(main_prio[qpu])
+                    and sync_at.get((qpu, time), 0) > 0
+                    for qpu in range(num_qpus)
+                )
+                if not blocked:
+                    raise SchedulingError(
+                        "list scheduling stalled with unscheduled tasks"
+                    )
         if scheduled_syncs:
             taken = set(scheduled_syncs)
             pending = [
@@ -239,5 +307,9 @@ def _list_schedule(
     OP_COUNTERS.add("scheduler.calls")
     OP_COUNTERS.add("scheduler.cycles", cycles)
     OP_COUNTERS.add("scheduler.sync_scans", sync_scans)
+    if route_reevals:
+        OP_COUNTERS.add("scheduler.route_reevals", route_reevals)
+    if buffer_conflicts:
+        OP_COUNTERS.add("scheduler.buffer_conflicts", buffer_conflicts)
     problem.validate(schedule)
     return schedule

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 import os
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.programs.registry import PAPER_TABLE2
 from repro.sweep.grid import ParameterGrid
@@ -25,6 +25,7 @@ __all__ = [
     "BenchmarkScale",
     "benchmark_sizes",
     "extended_benchmark_sizes",
+    "pin_system_overrides",
     "GRID_REGISTRY",
     "table3_grid",
     "table4_grid",
@@ -32,6 +33,7 @@ __all__ = [
     "table6_grid",
     "table7_grid",
     "table8_grid",
+    "relay_ablation_grid",
     "figure7_grid",
     "figure8_grid",
     "figure9_grid",
@@ -118,6 +120,29 @@ def extended_benchmark_sizes(scale: BenchmarkScale) -> List[Tuple[str, int]]:
             ("ANSATZ", 8),
         ]
     return benchmark_sizes(scale) + extended
+
+
+def pin_system_overrides(
+    grid: ParameterGrid, overrides: Optional[Mapping[str, object]]
+) -> ParameterGrid:
+    """Pin system-model overrides (already serialisable) onto ``grid``.
+
+    The shared path behind ``experiment --topology/--system-spec`` and
+    ``sweep --topology/--system-spec``: fixed overrides ride the sweep
+    points' ``extra`` channel.  Grid axes that sweep the same parameter
+    (e.g. table8's topology axis, or a ``num_qpus`` axis when a system
+    spec pins the fleet size) are dropped — otherwise the axis value
+    would win and clash with the pinned per-QPU tuples on every expanded
+    point.
+    """
+    if not overrides:
+        return grid
+    remaining_axes = {
+        name: values for name, values in grid.axes if name not in overrides
+    }
+    if len(remaining_axes) != len(grid.axes):
+        grid = ParameterGrid(grid.task, axes=remaining_axes, fixed=dict(grid.fixed))
+    return grid.with_fixed(**overrides)
 
 
 def comparison_grid(
@@ -249,6 +274,41 @@ def table8_grid(
     )
 
 
+def relay_ablation_grid(
+    scale: BenchmarkScale = BenchmarkScale.REDUCED,
+    seed: int = 0,
+    topology: str = "line",
+    num_qpus: int = 4,
+) -> ParameterGrid:
+    """Pipelined vs atomic relay model on one sparse interconnect.
+
+    The before/after companion of Table VIII: every instance compiles twice
+    against the same sparse system — once under the atomic relay model (a
+    relayed sync books its whole route in one cycle) and once under the
+    pipelined store-and-forward model — so the rows isolate exactly what
+    the hop-window refactor buys.  Fully-connected systems would render
+    both rows identical, so the grid pins a sparse topology.
+    """
+    if scale is BenchmarkScale.PAPER:
+        instances = [("QFT", 16), ("QFT", 25), ("QAOA", 16), ("RCA", 16)]
+    elif scale is BenchmarkScale.REDUCED:
+        instances = [("QFT", 12), ("QFT", 16), ("QAOA", 16)]
+    else:
+        instances = [("QFT", 8), ("QFT", 12)]
+    return ParameterGrid(
+        "topology",
+        axes={
+            "instance": instances,
+            "relay_model": ["atomic", "pipelined"],
+        },
+        fixed={
+            "num_qpus": num_qpus,
+            "topology": topology,
+            "seed": seed,
+        },
+    )
+
+
 def figure7_grid(
     scale: BenchmarkScale = BenchmarkScale.REDUCED,
     seed: int = 0,
@@ -328,6 +388,7 @@ GRID_REGISTRY: Dict[str, Callable[..., ParameterGrid]] = {
     "table6": table6_grid,
     "table7": table7_grid,
     "table8": table8_grid,
+    "relay-ablation": relay_ablation_grid,
     "figure7": figure7_grid,
     "figure8": figure8_grid,
     "figure9": figure9_grid,

@@ -59,6 +59,7 @@ def config_for_point(point: SweepPoint) -> DCMBQCConfig:
         "qpu_connection_capacities",
         "link_capacity",
         "custom_links",
+        "relay_model",
     ):
         value = point.option(name)
         if value is not None:
@@ -188,12 +189,18 @@ def run_topology(point: SweepPoint) -> Dict[str, object]:
     system = config.system_model()
     trace = DistributedRuntime(result).run()
     relay_hops = sum(sync.relay_hops for sync in result.problem.sync_tasks)
+    # The replay both re-derives every hop window from the hardware model
+    # (DistributedRuntime.validate raises on any infeasibility the
+    # scheduler missed) and re-computes the makespan independently; the
+    # consistency column demands scheduler and runtime agree on both the
+    # lifetime bound and the cycle count.
     return {
         "program": point.program,
         "num_qubits": point.num_qubits,
         "topology": system.topology.value,
         "num_qpus": point.num_qpus,
         "hetero": hetero,
+        "relay_model": config.relay_model,
         "grid_sizes": "/".join(str(qpu.grid_size) for qpu in system.qpus),
         "num_links": system.num_links,
         "connectors": result.num_connectors,
@@ -201,7 +208,11 @@ def run_topology(point: SweepPoint) -> Dict[str, object]:
         "execution_time": result.execution_time,
         "required_photon_lifetime": result.required_photon_lifetime,
         "runtime_max_storage": trace.max_storage,
-        "runtime_consistent": trace.max_storage <= result.required_photon_lifetime,
+        "runtime_makespan": trace.total_cycles,
+        "runtime_consistent": (
+            trace.max_storage <= result.required_photon_lifetime
+            and trace.total_cycles == result.execution_time
+        ),
         "utilisation": round(trace.utilisation(point.num_qpus), 4),
     }
 

@@ -18,6 +18,7 @@ class TestExperimentRegistry:
             "table6",
             "table7",
             "table8",
+            "relay-ablation",
             "figure1",
             "figure7",
             "figure8",

@@ -62,3 +62,40 @@ class TestCompareWithBaseline:
         config = DCMBQCConfig(num_qpus=2, grid_size=4)
         comparison = compare_with_baseline(ghz_circuit, config)
         assert comparison.program_name == "ghz"
+
+
+class TestBaselineSpecSelection:
+    """Mixed fleets compare against the most capable QPU in the fleet."""
+
+    def test_homogeneous_fleet_uses_shared_spec(self, small_dcmbqc_config):
+        from repro.core.comparison import _baseline_spec
+
+        grid, rsg = _baseline_spec(small_dcmbqc_config)
+        assert grid == small_dcmbqc_config.grid_size
+        assert rsg == small_dcmbqc_config.rsg_type
+
+    def test_heterogeneous_fleet_uses_largest_grid(self):
+        from repro.core.comparison import _baseline_spec
+        from repro.hardware.resource_states import ResourceStateType
+
+        config = DCMBQCConfig(
+            num_qpus=4,
+            grid_size=5,
+            qpu_grid_sizes=(5, 7, 5, 6),
+            qpu_rsg_types=("5-star", "6-ring", "5-star", "5-star"),
+        )
+        grid, rsg = _baseline_spec(config)
+        assert grid == 7
+        assert ResourceStateType.from_name(rsg) is ResourceStateType.RING_6
+
+    def test_mixed_fleet_baseline_at_least_as_capable(self, qft8_computation):
+        """The mixed-fleet baseline never understates the monolithic machine."""
+        homogeneous = DCMBQCConfig(num_qpus=2, grid_size=5, seed=3)
+        mixed = DCMBQCConfig(
+            num_qpus=2, grid_size=5, seed=3, qpu_grid_sizes=(5, 7)
+        )
+        small = compare_with_baseline(qft8_computation, homogeneous, "oneq")
+        large = compare_with_baseline(qft8_computation, mixed, "oneq")
+        # The grid-7 baseline places the same workload at least as well as
+        # the grid-5 one.
+        assert large.baseline_execution_time <= small.baseline_execution_time

@@ -86,11 +86,13 @@ class TestProblemValidation:
             connection_capacity=4,
             link_capacities={(0, 1): 1, (1, 2): 4},
         )
+        # Mains sit past the relay windows so only the first hop (both syncs
+        # crossing link (0, 1) at cycle 0) violates a constraint.
         schedule = Schedule(
             {
-                ("main", 0, 0): 1, ("main", 0, 1): 2,
-                ("main", 1, 0): 1, ("main", 1, 1): 2,
-                ("main", 2, 0): 1, ("main", 2, 1): 2,
+                ("main", 0, 0): 2, ("main", 0, 1): 3,
+                ("main", 1, 0): 2, ("main", 1, 1): 3,
+                ("main", 2, 0): 2, ("main", 2, 1): 3,
                 ("sync", 0, 0): 0, ("sync", 1, 0): 0,
             }
         )
@@ -151,10 +153,23 @@ class TestRelayEvaluation:
         tau_direct = (
             chain_problem(syncs=[direct]).evaluate(Schedule(dict(starts))).tau_remote
         )
-        tau_relayed = (
+        # Atomic model: the whole relay happens at the start cycle and the
+        # hop latency extends the gap after the fact.
+        tau_atomic = (
+            chain_problem(syncs=[relayed], relay_model="atomic")
+            .evaluate(Schedule(dict(starts)))
+            .tau_remote
+        )
+        assert tau_atomic == tau_direct + 1
+        # Pipelined model: the photon at b is engaged at *arrival*
+        # (start + relay_hops), so with these starts the relayed gap is
+        # max(|0 - 1|, |0 + 1 - 1|) = 1 — no double-paid hop.
+        tau_pipelined = (
             chain_problem(syncs=[relayed]).evaluate(Schedule(dict(starts))).tau_remote
         )
-        assert tau_relayed == tau_direct + 1
+        assert tau_pipelined == tau_direct
+        # The pipelined gap is never worse than the atomic one.
+        assert tau_pipelined <= tau_atomic
 
 
 class TestListSchedulerWithTopology:
