@@ -159,6 +159,12 @@ EXPERIMENT_REGISTRY: Dict[str, ExperimentSpec] = {
             rows, title="Pipelined vs atomic relay ablation (line interconnect)"
         ),
     ),
+    "fault-sweep": ExperimentSpec(
+        lambda scale, system=None: experiments.fault_sweep_rows(
+            scale, system_overrides=system
+        ),
+        render.render_fault_sweep,
+    ),
     "figure1": ExperimentSpec(
         lambda scale, system=None: experiments.figure1_series(),
         lambda rows: render.render_series(rows, "Figure 1 — photon loss"),
@@ -306,6 +312,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="print a stage-by-stage timing table from the provenance manifest",
+    )
+    compile_parser.add_argument(
+        "--inject-fault",
+        action="append",
+        metavar="SPEC",
+        help="inject a seeded fault into the replay (repeatable), e.g. "
+        "qpu:2@100, link:0-1@25%%, qpu:0@50%%+8:cap=1, loss:100ns",
+    )
+    compile_parser.add_argument(
+        "--recovery",
+        default="fail-fast",
+        choices=["fail-fast", "reroute", "reschedule-frontier", "abort-recompile"],
+        help="recovery policy applied to injected faults",
+    )
+    compile_parser.add_argument(
+        "--fault-seed", type=int, default=0, help="seed for stochastic faults"
+    )
+    compile_parser.add_argument(
+        "--fault-shots", type=int, default=1, help="seeded shots per fault spec"
     )
 
     compare_parser = subparsers.add_parser("compare", help="compare against a monolithic baseline")
@@ -670,10 +695,26 @@ def _run_compile(args: argparse.Namespace) -> int:
             DistributedRuntime(result).run()
     summary = result.summary()
     manifest = run.manifest()
+    fault_rows = None
+    if args.inject_fault:
+        from repro.runtime.faults import parse_fault, run_fault_scenario
+
+        fault_rows = [
+            run_fault_scenario(
+                result,
+                parse_fault(spec),
+                args.recovery,
+                seed=args.fault_seed,
+                shots=args.fault_shots,
+            )
+            for spec in args.inject_fault
+        ]
     trace_info = _export_trace(args) if tracing else None
     obs_info = _export_obs(args)
     if args.json:
         document = {"summary": summary, "pipeline": manifest}
+        if fault_rows is not None:
+            document["faults"] = fault_rows
         if trace_info is not None:
             document["trace"] = trace_info
         document.update(obs_info)
@@ -689,6 +730,16 @@ def _run_compile(args: argparse.Namespace) -> int:
         f"cache: {manifest['cache_hits']} hits, {manifest['executions']} misses"
         f" ({stages})"
     )
+    if fault_rows is not None:
+        for row in fault_rows:
+            print(
+                f"fault {row['fault']} policy={row['policy']}: "
+                f"failure_rate={row['failure_rate']} "
+                f"recovered_rate={row['recovered_rate']} "
+                f"overhead={row['recovery_overhead_cycles']} "
+                f"(affected {row['affected_mains']} mains, "
+                f"{row['affected_syncs']} syncs, cycle {row['fault_cycle']})"
+            )
     if trace_info is not None:
         print(f"trace: {trace_info['spans']} spans -> {trace_info['path']}")
     if "events" in obs_info:

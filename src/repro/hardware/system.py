@@ -373,6 +373,50 @@ class SystemModel:
                     )
 
     # ------------------------------------------------------------------ #
+    # Degraded views (fault injection)
+    # ------------------------------------------------------------------ #
+
+    def without_link(self, qpu_a: int, qpu_b: int) -> "SystemModel":
+        """Degraded view with one link removed; QPU indices are unchanged.
+
+        The recovery policies route around a dead or browned-out link by
+        querying this view: routes, hop distances and alternate paths are
+        all recomputed without the severed link.  The resulting system may
+        be disconnected — callers decide whether that is fatal.
+
+        Raises:
+            ValidationError: if the two QPUs share no direct link.
+        """
+        key = (min(qpu_a, qpu_b), max(qpu_a, qpu_b))
+        if key not in self._link_capacity:
+            raise ValidationError(f"no direct link between QPUs {qpu_a} and {qpu_b}")
+        return SystemModel(
+            self.qpus,
+            tuple(link for link in self.links if link.key != key),
+            topology=InterconnectTopology.CUSTOM,
+        )
+
+    def without_qpu(self, qpu: int) -> "SystemModel":
+        """Degraded view with one QPU's links severed; indices are unchanged.
+
+        The dead QPU keeps its index — schedules and routes stay
+        addressable — but loses every incident link, so it is unreachable
+        and can no longer relay.  Callers additionally treat it as unable
+        to host tasks; :class:`SystemModel` itself only models the
+        interconnect.
+
+        Raises:
+            ValidationError: if ``qpu`` is not part of the system.
+        """
+        if not 0 <= qpu < self.num_qpus:
+            raise ValidationError(f"QPU {qpu} is not part of the system")
+        return SystemModel(
+            self.qpus,
+            tuple(link for link in self.links if qpu not in link.key),
+            topology=InterconnectTopology.CUSTOM,
+        )
+
+    # ------------------------------------------------------------------ #
     # Heterogeneity
     # ------------------------------------------------------------------ #
 

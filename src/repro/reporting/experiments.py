@@ -45,6 +45,7 @@ __all__ = [
     "table7_rows",
     "table8_rows",
     "relay_ablation_rows",
+    "fault_sweep_rows",
     "figure1_series",
     "figure7_series",
     "figure8_series",
@@ -290,6 +291,33 @@ def relay_ablation_rows(
     """
     grid = pin_system_overrides(
         grids.relay_ablation_grid(
+            scale, seed=seed, topology=topology, num_qpus=num_qpus
+        ),
+        system_overrides,
+    )
+    return run_grid(grid, workers=workers, store=store).results()
+
+
+def fault_sweep_rows(
+    scale: BenchmarkScale = BenchmarkScale.REDUCED,
+    seed: int = 0,
+    topology: str = "ring",
+    num_qpus: int = 4,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
+    system_overrides: SystemOverrides = None,
+) -> List[Dict[str, object]]:
+    """Failure accounting over fault type x injection time x recovery policy.
+
+    Every row of :func:`repro.sweep.grids.fault_sweep_grid` injects one
+    seeded fault (QPU/link death, capacity brownout, or delay-line photon
+    loss) into one compiled instance's replay and applies one recovery
+    policy, reporting ``failure_rate`` / ``recovered_rate`` /
+    ``recovery_overhead_cycles`` next to the healthy
+    ``survival_probability`` baseline.
+    """
+    grid = pin_system_overrides(
+        grids.fault_sweep_grid(
             scale, seed=seed, topology=topology, num_qpus=num_qpus
         ),
         system_overrides,

@@ -13,6 +13,7 @@ __all__ = [
     "render_comparison_table",
     "render_table6",
     "render_table7",
+    "render_fault_sweep",
     "render_series",
 ]
 
@@ -167,9 +168,11 @@ def render_table8(
             "Lifetime",
             "Runtime max storage",
             "Consistent",
+            "Survival",
         ],
     )
     for row in rows:
+        survival = row.get("survival_probability")
         table.add_row(
             [
                 f"{row['program']}-{row['num_qubits']}",
@@ -184,6 +187,51 @@ def render_table8(
                 row["required_photon_lifetime"],
                 row["runtime_max_storage"],
                 "yes" if row["runtime_consistent"] else "NO",
+                "-" if survival is None else f"{survival:.4f}",
+            ]
+        )
+    return table.render()
+
+
+def render_fault_sweep(
+    rows: Sequence[Dict[str, object]],
+    title: str = "Fault sweep — failure accounting by recovery policy",
+) -> str:
+    """Render fault-sweep rows (fault x injection time x recovery policy)."""
+    table = Table(
+        title=title,
+        columns=[
+            "Program",
+            "Topology",
+            "Fault",
+            "Policy",
+            "Cycle",
+            "Affected",
+            "Lost",
+            "Failure rate",
+            "Recovered rate",
+            "Overhead (cyc)",
+            "Survival",
+        ],
+    )
+    for row in rows:
+        survival = row.get("survival_probability")
+        affected = int(row.get("affected_mains", 0)) + int(
+            row.get("affected_syncs", 0)
+        )
+        table.add_row(
+            [
+                f"{row['program']}-{row['num_qubits']}",
+                row["topology"],
+                row["fault"],
+                row["policy"],
+                row["fault_cycle"],
+                affected,
+                row.get("lost_photons", 0),
+                f"{row['failure_rate']:.2f}",
+                f"{row['recovered_rate']:.2f}",
+                row["recovery_overhead_cycles"],
+                "-" if survival is None else f"{survival:.4f}",
             ]
         )
     return table.render()

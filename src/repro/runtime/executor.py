@@ -22,7 +22,7 @@ test of the library.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.compiler import DistributedCompilationResult
 from repro.hardware.loss import DelayLineModel
@@ -31,7 +31,12 @@ from repro.obs.metrics import METRICS
 from repro.obs.trace import TRACER
 from repro.utils.errors import ValidationError
 
-__all__ = ["PhotonStorageRecord", "ExecutionTrace", "DistributedRuntime"]
+__all__ = [
+    "PhotonStorageRecord",
+    "ExecutionTrace",
+    "ReplayCheckpoint",
+    "DistributedRuntime",
+]
 
 
 @dataclass(frozen=True)
@@ -75,10 +80,29 @@ class ExecutionTrace:
         return max(record.storage_cycles for record in self.storage_records)
 
     def worst_photons(self, count: int = 5) -> List[PhotonStorageRecord]:
-        """The ``count`` photons with the longest storage times."""
+        """The ``count`` photons with the longest storage times.
+
+        Ties on storage time are broken by node id so the ranking is
+        deterministic regardless of record insertion order.
+        """
         return sorted(
-            self.storage_records, key=lambda r: r.storage_cycles, reverse=True
+            self.storage_records, key=lambda r: (-r.storage_cycles, r.node)
         )[:count]
+
+    def loss_exposure(
+        self, delay_line: Optional[DelayLineModel] = None
+    ) -> Dict[int, float]:
+        """Per-photon loss probability implied by the observed storage times.
+
+        A photon can appear in several records (e.g. as fusee and
+        measuree); its exposure is governed by the longest of its storage
+        intervals.
+        """
+        model = delay_line or DelayLineModel()
+        worst: Dict[int, int] = {}
+        for record in self.storage_records:
+            worst[record.node] = max(worst.get(record.node, 0), record.storage_cycles)
+        return {node: model.loss_probability(cycles) for node, cycles in worst.items()}
 
     def utilisation(self, num_qpus: int) -> float:
         """Fraction of QPU-cycles spent doing useful work."""
@@ -86,6 +110,27 @@ class ExecutionTrace:
             return 0.0
         busy = sum(self.qpu_busy_cycles.values())
         return busy / (self.total_cycles * num_qpus)
+
+
+@dataclass(frozen=True)
+class ReplayCheckpoint:
+    """Frozen snapshot of replay progress at the start of a cycle.
+
+    A task is *executed* once its whole occupancy window lies strictly
+    before ``cycle``: a main task at start ``s`` has executed when
+    ``s < cycle``; a sync task has *completed* (its entanglement is
+    delivered) when ``s + duration <= cycle``, is *in flight* when it has
+    started but not completed, and is *pending* otherwise.  Recovery
+    policies use this split to decide which work survives a fault at
+    ``cycle`` untouched and which must be replanned.
+    """
+
+    cycle: int
+    executed_mains: Tuple[tuple, ...]
+    pending_mains: Tuple[tuple, ...]
+    completed_syncs: Tuple[int, ...]
+    in_flight_syncs: Tuple[int, ...]
+    pending_syncs: Tuple[int, ...]
 
 
 class DistributedRuntime:
@@ -131,27 +176,16 @@ class DistributedRuntime:
         compiler bug that builds the problem against the wrong system is
         caught at execution time.
 
-        The per-hop windows are re-derived here from first principles — the
-        relay model name in the config, not the scheduling layer's
+        The per-hop windows come from :meth:`sync_occupancy`, which
+        re-derives them from first principles — the relay model name in the
+        config, not the scheduling layer's
         :class:`~repro.scheduling.problem.SyncTask` helpers — so the replay
         disagrees loudly if the scheduler's notion of when a photon crosses
-        a link ever drifts from the hardware semantics.  Under the
-        pipelined model a sync starting at ``t`` over the route
-        ``q_0 .. q_{n-1}`` crosses link ``h`` at ``t + h``; ``q_0`` is
-        engaged at ``t``, ``q_{n-1}`` at arrival ``t + n - 2``, and every
-        intermediate ``q_k`` at ``t + k - 1`` (receive) and ``t + k``
-        (forward) while buffering the photon at ``t + k``.  Under the
-        atomic model the whole route is held for the full transfer window
-        ``[t, t + n - 2]``.
+        a link ever drifts from the hardware semantics.
         """
         system = self.result.config.system_model()
-        pipelined = self.result.config.relay_model == "pipelined"
         problem = self.result.problem
-        schedule = self.result.schedule
 
-        qpu_load: Dict[tuple, int] = {}
-        link_load: Dict[tuple, int] = {}
-        buffer_load: Dict[tuple, int] = {}
         for sync in problem.sync_tasks:
             route = sync.route_qpus
             for hop_a, hop_b in zip(route, route[1:]):
@@ -161,6 +195,72 @@ class DistributedRuntime:
                         f"which share no link in the {system.topology.value} "
                         f"interconnect"
                     )
+        qpu_slots, link_slots, buffer_slots = self.sync_occupancy()
+        for (qpu, start), holders in qpu_slots.items():
+            count = len(holders)
+            capacity = system.qpus[qpu].connection_capacity
+            if count > capacity:
+                raise ValidationError(
+                    f"QPU {qpu} hosts {count} synchronisations at cycle {start} "
+                    f"but its connection layer supports K_max = {capacity}"
+                )
+        for ((qpu_a, qpu_b), start), holders in link_slots.items():
+            count = len(holders)
+            capacity = system.link_capacity(qpu_a, qpu_b)
+            if count > capacity:
+                raise ValidationError(
+                    f"link ({qpu_a}, {qpu_b}) carries {count} synchronisations "
+                    f"at cycle {start} but supports {capacity}"
+                )
+        for (qpu, start), holders in buffer_slots.items():
+            count = len(holders)
+            capacity = system.qpus[qpu].connection_capacity
+            if count > capacity:
+                raise ValidationError(
+                    f"QPU {qpu} buffers {count} in-flight relay photons at "
+                    f"cycle {start} but has only {capacity} buffer slots"
+                )
+
+    def sync_occupancy(
+        self,
+        schedule=None,
+        sync_tasks: Optional[Sequence] = None,
+    ) -> Tuple[
+        Dict[Tuple[int, int], List[int]],
+        Dict[Tuple[Tuple[int, int], int], List[int]],
+        Dict[Tuple[int, int], List[int]],
+    ]:
+        """Slot-level interconnect occupancy, keyed by synchronisation id.
+
+        Re-derives every per-hop window from first principles — the relay
+        model name in the config and each task's route, not the scheduling
+        layer's window helpers.  Under the pipelined model a sync starting
+        at ``t`` over the route ``q_0 .. q_{n-1}`` crosses link ``h`` at
+        ``t + h``; ``q_0`` is engaged at ``t``, ``q_{n-1}`` at arrival
+        ``t + n - 2``, and every intermediate ``q_k`` at ``t + k - 1``
+        (receive) and ``t + k`` (forward) while buffering the photon at
+        ``t + k``.  Under the atomic model the whole route is held for the
+        full transfer window.
+
+        Returns:
+            ``(qpu_slots, link_slots, buffer_slots)`` mapping
+            ``(qpu, cycle)`` / ``(link, cycle)`` slots to the list of sync
+            ids occupying them.  Optional ``schedule``/``sync_tasks``
+            overrides let recovery policies project a repaired plan onto
+            the same accounting.
+        """
+        pipelined = self.result.config.relay_model == "pipelined"
+        problem = self.result.problem
+        if schedule is None:
+            schedule = self.result.schedule
+        if sync_tasks is None:
+            sync_tasks = problem.sync_tasks
+
+        qpu_slots: Dict[Tuple[int, int], List[int]] = {}
+        link_slots: Dict[Tuple[Tuple[int, int], int], List[int]] = {}
+        buffer_slots: Dict[Tuple[int, int], List[int]] = {}
+        for sync in sync_tasks:
+            route = sync.route_qpus
             start = schedule.start_of(sync.key)
             last = len(route) - 1
             if pipelined and last > 1:
@@ -168,12 +268,14 @@ class DistributedRuntime:
                 for k in range(1, last):
                     slots.append((route[k], start + k - 1))
                     slots.append((route[k], start + k))
-                    buffer_slot = (route[k], start + k)
-                    buffer_load[buffer_slot] = buffer_load.get(buffer_slot, 0) + 1
+                    buffer_slots.setdefault((route[k], start + k), []).append(
+                        sync.sync_id
+                    )
                 for hop, (hop_a, hop_b) in enumerate(zip(route, route[1:])):
                     link = (min(hop_a, hop_b), max(hop_a, hop_b))
-                    link_slot = (link, start + hop)
-                    link_load[link_slot] = link_load.get(link_slot, 0) + 1
+                    link_slots.setdefault((link, start + hop), []).append(
+                        sync.sync_id
+                    )
             else:
                 # Direct sync (both models) or atomic relay: the transfer is
                 # one indivisible operation, so every route QPU and link is
@@ -188,31 +290,12 @@ class DistributedRuntime:
                 for hop_a, hop_b in zip(route, route[1:]):
                     link = (min(hop_a, hop_b), max(hop_a, hop_b))
                     for cycle in range(duration):
-                        link_slot = (link, start + cycle)
-                        link_load[link_slot] = link_load.get(link_slot, 0) + 1
+                        link_slots.setdefault((link, start + cycle), []).append(
+                            sync.sync_id
+                        )
             for slot in slots:
-                qpu_load[slot] = qpu_load.get(slot, 0) + 1
-        for (qpu, start), count in qpu_load.items():
-            capacity = system.qpus[qpu].connection_capacity
-            if count > capacity:
-                raise ValidationError(
-                    f"QPU {qpu} hosts {count} synchronisations at cycle {start} "
-                    f"but its connection layer supports K_max = {capacity}"
-                )
-        for ((qpu_a, qpu_b), start), count in link_load.items():
-            capacity = system.link_capacity(qpu_a, qpu_b)
-            if count > capacity:
-                raise ValidationError(
-                    f"link ({qpu_a}, {qpu_b}) carries {count} synchronisations "
-                    f"at cycle {start} but supports {capacity}"
-                )
-        for (qpu, start), count in buffer_load.items():
-            capacity = system.qpus[qpu].connection_capacity
-            if count > capacity:
-                raise ValidationError(
-                    f"QPU {qpu} buffers {count} in-flight relay photons at "
-                    f"cycle {start} but has only {capacity} buffer slots"
-                )
+                qpu_slots.setdefault(slot, []).append(sync.sync_id)
+        return qpu_slots, link_slots, buffer_slots
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -322,6 +405,164 @@ class DistributedRuntime:
         )
 
     # ------------------------------------------------------------------ #
+    # Checkpointing and degraded-system verification
+    # ------------------------------------------------------------------ #
+
+    def checkpoint(self, cycle: int) -> ReplayCheckpoint:
+        """Snapshot replay progress at the start of ``cycle``.
+
+        Deterministic: every component is sorted, so equal schedules yield
+        equal checkpoints regardless of task iteration order.
+        """
+        problem = self.result.problem
+        schedule = self.result.schedule
+        executed: List[tuple] = []
+        pending_mains: List[tuple] = []
+        for tasks in problem.main_tasks:
+            for task in tasks:
+                if schedule.start_of(task.key) < cycle:
+                    executed.append(task.key)
+                else:
+                    pending_mains.append(task.key)
+        completed: List[int] = []
+        in_flight: List[int] = []
+        pending_syncs: List[int] = []
+        for sync in problem.sync_tasks:
+            start = schedule.start_of(sync.key)
+            if start + sync.duration <= cycle:
+                completed.append(sync.sync_id)
+            elif start < cycle:
+                in_flight.append(sync.sync_id)
+            else:
+                pending_syncs.append(sync.sync_id)
+        return ReplayCheckpoint(
+            cycle=cycle,
+            executed_mains=tuple(sorted(executed)),
+            pending_mains=tuple(sorted(pending_mains)),
+            completed_syncs=tuple(sorted(completed)),
+            in_flight_syncs=tuple(sorted(in_flight)),
+            pending_syncs=tuple(sorted(pending_syncs)),
+        )
+
+    def verify_degraded(
+        self,
+        schedule,
+        sync_tasks: Optional[Sequence] = None,
+        *,
+        fault_cycle: int = 0,
+        dead_qpus: FrozenSet[int] = frozenset(),
+        dead_links: FrozenSet[Tuple[int, int]] = frozenset(),
+        qpu_capacity: Optional[Callable[[int, int], int]] = None,
+        link_capacity: Optional[Callable[[Tuple[int, int], int], int]] = None,
+        buffer_capacity: Optional[Callable[[int, int], int]] = None,
+    ) -> None:
+        """Independently re-check a recovered plan against a degraded system.
+
+        Windows strictly before ``fault_cycle`` ran on the healthy system
+        and are held to the healthy constraints only; windows at or after
+        ``fault_cycle`` must additionally avoid every element of
+        ``dead_qpus``/``dead_links`` and fit under the (possibly reduced)
+        per-cycle capacity callables — ``qpu_capacity(qpu, cycle)``,
+        ``link_capacity(link, cycle)`` and ``buffer_capacity(qpu, cycle)``
+        model brownouts.  The windows themselves are re-derived from first
+        principles via :meth:`sync_occupancy`, never trusted from the
+        recovery policy that produced the plan.
+
+        Raises:
+            ValidationError: if the recovered plan uses a dead element
+                after the fault, overflows a degraded capacity, breaks
+                QPU exclusivity between main and sync work, or routes a
+                sync over QPUs that share no physical link.
+        """
+        system = self.result.config.system_model()
+        problem = self.result.problem
+        syncs = problem.sync_tasks if sync_tasks is None else sync_tasks
+        dead_link_keys = {
+            (min(a, b), max(a, b)) for a, b in dead_links
+        }
+
+        def degraded(cycle: int) -> bool:
+            return cycle >= fault_cycle
+
+        main_at: Dict[Tuple[int, int], tuple] = {}
+        for tasks in problem.main_tasks:
+            for task in tasks:
+                start = schedule.start_of(task.key)
+                if degraded(start) and task.qpu in dead_qpus:
+                    raise ValidationError(
+                        f"main task {task.key} runs on dead QPU {task.qpu} "
+                        f"at cycle {start}"
+                    )
+                slot = (task.qpu, start)
+                if slot in main_at:
+                    raise ValidationError(
+                        f"QPU {task.qpu} runs two main tasks at cycle {start}"
+                    )
+                main_at[slot] = task.key
+
+        for sync in syncs:
+            route = sync.route_qpus
+            for hop_a, hop_b in zip(route, route[1:]):
+                if not system.are_connected(hop_a, hop_b):
+                    raise ValidationError(
+                        f"sync task {sync.sync_id} crosses QPUs "
+                        f"{hop_a}-{hop_b}, which share no link in the "
+                        f"{system.topology.value} interconnect"
+                    )
+
+        qpu_slots, link_slots, buffer_slots = self.sync_occupancy(
+            schedule=schedule, sync_tasks=syncs
+        )
+        for (qpu, cycle), holders in qpu_slots.items():
+            if degraded(cycle) and qpu in dead_qpus:
+                raise ValidationError(
+                    f"sync task(s) {sorted(set(holders))} engage dead QPU "
+                    f"{qpu} at cycle {cycle}"
+                )
+            if (qpu, cycle) in main_at:
+                raise ValidationError(
+                    f"QPU {qpu} runs main task {main_at[(qpu, cycle)]} and "
+                    f"sync task(s) {sorted(set(holders))} at cycle {cycle}"
+                )
+            capacity = system.qpus[qpu].connection_capacity
+            if qpu_capacity is not None and degraded(cycle):
+                capacity = min(capacity, qpu_capacity(qpu, cycle))
+            if len(holders) > capacity:
+                raise ValidationError(
+                    f"QPU {qpu} hosts {len(holders)} synchronisations at "
+                    f"cycle {cycle} but the degraded K_max is {capacity}"
+                )
+        for (link, cycle), holders in link_slots.items():
+            if degraded(cycle) and link in dead_link_keys:
+                raise ValidationError(
+                    f"sync task(s) {sorted(set(holders))} cross dead link "
+                    f"{link} at cycle {cycle}"
+                )
+            capacity = system.link_capacity(*link)
+            if link_capacity is not None and degraded(cycle):
+                capacity = min(capacity, link_capacity(link, cycle))
+            if len(holders) > capacity:
+                raise ValidationError(
+                    f"link {link} carries {len(holders)} synchronisations "
+                    f"at cycle {cycle} but the degraded capacity is {capacity}"
+                )
+        for (qpu, cycle), holders in buffer_slots.items():
+            if degraded(cycle) and qpu in dead_qpus:
+                raise ValidationError(
+                    f"sync task(s) {sorted(set(holders))} buffer on dead "
+                    f"QPU {qpu} at cycle {cycle}"
+                )
+            capacity = system.qpus[qpu].connection_capacity
+            if buffer_capacity is not None and degraded(cycle):
+                capacity = min(capacity, buffer_capacity(qpu, cycle))
+            if len(holders) > capacity:
+                raise ValidationError(
+                    f"QPU {qpu} buffers {len(holders)} in-flight relay "
+                    f"photons at cycle {cycle} but the degraded buffer "
+                    f"capacity is {capacity}"
+                )
+
+    # ------------------------------------------------------------------ #
     # Hardware-level projections
     # ------------------------------------------------------------------ #
 
@@ -329,9 +570,4 @@ class DistributedRuntime:
         self, delay_line: Optional[DelayLineModel] = None
     ) -> Dict[int, float]:
         """Per-photon loss probability implied by the observed storage times."""
-        model = delay_line or DelayLineModel()
-        trace = self.run()
-        worst: Dict[int, int] = {}
-        for record in trace.storage_records:
-            worst[record.node] = max(worst.get(record.node, 0), record.storage_cycles)
-        return {node: model.loss_probability(cycles) for node, cycles in worst.items()}
+        return self.run().loss_exposure(delay_line)

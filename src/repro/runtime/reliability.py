@@ -16,9 +16,13 @@ from typing import Dict, Optional
 from repro.core.compiler import DistributedCompilationResult
 from repro.hardware.fusion import FusionModel
 from repro.hardware.loss import DelayLineModel
-from repro.runtime.executor import DistributedRuntime
+from repro.runtime.executor import DistributedRuntime, ExecutionTrace
 
-__all__ = ["ReliabilityEstimate", "estimate_program_reliability"]
+__all__ = [
+    "ReliabilityEstimate",
+    "estimate_program_reliability",
+    "reliability_from_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -42,27 +46,22 @@ class ReliabilityEstimate:
     fusion_success_probability: float
 
 
-def estimate_program_reliability(
-    result: DistributedCompilationResult,
+def reliability_from_trace(
+    trace: ExecutionTrace,
     delay_line: Optional[DelayLineModel] = None,
     fusion: Optional[FusionModel] = None,
 ) -> ReliabilityEstimate:
-    """Estimate the loss exposure of a compiled program.
+    """Derive the reliability estimate from an already-computed trace.
 
-    Args:
-        result: A distributed compilation result.
-        delay_line: Delay-line model (clock rate, attenuation); defaults to
-            the paper's 1 ns/cycle, 0.2 dB/km setting.
-        fusion: Fusion model; defaults to the 29% failure rate cited by the
-            paper.
+    Both the loss exposure and the storage maximum come from the same
+    :class:`~repro.runtime.executor.ExecutionTrace`, so callers that
+    already replayed the schedule (sweeps, fault scenarios) pay no extra
+    replay.
     """
     delay_line = delay_line or DelayLineModel()
     fusion = fusion or FusionModel()
 
-    runtime = DistributedRuntime(result)
-    exposure: Dict[int, float] = runtime.loss_exposure(delay_line)
-    trace = runtime.run()
-
+    exposure: Dict[int, float] = trace.loss_exposure(delay_line)
     if exposure:
         worst = max(exposure.values())
         expected = sum(exposure.values())
@@ -77,3 +76,24 @@ def estimate_program_reliability(
         survival_probability=survival,
         fusion_success_probability=fusion.success_probability,
     )
+
+
+def estimate_program_reliability(
+    result: DistributedCompilationResult,
+    delay_line: Optional[DelayLineModel] = None,
+    fusion: Optional[FusionModel] = None,
+) -> ReliabilityEstimate:
+    """Estimate the loss exposure of a compiled program.
+
+    Replays the schedule exactly once and derives every figure from that
+    single :class:`~repro.runtime.executor.ExecutionTrace`.
+
+    Args:
+        result: A distributed compilation result.
+        delay_line: Delay-line model (clock rate, attenuation); defaults to
+            the paper's 1 ns/cycle, 0.2 dB/km setting.
+        fusion: Fusion model; defaults to the 29% failure rate cited by the
+            paper.
+    """
+    trace = DistributedRuntime(result).run()
+    return reliability_from_trace(trace, delay_line, fusion)

@@ -19,6 +19,7 @@ from repro.scheduling.problem import (
     ScheduleEvaluation,
 )
 from repro.scheduling.list_scheduler import list_schedule, default_priorities
+from repro.scheduling.frontier import reschedule_frontier
 from repro.scheduling.bdir import BDIRScheduler, BDIRConfig
 from repro.scheduling.bounds import (
     makespan_lower_bound,
@@ -34,6 +35,7 @@ __all__ = [
     "ScheduleEvaluation",
     "list_schedule",
     "default_priorities",
+    "reschedule_frontier",
     "BDIRScheduler",
     "BDIRConfig",
     "makespan_lower_bound",

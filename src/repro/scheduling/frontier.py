@@ -1,0 +1,270 @@
+"""List-scheduling the not-yet-executed task frontier after a fault.
+
+When a QPU or link dies (or browns out) at cycle ``t`` mid-replay, work
+that already executed is history — only the *frontier* (main tasks that
+have not started and synchronisations whose entanglement has not been
+delivered) can still be replanned.  :func:`reschedule_frontier` keeps every
+non-frontier task at its recorded start time, books its resource windows as
+immovable occupancy, and greedily re-places the frontier at the earliest
+feasible cycles ``>= t`` against the degraded system: dead QPUs host
+nothing, re-routed syncs follow caller-supplied detour routes, and
+per-cycle capacity callables model brownout windows.
+
+The shared :class:`~repro.scheduling.problem.LayerSchedulingProblem` is
+never mutated — route overrides are applied to local
+:func:`dataclasses.replace` copies of the sync tasks — so a recovery
+attempt leaves the original compilation result byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.obs.trace import TRACER
+from repro.scheduling.problem import (
+    LayerSchedulingProblem,
+    Schedule,
+    SyncTask,
+    TaskKey,
+)
+from repro.utils.counters import OP_COUNTERS
+from repro.utils.errors import SchedulingError
+
+__all__ = ["reschedule_frontier"]
+
+
+def reschedule_frontier(
+    problem: LayerSchedulingProblem,
+    schedule: Schedule,
+    frontier_start: int,
+    *,
+    pending: Sequence[TaskKey],
+    routes: Optional[Dict[int, Tuple[int, ...]]] = None,
+    dead_qpus: FrozenSet[int] = frozenset(),
+    dead_links: FrozenSet[Tuple[int, int]] = frozenset(),
+    qpu_capacity: Optional[Callable[[int, int], int]] = None,
+    link_capacity: Optional[Callable[[Tuple[int, int], int], int]] = None,
+    buffer_capacity: Optional[Callable[[int, int], int]] = None,
+) -> Schedule:
+    """Re-place the pending task frontier on a degraded system.
+
+    Args:
+        problem: The original scheduling problem (not mutated).
+        schedule: The original schedule; non-pending tasks keep their
+            start times verbatim.
+        frontier_start: First cycle the degraded system is in effect; no
+            pending task may start (or occupy any window) before it.
+        pending: Task keys to re-place.  Per-QPU main-task order is
+            preserved automatically because main starts strictly increase,
+            so a pending main's predecessors are either fixed or pending
+            with a smaller index.
+        routes: Optional ``sync_id -> route`` overrides (detours around
+            dead elements); applied to local copies of the sync tasks.
+        dead_qpus / dead_links: Elements unusable from ``frontier_start``
+            onwards.
+        qpu_capacity / link_capacity / buffer_capacity: Optional per-cycle
+            capacity callables replacing the problem's static tables at
+            cycles ``>= frontier_start`` (brownout windows).
+
+    Returns:
+        A new :class:`Schedule` covering every task of the problem.
+
+    Raises:
+        SchedulingError: if a pending task cannot be placed — its QPU is
+            dead, its route crosses a dead element, or no feasible cycle
+            exists within the search horizon.
+    """
+    OP_COUNTERS.add("frontier.calls")
+    routes = routes or {}
+    pending_set = set(pending)
+    dead_link_keys = {(min(a, b), max(a, b)) for a, b in dead_links}
+    pipelined = problem.pipelined
+
+    def q_cap(qpu: int, cycle: int) -> int:
+        if qpu_capacity is not None and cycle >= frontier_start:
+            return qpu_capacity(qpu, cycle)
+        return problem.capacity_of(qpu)
+
+    def l_cap(link: Tuple[int, int], cycle: int) -> int:
+        if link_capacity is not None and cycle >= frontier_start:
+            return link_capacity(link, cycle)
+        return problem.link_capacity_of(link)
+
+    def b_cap(qpu: int, cycle: int) -> int:
+        if buffer_capacity is not None and cycle >= frontier_start:
+            return buffer_capacity(qpu, cycle)
+        return problem.buffer_limit_of(qpu)
+
+    # Effective sync tasks: route overrides on local copies only.
+    effective: Dict[TaskKey, SyncTask] = {}
+    for sync in problem.sync_tasks:
+        if sync.sync_id in routes:
+            effective[sync.key] = replace(sync, route=tuple(routes[sync.sync_id]))
+        else:
+            effective[sync.key] = sync
+
+    known_keys = {task.key for task in problem.all_main_tasks()} | set(effective)
+    unknown = pending_set - known_keys
+    if unknown:
+        raise SchedulingError(f"unknown pending task keys: {sorted(unknown)}")
+
+    with TRACER.span(
+        "scheduling.frontier",
+        frontier_start=frontier_start,
+        pending=len(pending_set),
+        dead_qpus=len(dead_qpus),
+        dead_links=len(dead_link_keys),
+    ) as span:
+        new_schedule = _place(
+            problem,
+            schedule,
+            frontier_start,
+            pending_set,
+            effective,
+            dead_qpus,
+            dead_link_keys,
+            q_cap,
+            l_cap,
+            b_cap,
+            pipelined,
+        )
+        span.set(makespan=new_schedule.makespan)
+    return new_schedule
+
+
+def _place(
+    problem: LayerSchedulingProblem,
+    schedule: Schedule,
+    frontier_start: int,
+    pending_set,
+    effective: Dict[TaskKey, SyncTask],
+    dead_qpus,
+    dead_link_keys,
+    q_cap,
+    l_cap,
+    b_cap,
+    pipelined: bool,
+) -> Schedule:
+    main_at: Dict[Tuple[int, int], TaskKey] = {}
+    sync_at: Dict[Tuple[int, int], int] = {}
+    link_at: Dict[Tuple[Tuple[int, int], int], int] = {}
+    buffer_at: Dict[Tuple[int, int], int] = {}
+    new_starts: Dict[TaskKey, int] = {}
+    last_main_end: Dict[int, int] = {}
+
+    def book_sync(sync: SyncTask, start: int) -> None:
+        for qpu, cycle in sync.qpu_windows(start, pipelined):
+            sync_at[(qpu, cycle)] = sync_at.get((qpu, cycle), 0) + 1
+        for link, cycle in sync.link_windows(start, pipelined):
+            link_at[(link, cycle)] = link_at.get((link, cycle), 0) + 1
+        for qpu, cycle in sync.buffer_windows(start, pipelined):
+            buffer_at[(qpu, cycle)] = buffer_at.get((qpu, cycle), 0) + 1
+
+    # Fixed tasks keep their recorded starts and occupy their windows.
+    for task in problem.all_main_tasks():
+        if task.key in pending_set:
+            continue
+        start = schedule.start_of(task.key)
+        new_starts[task.key] = start
+        main_at[(task.qpu, start)] = task.key
+        last_main_end[task.qpu] = max(last_main_end.get(task.qpu, 0), start + 1)
+    for key, sync in effective.items():
+        if key in pending_set:
+            continue
+        start = schedule.start_of(key)
+        new_starts[key] = start
+        book_sync(sync, start)
+
+    total_hops = sum(sync.relay_hops for sync in effective.values())
+    horizon = (
+        frontier_start
+        + 4 * (problem.num_main_tasks + problem.num_sync_tasks)
+        + 16
+        + 4 * total_hops
+    )
+
+    def order_key(key: TaskKey):
+        return (schedule.start_of(key), 0 if key[0] == "main" else 1, key)
+
+    for key in sorted(pending_set, key=order_key):
+        if key[0] == "main":
+            _, qpu, index = key
+            if qpu in dead_qpus:
+                raise SchedulingError(
+                    f"main task {key} cannot be re-placed: QPU {qpu} is dead"
+                )
+            start = max(frontier_start, last_main_end.get(qpu, 0))
+            while start < horizon and (
+                (qpu, start) in main_at or sync_at.get((qpu, start), 0) > 0
+            ):
+                start += 1
+            if start >= horizon:
+                raise SchedulingError(
+                    f"frontier rescheduling exceeded the search horizon "
+                    f"({horizon}) placing main task {key}"
+                )
+            new_starts[key] = start
+            main_at[(qpu, start)] = key
+            last_main_end[qpu] = start + 1
+            OP_COUNTERS.add("frontier.placements")
+        else:
+            sync = effective[key]
+            route = sync.route_qpus
+            dead_on_route = [qpu for qpu in route if qpu in dead_qpus]
+            if dead_on_route:
+                raise SchedulingError(
+                    f"sync task {sync.sync_id} route {route} crosses dead "
+                    f"QPU(s) {dead_on_route}"
+                )
+            dead_crossed = [
+                link for link in sync.links if link in dead_link_keys
+            ]
+            if dead_crossed:
+                raise SchedulingError(
+                    f"sync task {sync.sync_id} route {route} crosses dead "
+                    f"link(s) {dead_crossed}"
+                )
+            start = frontier_start
+            while start < horizon and not _fits(
+                sync, start, pipelined, main_at, sync_at, link_at, buffer_at,
+                q_cap, l_cap, b_cap,
+            ):
+                start += 1
+                OP_COUNTERS.add("frontier.cycles_scanned")
+            if start >= horizon:
+                raise SchedulingError(
+                    f"frontier rescheduling exceeded the search horizon "
+                    f"({horizon}) placing sync task {sync.sync_id}"
+                )
+            new_starts[key] = start
+            book_sync(sync, start)
+            OP_COUNTERS.add("frontier.placements")
+
+    return Schedule(new_starts)
+
+
+def _fits(
+    sync: SyncTask,
+    start: int,
+    pipelined: bool,
+    main_at,
+    sync_at,
+    link_at,
+    buffer_at,
+    q_cap,
+    l_cap,
+    b_cap,
+) -> bool:
+    for qpu, cycle in sync.qpu_windows(start, pipelined):
+        if (qpu, cycle) in main_at:
+            return False
+        if sync_at.get((qpu, cycle), 0) + 1 > q_cap(qpu, cycle):
+            return False
+    for link, cycle in sync.link_windows(start, pipelined):
+        if link_at.get((link, cycle), 0) + 1 > l_cap(link, cycle):
+            return False
+    for qpu, cycle in sync.buffer_windows(start, pipelined):
+        if buffer_at.get((qpu, cycle), 0) + 1 > b_cap(qpu, cycle):
+            return False
+    return True

@@ -34,6 +34,7 @@ __all__ = [
     "table7_grid",
     "table8_grid",
     "relay_ablation_grid",
+    "fault_sweep_grid",
     "figure7_grid",
     "figure8_grid",
     "figure9_grid",
@@ -309,6 +310,68 @@ def relay_ablation_grid(
     )
 
 
+def fault_sweep_grid(
+    scale: BenchmarkScale = BenchmarkScale.REDUCED,
+    seed: int = 0,
+    topology: str = "ring",
+    num_qpus: int = 4,
+    faults=None,
+    policies=None,
+) -> ParameterGrid:
+    """Fault type x injection time x recovery policy failure accounting.
+
+    Each point compiles one instance on a sparse interconnect, injects one
+    seeded fault mid-replay and applies one recovery policy, reporting
+    ``failure_rate`` / ``recovered_rate`` / ``recovery_overhead_cycles``
+    alongside the healthy ``survival_probability`` baseline.  The default
+    fault set pairs a link death and a K_max brownout (SMOKE) with a QPU
+    death and stochastic photon loss at the larger scales, so the grid
+    always contains at least one scenario where ``fail-fast`` fails
+    outright and a re-planning policy recovers.
+
+    Policy names are spelled out (not imported from the runtime) so grid
+    construction stays import-light; :data:`repro.runtime.faults.RECOVERY_POLICIES`
+    is the authoritative list.
+    """
+    if scale is BenchmarkScale.SMOKE:
+        instances = [("QFT", 8)]
+        default_faults = ("link:0-1@10%", "qpu:0@25%+8:cap=1")
+        default_policies = ("fail-fast", "reroute")
+        shots = 2
+    else:
+        if scale is BenchmarkScale.PAPER:
+            instances = [("QFT", 16), ("QFT", 25), ("QAOA", 16)]
+        else:
+            instances = [("QFT", 16), ("QAOA", 16)]
+        default_faults = (
+            "qpu:1@25%",
+            "link:0-1@25%",
+            "qpu:0@25%+8:cap=1",
+            "loss:500ns",
+        )
+        default_policies = (
+            "fail-fast",
+            "reroute",
+            "reschedule-frontier",
+            "abort-recompile",
+        )
+        shots = 3
+    return ParameterGrid(
+        "fault",
+        axes={
+            "instance": instances,
+            "fault": list(faults if faults is not None else default_faults),
+            "recovery": list(policies if policies is not None else default_policies),
+        },
+        fixed={
+            "num_qpus": num_qpus,
+            "topology": topology,
+            "seed": seed,
+            "shots": shots,
+        },
+    )
+
+
 def figure7_grid(
     scale: BenchmarkScale = BenchmarkScale.REDUCED,
     seed: int = 0,
@@ -389,6 +452,7 @@ GRID_REGISTRY: Dict[str, Callable[..., ParameterGrid]] = {
     "table7": table7_grid,
     "table8": table8_grid,
     "relay-ablation": relay_ablation_grid,
+    "fault-sweep": fault_sweep_grid,
     "figure7": figure7_grid,
     "figure8": figure8_grid,
     "figure9": figure9_grid,

@@ -173,6 +173,7 @@ def run_topology(point: SweepPoint) -> Dict[str, object]:
     executor's independent storage/lifetime cross-check.
     """
     from repro.runtime.executor import DistributedRuntime
+    from repro.runtime.reliability import reliability_from_trace
 
     computation = build_computation(point.program, point.num_qubits, point.circuit_seed)
     config = config_for_point(point)
@@ -214,7 +215,52 @@ def run_topology(point: SweepPoint) -> Dict[str, object]:
             and trace.total_cycles == result.execution_time
         ),
         "utilisation": round(trace.utilisation(point.num_qpus), 4),
+        # Healthy-run loss exposure, derived from the same trace (no extra
+        # replay) so topology rows and fault rows share one reliability path.
+        "survival_probability": round(
+            reliability_from_trace(trace).survival_probability, 6
+        ),
     }
+
+
+@task("fault")
+def run_fault(point: SweepPoint) -> Dict[str, object]:
+    """One fault x recovery-policy scenario on one compiled instance.
+
+    Compiles the instance, replays it once to obtain the healthy trace,
+    then injects the point's fault spec under its recovery policy for the
+    requested number of seeded shots.  The row carries both the healthy
+    reliability baseline (``survival_probability``) and the fault
+    accounting columns (``failure_rate``, ``recovered_rate``,
+    ``recovery_overhead_cycles``).
+    """
+    from repro.runtime.executor import DistributedRuntime
+    from repro.runtime.faults import parse_fault, run_fault_scenario
+    from repro.runtime.reliability import reliability_from_trace
+
+    computation = build_computation(point.program, point.num_qubits, point.circuit_seed)
+    config = config_for_point(point)
+    result = DCMBQCCompiler(config).compile(computation)
+    trace = DistributedRuntime(result).run()
+    fault = parse_fault(str(point.option("fault", "qpu:0@50%")))
+    policy = str(point.option("recovery", "fail-fast"))
+    shots = int(point.option("shots", 1))
+    row: Dict[str, object] = {
+        "program": point.program,
+        "num_qubits": point.num_qubits,
+        "topology": config.system_model().topology.value,
+        "num_qpus": point.num_qpus,
+        "makespan": trace.total_cycles,
+        "survival_probability": round(
+            reliability_from_trace(trace).survival_probability, 6
+        ),
+    }
+    row.update(
+        run_fault_scenario(
+            result, fault, policy, seed=point.seed, shots=shots, trace=trace
+        )
+    )
+    return row
 
 
 #: OneQ baseline schedules are deterministic in (instance, grid, seed); the

@@ -19,6 +19,7 @@ class TestExperimentRegistry:
             "table7",
             "table8",
             "relay-ablation",
+            "fault-sweep",
             "figure1",
             "figure7",
             "figure8",

@@ -2,6 +2,8 @@
 
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.hardware.loss import (
     DelayLineModel,
@@ -77,3 +79,29 @@ class TestMaxCycles:
         assert max_cycles_for_loss_budget(0.05, cycle_time_ns=1.0) > max_cycles_for_loss_budget(
             0.05, cycle_time_ns=10.0
         )
+
+
+class TestMaxCyclesProperty:
+    """``max_cycles`` is the exact integer inverse of ``loss_probability``."""
+
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        budget=st.floats(min_value=1e-6, max_value=0.999, allow_nan=False),
+        cycle_time_ns=st.sampled_from([1.0, 10.0, 100.0]),
+    )
+    def test_max_cycles_is_tight(self, budget, cycle_time_ns):
+        model = DelayLineModel(cycle_time_ns=cycle_time_ns)
+        cycles = model.max_cycles(budget)
+        assert cycles >= 0
+        # The budget is spent exactly: `cycles` stays within it and one more
+        # cycle busts it.  Tolerances are one part in 1e12 to absorb the
+        # floating-point rounding in floor(-log(1-b)/per_cycle).
+        assert model.loss_probability(cycles) <= budget * (1 + 1e-12) + 1e-15
+        assert budget < model.loss_probability(cycles + 1) * (1 + 1e-12) + 1e-15
+
+    @pytest.mark.parametrize("budget", [0.0, 1.0, -0.1, 1.5])
+    def test_degenerate_budgets_rejected(self, budget):
+        with pytest.raises(ValueError):
+            max_cycles_for_loss_budget(budget)
+        with pytest.raises(ValueError):
+            DelayLineModel().max_cycles(budget)

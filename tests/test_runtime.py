@@ -3,7 +3,11 @@
 import pytest
 
 from repro.hardware.loss import DelayLineModel
-from repro.runtime.executor import DistributedRuntime
+from repro.runtime.executor import (
+    DistributedRuntime,
+    ExecutionTrace,
+    PhotonStorageRecord,
+)
 from repro.runtime.reliability import estimate_program_reliability
 
 
@@ -56,6 +60,21 @@ class TestExecutionTrace:
         trace = DistributedRuntime(distributed_result).run()
         assert all(record.storage_cycles >= 0 for record in trace.storage_records)
 
+    def test_worst_photons_breaks_ties_by_node(self):
+        """Equal storage times must rank by node id, whatever the insert order."""
+        records = [
+            PhotonStorageRecord(node=n, generated_at=0, released_at=5, reason="fusee")
+            for n in (9, 3, 7, 1)
+        ]
+        records.append(
+            PhotonStorageRecord(node=5, generated_at=0, released_at=8, reason="fusee")
+        )
+        trace = ExecutionTrace(total_cycles=10, storage_records=records)
+        assert [r.node for r in trace.worst_photons(4)] == [5, 1, 3, 7]
+        # Reversed insertion order yields the identical ranking.
+        shuffled = ExecutionTrace(total_cycles=10, storage_records=records[::-1])
+        assert trace.worst_photons(4) == shuffled.worst_photons(4)
+
 
 class TestLossExposure:
     def test_probabilities_in_unit_interval(self, distributed_result):
@@ -90,3 +109,16 @@ class TestReliability:
             distributed_result, delay_line=DelayLineModel(cycle_time_ns=100.0)
         )
         assert slow.survival_probability <= fast.survival_probability
+
+    def test_estimate_replays_exactly_once(self, distributed_result, monkeypatch):
+        """Regression: the estimator used to replay the schedule twice."""
+        calls = []
+        original_run = DistributedRuntime.run
+
+        def counting_run(self):
+            calls.append(1)
+            return original_run(self)
+
+        monkeypatch.setattr(DistributedRuntime, "run", counting_run)
+        estimate_program_reliability(distributed_result)
+        assert len(calls) == 1
