@@ -7,7 +7,10 @@ trades a little quality for faster compilation.  The benchmark measures the
 same three variants; after the hot-path overhaul (bitset signal domains,
 array partitioning/scheduling kernels) the sweep extends to 24 and 32
 qubits — twice the size the pre-overhaul pipeline could walk in the same
-budget.
+budget — and, after the incremental-BDIR rework (delta evaluation with a
+budgeted fallback to the vectorized full pass, active-set repair
+scheduling, maintained link loads), to 64 and 128 qubits, where the BDIR
+refinement adds only a small constant over the Core pipeline.
 
 Alongside the paper-style text table the benchmark records
 ``BENCH_figure10.json``: the full per-stage timing and op-counter rows plus
@@ -40,7 +43,7 @@ def test_figure10_compile_time_scaling(benchmark, record_table, record_bench):
     figure10_series(qft_sizes=(8,))
     rows = benchmark.pedantic(
         figure10_series,
-        kwargs={"qft_sizes": (8, 12, 16, 24, 32)},
+        kwargs={"qft_sizes": (8, 12, 16, 24, 32, 64, 128)},
         rounds=1,
         iterations=1,
     )
@@ -97,5 +100,17 @@ def test_figure10_compile_time_scaling(benchmark, record_table, record_bench):
     # lives in BENCH_figure10.json, and algorithmic regressions are gated by
     # the counter-based benchmarks/perf_smoke.py, which is immune to CI
     # timing noise.  Only the interactive-time ceiling is asserted —
-    # including the new 24- and 32-qubit points.
+    # including the 64- and 128-qubit points the incremental BDIR unlocked.
     assert all(row["dcmbqc_core_bdir_seconds"] < 120 for row in rows)
+
+    # The large instances must run BDIR through the incremental machinery:
+    # one delta-evaluator proposal per annealing iteration (the authoritative
+    # vectorized full pass only as the budgeted fallback inside it) and
+    # unvalidated in-repair rescheduling.  Wall-clock-free, so CI-safe.
+    for row in rows:
+        if row["qubits"] < 64:
+            continue
+        iterations = row.get("ops_bdir_iterations", 0)
+        assert iterations > 0, row["qubits"]
+        assert row.get("ops_evaluate_delta_calls", 0) == iterations
+        assert row.get("ops_bdir_incremental_repairs", 0) == iterations

@@ -51,6 +51,10 @@ class DCMBQCConfig:
         use_bdir: Refine the schedule with BDIR (Algorithm 3); when False
             only priority-based list scheduling is used ("DC-MBQC (Core)").
         bdir: Simulated-annealing parameters for BDIR.
+        bdir_starts: Number of independently seeded BDIR refinement starts
+            sharing ``bdir.max_iterations`` as a total move budget (best-of
+            selection).  ``1`` (the default) is the canonical single-start
+            refinement, bit-identical to earlier releases.
         relay_model: Communication model for relayed syncs on sparse
             interconnects: ``"pipelined"`` (store-and-forward hop windows,
             the default) or ``"atomic"`` (circuit-switched: the whole route
@@ -76,6 +80,7 @@ class DCMBQCConfig:
     gamma: float = 1.02
     use_bdir: bool = True
     bdir: BDIRConfig = field(default_factory=BDIRConfig)
+    bdir_starts: int = 1
     relay_model: str = "pipelined"
     seed: int = 0
 
@@ -86,6 +91,8 @@ class DCMBQCConfig:
             raise CompilationError("grid_size must be at least 1")
         if self.connection_capacity < 1:
             raise CompilationError("connection_capacity must be at least 1")
+        if self.bdir_starts < 1:
+            raise CompilationError("bdir_starts must be at least 1")
         if self.alpha_max < 1.0:
             raise CompilationError("alpha_max must be at least 1.0")
         if self.relay_model not in ("pipelined", "atomic"):

@@ -214,10 +214,16 @@ def table6_rows(
     workers: int = 1,
     store: Optional[ResultStore] = None,
     system_overrides: SystemOverrides = None,
+    bdir_starts: int = 1,
 ) -> List[Dict[str, object]]:
     """Table VI: required lifetime of list scheduling vs BDIR on QFT programs."""
     grid = pin_system_overrides(
-        grids.table6_grid(seed=seed, qft_sizes=qft_sizes, num_qpus=num_qpus),
+        grids.table6_grid(
+            seed=seed,
+            qft_sizes=qft_sizes,
+            num_qpus=num_qpus,
+            bdir_starts=bdir_starts,
+        ),
         system_overrides,
     )
     return run_grid(grid, workers=workers, store=store).results()
@@ -456,10 +462,16 @@ def figure10_series(
     workers: int = 1,
     store: Optional[ResultStore] = None,
     system_overrides: SystemOverrides = None,
+    bdir_starts: int = 1,
 ) -> List[Dict[str, object]]:
     """Figure 10: compilation-runtime scaling of the three compiler variants."""
     grid = pin_system_overrides(
-        grids.figure10_grid(seed=seed, qft_sizes=qft_sizes, num_qpus=num_qpus),
+        grids.figure10_grid(
+            seed=seed,
+            qft_sizes=qft_sizes,
+            num_qpus=num_qpus,
+            bdir_starts=bdir_starts,
+        ),
         system_overrides,
     )
     return run_grid(grid, workers=workers, store=store).results()

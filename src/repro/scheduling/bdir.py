@@ -103,7 +103,14 @@ class BDIRScheduler:
             current = (
                 initial.copy() if initial is not None else list_schedule(self.problem)
             )
-            current_eval = self.problem.evaluate(current)
+            # The delta evaluator keeps the accepted schedule's full kernel
+            # state and re-propagates only the cone a move actually touches;
+            # the priming pass below is the one authoritative full evaluate.
+            evaluator = self.problem.delta_evaluator()
+            with TRACER.span("schedule.evaluate"):
+                current_eval = evaluator.prime(current)
+            if self._sparse:
+                self._build_link_loads(current)
             best = current.copy()
             best_cost = float(current_eval.tau_photon)
             best_routes = self._routes_snapshot()
@@ -118,7 +125,8 @@ class BDIRScheduler:
                     if neighbour is None:
                         step_span.set(outcome="exhausted")
                         break
-                    neighbour_eval = self.problem.evaluate(neighbour)
+                    with TRACER.span("schedule.evaluate"):
+                        neighbour_eval = evaluator.propose(neighbour)
                     delta = (
                         float(neighbour_eval.tau_photon)
                         - float(current_eval.tau_photon)
@@ -127,11 +135,20 @@ class BDIRScheduler:
                         -delta / max(temperature, 1e-9)
                     )
                     if accepted:
+                        evaluator.accept()
+                        if self._sparse:
+                            self._update_link_loads(
+                                neighbour,
+                                undo_route[0] if undo_route is not None else None,
+                            )
                         current, current_eval = neighbour, neighbour_eval
-                    elif undo_route is not None:
-                        # Rejected route moves must not leak into later
-                        # iterations: restore the sync's previous route.
-                        self.problem.set_route(*undo_route)
+                    else:
+                        evaluator.reject()
+                        OP_COUNTERS.add("bdir.rollbacks")
+                        if undo_route is not None:
+                            # Rejected route moves must not leak into later
+                            # iterations: restore the sync's previous route.
+                            self.problem.set_route(*undo_route)
                     if float(current_eval.tau_photon) < best_cost:
                         best = current.copy()
                         best_cost = float(current_eval.tau_photon)
@@ -140,6 +157,9 @@ class BDIRScheduler:
                 temperature *= self.config.cooling_rate
             # The returned schedule and the problem's route table must agree.
             self._restore_routes(best_routes)
+            # Inner repairs skip per-candidate validation; the schedule that
+            # leaves the annealing loop is checked once, under its routes.
+            self.problem.validate(best)
             refine_span.set(best_tau=int(best_cost))
         return best
 
@@ -152,10 +172,35 @@ class BDIRScheduler:
                 self.problem.set_route(sync.sync_id, routes[sync.sync_id])
 
     # ------------------------------------------------------------------ #
-    # Static problem views (computed once per refine call)
+    # Static problem views (route-independent, cached on the problem)
     # ------------------------------------------------------------------ #
 
     def _prepare_static_views(self) -> None:
+        problem = self.problem
+        # Congestion-aware moves only make sense on sparse interconnects:
+        # a link table to measure load against, and at least one relayed
+        # sync.  Fully-connected problems (the paper's default systems)
+        # never enter these paths, keeping their refinement bit-identical.
+        # Relay hops follow the mutable route table, so this is re-derived
+        # per refine rather than cached with the structural views.
+        self._sparse = problem.link_capacities is not None and any(
+            sync.relay_hops for sync in problem.sync_tasks
+        )
+        views = getattr(problem, "_bdir_views", None)
+        if views is None:
+            views = self._build_static_views()
+            problem._bdir_views = views
+        self._node_task, self._sync_position, self._main_anchors = views
+
+    def _build_static_views(self):
+        """Node→task map, sync positions, and per-main anchor sets.
+
+        All three depend only on the problem's task structure — never on
+        routes or schedules — so a portfolio of refinement starts (and any
+        repeated refine on the same problem) shares one construction; the
+        anchor pass walks every dependency edge and dominates refine setup
+        on 64-qubit problems otherwise.
+        """
         problem = self.problem
         self._node_task: Dict[int, TaskKey] = problem.node_task_map()
         # Routes are mutable (re-route moves), so syncs are looked up live
@@ -163,13 +208,6 @@ class BDIRScheduler:
         self._sync_position: Dict[int, int] = {
             sync.sync_id: position for position, sync in enumerate(problem.sync_tasks)
         }
-        # Congestion-aware moves only make sense on sparse interconnects:
-        # a link table to measure load against, and at least one relayed
-        # sync.  Fully-connected problems (the paper's default systems)
-        # never enter these paths, keeping their refinement bit-identical.
-        self._sparse = problem.link_capacities is not None and any(
-            sync.relay_hops for sync in problem.sync_tasks
-        )
         syncs_of_main: Dict[TaskKey, List[TaskKey]] = {}
         for sync in problem.sync_tasks:
             for key in sync.main_keys:
@@ -202,6 +240,7 @@ class BDIRScheduler:
         for key, sync_keys in syncs_of_main.items():
             anchors[key].update(sync_keys)
         self._main_anchors = anchors
+        return self._node_task, self._sync_position, anchors
 
     # ------------------------------------------------------------------ #
     # Algorithm 3 primitives
@@ -248,14 +287,13 @@ class BDIRScheduler:
     ) -> Optional[TaskKey]:
         """Identify the task responsible for the current objective value."""
         if evaluation.tau_remote >= evaluation.tau_local:
-            worst_sync: Optional[SyncTask] = None
-            worst_gap = -1
-            for sync in self.problem.sync_tasks:
-                gap = self._sync_gap(schedule, sync)
-                if gap > worst_gap:
-                    worst_gap = gap
-                    worst_sync = sync
-            return worst_sync.key if worst_sync is not None else None
+            # The evaluation already computed every remote gap vectorised and
+            # recorded the argmax (first maximum, matching the old scan).
+            if evaluation.worst_sync is None:
+                return None
+            return self.problem.sync_tasks[
+                self._sync_position[evaluation.worst_sync]
+            ].key
 
         report = evaluation.lifetime_report
         if report.tau_fusee >= report.tau_measuree and report.worst_fusee_pair:
@@ -299,19 +337,54 @@ class BDIRScheduler:
     # Congestion-aware moves (sparse interconnects only)
     # ------------------------------------------------------------------ #
 
-    def _link_loads(
-        self, schedule: Schedule, exclude: Optional[int] = None
-    ) -> Dict[Tuple[Tuple[int, int], int], int]:
-        """Per-(link, cycle) load of the current schedule's hop windows."""
-        loads: Dict[Tuple[Tuple[int, int], int], int] = {}
+    def _build_link_loads(self, schedule: Schedule) -> None:
+        """Per-(link, cycle) load of the accepted schedule's hop windows.
+
+        Built once per refine and maintained across accepted moves (see
+        :meth:`_update_link_loads`) instead of being rebuilt — an
+        O(syncs × hops) pass — for every candidate a move scores.
+        """
         pipelined = self.problem.pipelined
+        loads: Dict[Tuple[Tuple[int, int], int], int] = {}
+        self._sync_windows: Dict[int, List[Tuple[Tuple[int, int], int]]] = {}
+        self._sync_starts: Dict[int, int] = {}
         for sync in self.problem.sync_tasks:
-            if sync.sync_id == exclude:
-                continue
             start = schedule.start_of(sync.key)
-            for window in sync.link_windows(start, pipelined):
+            windows = list(sync.link_windows(start, pipelined))
+            self._sync_starts[sync.sync_id] = start
+            self._sync_windows[sync.sync_id] = windows
+            for window in windows:
                 loads[window] = loads.get(window, 0) + 1
-        return loads
+        self._loads = loads
+
+    def _update_link_loads(
+        self, schedule: Schedule, rerouted: Optional[int]
+    ) -> None:
+        """Fold an accepted move into the maintained load map.
+
+        Only syncs whose start actually changed (plus the re-routed one,
+        whose windows move even at an unchanged start) are re-booked; a
+        zero count deletes its entry so the pressure scan below never sees
+        phantom links.
+        """
+        pipelined = self.problem.pipelined
+        loads = self._loads
+        for sync in self.problem.sync_tasks:
+            sync_id = sync.sync_id
+            start = schedule.start_of(sync.key)
+            if start == self._sync_starts[sync_id] and sync_id != rerouted:
+                continue
+            for window in self._sync_windows[sync_id]:
+                count = loads[window] - 1
+                if count:
+                    loads[window] = count
+                else:
+                    del loads[window]
+            windows = list(sync.link_windows(start, pipelined))
+            for window in windows:
+                loads[window] = loads.get(window, 0) + 1
+            self._sync_starts[sync_id] = start
+            self._sync_windows[sync_id] = windows
 
     def _route_cost(
         self,
@@ -350,20 +423,32 @@ class BDIRScheduler:
         everything else fixed; ties prefer the cycle closest to the
         temporal equilibrium.
         """
-        loads = self._link_loads(schedule, exclude=sync.sync_id)
+        loads = self._loads
+        excluded = self._sync_windows.get(sync.sync_id, ())
         start_a, start_b = (schedule.start_of(k) for k in sync.main_keys)
         route = sync.route_qpus
         window = max(2, sync.relay_hops + 1)
         best_cycle = target
         best_cost: Optional[int] = None
-        for cycle in range(max(0, target - window), target + window + 1):
-            cost = self._route_cost(loads, route, cycle, start_a, start_b)[0]
-            if (
-                best_cost is None
-                or cost < best_cost
-                or (cost == best_cost and abs(cycle - target) < abs(best_cycle - target))
-            ):
-                best_cycle, best_cost = cycle, cost
+        # Score with the sync's own windows subtracted in place (restored
+        # below) rather than copying the whole load map per candidate.
+        for booked in excluded:
+            loads[booked] -= 1
+        try:
+            for cycle in range(max(0, target - window), target + window + 1):
+                cost = self._route_cost(loads, route, cycle, start_a, start_b)[0]
+                if (
+                    best_cost is None
+                    or cost < best_cost
+                    or (
+                        cost == best_cost
+                        and abs(cycle - target) < abs(best_cycle - target)
+                    )
+                ):
+                    best_cycle, best_cost = cycle, cost
+        finally:
+            for booked in excluded:
+                loads[booked] += 1
         return best_cycle
 
     def _alternate_routes(self, sync: SyncTask) -> List[Tuple[int, ...]]:
@@ -394,14 +479,21 @@ class BDIRScheduler:
             return None
         start = schedule.start_of(sync.key)
         start_a, start_b = (schedule.start_of(k) for k in sync.main_keys)
-        loads = self._link_loads(schedule, exclude=sync.sync_id)
-        best = min(
-            candidates,
-            key=lambda route: (
-                self._route_cost(loads, route, start, start_a, start_b),
-                route,
-            ),
-        )
+        loads = self._loads
+        excluded = self._sync_windows.get(sync.sync_id, ())
+        for booked in excluded:
+            loads[booked] -= 1
+        try:
+            best = min(
+                candidates,
+                key=lambda route: (
+                    self._route_cost(loads, route, start, start_a, start_b),
+                    route,
+                ),
+            )
+        finally:
+            for booked in excluded:
+                loads[booked] += 1
         OP_COUNTERS.add("bdir.reroute_moves")
         return self._apply_route_move(schedule, sync, best)
 
@@ -410,7 +502,7 @@ class BDIRScheduler:
     ) -> Optional[Tuple[Schedule, Tuple[int, Tuple[int, ...]]]]:
         """Shift the most saturated link's worst sync onto a less-loaded path."""
         caps = self.problem.link_capacities
-        loads = self._link_loads(schedule)
+        loads = self._loads
         if not loads:
             return None
         # Pressure per link: saturated cycles first, then total load.
@@ -420,7 +512,12 @@ class BDIRScheduler:
             if count >= caps[link]:
                 saturated += 1
             pressure[link] = (saturated, total + count)
-        hot = max(sorted(pressure), key=lambda link: pressure[link])
+        # Single O(n) pass; ties prefer the smallest link tuple, matching
+        # the previous max-over-sorted-keys scan.
+        hot = max(
+            pressure,
+            key=lambda link: (pressure[link], (-link[0], -link[1])),
+        )
         victims = [s for s in self.problem.sync_tasks if hot in s.links]
         if not victims:
             return None
@@ -461,4 +558,10 @@ class BDIRScheduler:
         # earlier.
         priorities[key] = float(target)
         pinned = {key: max(0, target)}
-        return list_schedule(self.problem, priorities=priorities, pinned=pinned)
+        # The active-set scheduler reuses the problem's cached statics and
+        # skips per-candidate validation; the refine loop validates the best
+        # schedule once before returning it.
+        OP_COUNTERS.add("bdir.incremental_repairs")
+        return list_schedule(
+            self.problem, priorities=priorities, pinned=pinned, validate=False
+        )

@@ -13,12 +13,29 @@ algorithm: callers may pass explicit per-task priorities (the start times of
 an existing schedule, to preserve its relative order) and *pin* one task to a
 specific cycle.
 
-Implementation notes: the inner loop works on flat per-QPU integer/float
-arrays.  Scheduled synchronisation tasks are compacted out of the pending
-list between cycles (the seed implementation re-scanned the full sync list
-twice per cycle, which is quadratic in the number of connectors), and the
-"next main priority" of each QPU is computed once per cycle instead of once
-per candidate sync.
+Implementation notes — the decision sequence is reproduced *exactly* (the
+schedule is bit-identical to the straightforward scan-everything loop), but
+the per-cycle work is sub-linear in the number of syncs:
+
+* **Active-set scan.**  Instead of re-scanning every unscheduled sync each
+  cycle, each QPU keeps its endpoint syncs in (priority, sync_id) order
+  behind a release pointer with threshold ``next_prio[q] + K_max[q]`` — a
+  provable superset of both the phase-1 strict-due condition and the
+  phase-1b top-up window (the thresholds are per-endpoint upper bounds of
+  the exact conditions, which are re-checked verbatim at scan time; float
+  addition is monotone, so the superset survives rounding).  A sync enters
+  the shared active list once both endpoints have released it; started
+  entries are compacted out lazily.  ``next_prio`` is *not* monotone (pins
+  flip it to infinity and back), which is why the release is a superset
+  with exact re-checks rather than the decision itself.
+* **Cached statics.**  Per-sync hop windows (start-relative offsets),
+  capacity tables and relay totals depend only on the problem and its route
+  table, so they are cached on the problem keyed by the route version
+  instead of being rebuilt per call — BDIR calls this scheduler once per
+  annealing iteration.
+* **Optional validation.**  ``validate=False`` skips the post-hoc
+  constraint check for trusted inner-loop callers (BDIR validates the best
+  schedule once per refine instead of every candidate).
 
 Relayed syncs book *windows*: under the pipelined store-and-forward model a
 sync starting at ``t`` occupies each route QPU, link, and intermediate
@@ -30,6 +47,7 @@ exactly one cycle and reproduce the pre-pipelining scheduler bit for bit.
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Dict, List, Mapping, Optional
 
 from repro.obs.trace import TRACER
@@ -53,10 +71,61 @@ def default_priorities(problem: LayerSchedulingProblem) -> Dict[TaskKey, float]:
     return priorities
 
 
+class _SchedulerStatics:
+    """Per-problem scheduler inputs that only depend on the route table."""
+
+    __slots__ = (
+        "route_version",
+        "capacity",
+        "buffer_limit",
+        "syncs",
+        "qpu_windows",
+        "link_windows",
+        "buffer_windows",
+        "relayed",
+        "total_tasks",
+        "horizon_limit",
+    )
+
+    def __init__(self, problem: LayerSchedulingProblem) -> None:
+        self.route_version = getattr(problem, "_route_version", 0)
+        pipelined = problem.pipelined
+        num_qpus = problem.num_qpus
+        self.capacity = [problem.capacity_of(qpu) for qpu in range(num_qpus)]
+        self.buffer_limit = [problem.buffer_limit_of(qpu) for qpu in range(num_qpus)]
+        self.syncs: List[SyncTask] = list(problem.sync_tasks)
+        self.qpu_windows = {
+            s.sync_id: s.qpu_windows(0, pipelined) for s in self.syncs
+        }
+        self.link_windows = {
+            s.sync_id: s.link_windows(0, pipelined) for s in self.syncs
+        }
+        self.buffer_windows = {
+            s.sync_id: s.buffer_windows(0, pipelined) for s in self.syncs
+        }
+        self.relayed = any(s.relay_hops for s in self.syncs)
+        self.total_tasks = problem.num_main_tasks + problem.num_sync_tasks
+        total_relay_hops = sum(s.relay_hops for s in self.syncs)
+        self.horizon_limit = 4 * self.total_tasks + 16 + 4 * total_relay_hops
+
+
+def _statics(problem: LayerSchedulingProblem) -> _SchedulerStatics:
+    cached = getattr(problem, "_scheduler_statics", None)
+    if cached is not None and cached.route_version == getattr(
+        problem, "_route_version", 0
+    ):
+        return cached
+    cached = _SchedulerStatics(problem)
+    problem._scheduler_statics = cached
+    return cached
+
+
 def list_schedule(
     problem: LayerSchedulingProblem,
     priorities: Optional[Mapping[TaskKey, float]] = None,
     pinned: Optional[Mapping[TaskKey, int]] = None,
+    *,
+    validate: bool = True,
 ) -> Schedule:
     """Produce a feasible schedule by priority-based list scheduling.
 
@@ -67,6 +136,9 @@ def list_schedule(
         pinned: Optional mapping of task keys to the earliest cycle they may
             start (the task is scheduled at the first feasible cycle at or
             after the pin).  Used by BDIR's ``PinAndReschedule``.
+        validate: Check the result against all hard constraints (default).
+            Trusted inner-loop callers (BDIR's repair) skip this and
+            validate only the schedule they return.
 
     Returns:
         A schedule satisfying all hard constraints.
@@ -76,13 +148,14 @@ def list_schedule(
         mains=problem.num_main_tasks,
         syncs=problem.num_sync_tasks,
     ):
-        return _list_schedule(problem, priorities, pinned)
+        return _list_schedule(problem, priorities, pinned, validate)
 
 
 def _list_schedule(
     problem: LayerSchedulingProblem,
     priorities: Optional[Mapping[TaskKey, float]],
     pinned: Optional[Mapping[TaskKey, int]],
+    validate: bool = True,
 ) -> Schedule:
     prio = dict(priorities) if priorities is not None else default_priorities(problem)
     pins = dict(pinned or {})
@@ -91,10 +164,14 @@ def _list_schedule(
             raise SchedulingError(f"pinned task {key} is not part of the problem")
 
     num_qpus = problem.num_qpus
-    capacity = [problem.capacity_of(qpu) for qpu in range(num_qpus)]
-    buffer_limit = [problem.buffer_limit_of(qpu) for qpu in range(num_qpus)]
+    statics = _statics(problem)
+    capacity = statics.capacity
+    buffer_limit = statics.buffer_limit
     link_limits = problem.link_capacities
-    pipelined = problem.pipelined
+    sync_qpu_windows = statics.qpu_windows
+    sync_link_windows = statics.link_windows
+    sync_buffer_windows = statics.buffer_windows
+    relayed = statics.relayed
 
     # Flat per-QPU views of the main-task queues.
     main_prio: List[List[float]] = [
@@ -104,29 +181,26 @@ def _list_schedule(
         [pins.get(task.key, 0) for task in tasks] for tasks in problem.main_tasks
     ]
 
-    # Pending syncs in (priority, sync_id) order; scheduled entries are
-    # compacted out between cycles.  A sync claims a communication slot on
-    # every QPU of its relay route and one capacity unit per route link —
-    # at its own hop offset under the pipelined model, for the whole
-    # transfer window under the atomic one.  Window offsets are
-    # start-relative, so they are precomputed once per sync.
-    pending: List[SyncTask] = sorted(
-        problem.sync_tasks, key=lambda s: (prio[s.key], s.sync_id)
+    # Syncs in global (priority, sync_id) order — the scan order of every
+    # phase.  ``order`` holds positions into ``syncs``; per-endpoint release
+    # lists are the same order filtered by QPU.
+    syncs = statics.syncs
+    sync_count = len(syncs)
+    sync_prio: List[float] = [prio[s.key] for s in syncs]
+    sync_pin: List[int] = [pins.get(s.key, 0) for s in syncs]
+    order: List[int] = sorted(
+        range(sync_count), key=lambda i: (sync_prio[i], syncs[i].sync_id)
     )
-    sync_prio: Dict[int, float] = {s.sync_id: prio[s.key] for s in problem.sync_tasks}
-    sync_pin: Dict[int, int] = {
-        s.sync_id: pins.get(s.key, 0) for s in problem.sync_tasks
-    }
-    sync_qpu_windows: Dict[int, tuple] = {
-        s.sync_id: s.qpu_windows(0, pipelined) for s in problem.sync_tasks
-    }
-    sync_link_windows: Dict[int, tuple] = {
-        s.sync_id: s.link_windows(0, pipelined) for s in problem.sync_tasks
-    }
-    sync_buffer_windows: Dict[int, tuple] = {
-        s.sync_id: s.buffer_windows(0, pipelined) for s in problem.sync_tasks
-    }
-    relayed = any(s.relay_hops for s in problem.sync_tasks)
+    endpoint_lists: List[List[int]] = [[] for _ in range(num_qpus)]
+    for i in order:
+        endpoint_lists[syncs[i].qpu_a].append(i)
+        endpoint_lists[syncs[i].qpu_b].append(i)
+    release_ptr = [0] * num_qpus
+    release_count = [0] * sync_count
+    started = [False] * sync_count
+    # Active list: released-on-both-endpoints syncs, ascending (prio, id).
+    active: List[tuple] = []
+    global_ptr = 0  # into ``order``: first not-yet-started sync
 
     # Global occupancy, keyed by (resource, cycle): pipelined relays book
     # future cycles, so per-cycle arrays are not enough.
@@ -168,22 +242,19 @@ def _list_schedule(
     schedule = Schedule()
     start_times = schedule.start_times
     next_main_index = [0] * num_qpus
-    total_tasks = problem.num_main_tasks + problem.num_sync_tasks
-    total_relay_hops = sum(s.relay_hops for s in problem.sync_tasks)
-    horizon_limit = 4 * total_tasks + 16 + 4 * total_relay_hops
+    total_tasks = statics.total_tasks
+    horizon_limit = statics.horizon_limit
 
     time = 0
     cycles = 0
     sync_scans = 0
     while len(start_times) < total_tasks:
         cycles += 1
-        sync_scans += len(pending)
         if time > horizon_limit:
             raise SchedulingError(
                 "list scheduling exceeded its time horizon; the problem is inconsistent"
             )
         scheduled_this_slot = 0
-        scheduled_syncs: List[int] = []  # positions in ``pending`` to compact
 
         # Priority of each QPU's next runnable main task, fixed for the
         # cycle (phase 2 runs after every sync decision).
@@ -193,20 +264,41 @@ def _list_schedule(
             if index < len(main_prio[qpu]) and main_pin[qpu][index] <= time:
                 next_prio[qpu] = main_prio[qpu][index]
 
+        # Release: advance each QPU's pointer up to this cycle's threshold
+        # (an upper bound of every due condition below); a sync joins the
+        # active list once both endpoints have released it.  Thresholds
+        # fluctuate with ``next_prio``, so released syncs are a superset of
+        # the due ones and the exact conditions are re-checked per scan.
+        for qpu in range(num_qpus):
+            endpoint = endpoint_lists[qpu]
+            pointer = release_ptr[qpu]
+            threshold = next_prio[qpu] + capacity[qpu]
+            while pointer < len(endpoint) and sync_prio[endpoint[pointer]] <= threshold:
+                i = endpoint[pointer]
+                pointer += 1
+                release_count[i] += 1
+                if release_count[i] == 2 and not started[i]:
+                    insort(active, (sync_prio[i], syncs[i].sync_id, i))
+            release_ptr[qpu] = pointer
+
         # Phase 1: synchronisation tasks whose priority has come due on both
         # of their QPUs claim communication resources first (relay routes
         # book a slot on every intermediate QPU and every crossed link).
-        for position, sync in enumerate(pending):
+        stale = 0
+        for priority, _sync_id, i in active:
+            if started[i]:
+                stale += 1
+                continue
+            sync_scans += 1
+            sync = syncs[i]
             if sync_pin[sync.sync_id] > time:
                 continue
-            qpu_a, qpu_b = sync.qpu_a, sync.qpu_b
-            priority = sync_prio[sync.sync_id]
-            if priority > next_prio[qpu_a] or priority > next_prio[qpu_b]:
+            if priority > next_prio[sync.qpu_a] or priority > next_prio[sync.qpu_b]:
                 continue
             if not claim(sync, time):
                 continue
+            started[i] = True
             start_times[sync.key] = time
-            scheduled_syncs.append(position)
             scheduled_this_slot += 1
 
         # Phase 1b: top up connection layers.  A QPU that already switched to
@@ -215,11 +307,11 @@ def _list_schedule(
         # the ones already running are pulled forward up to ``K_max``.  This
         # mirrors the paper's connection layers serving several connectors.
         if scheduled_this_slot:
-            taken = set(scheduled_syncs)
-            sync_scans += len(pending)
-            for position, sync in enumerate(pending):
-                if position in taken:
+            for priority, _sync_id, i in active:
+                if started[i]:
                     continue
+                sync_scans += 1
+                sync = syncs[i]
                 if sync_pin[sync.sync_id] > time:
                     continue
                 qpu_a, qpu_b = sync.qpu_a, sync.qpu_b
@@ -230,12 +322,12 @@ def _list_schedule(
                     continue
                 window = float(min(capacity[qpu_a], capacity[qpu_b]))
                 due = min(next_prio[qpu_a], next_prio[qpu_b]) + window
-                if sync_prio[sync.sync_id] > due:
+                if priority > due:
                     continue
                 if not claim(sync, time):
                     continue
+                started[i] = True
                 start_times[sync.key] = time
-                scheduled_syncs.append(position)
                 scheduled_this_slot += 1
 
         # Phase 2: every QPU without synchronisation work this cycle runs its
@@ -271,8 +363,11 @@ def _list_schedule(
             # (for direct syncs that is the current cycle: the partner QPUs
             # are idle by construction here; relayed syncs may have to step
             # past windows booked by earlier claims).
-            if pending:
-                forced = pending[0]
+            while global_ptr < len(order) and started[order[global_ptr]]:
+                global_ptr += 1
+            if global_ptr < len(order):
+                forced_index = order[global_ptr]
+                forced = syncs[forced_index]
                 forced_start = time
                 while not claim(forced, forced_start):
                     forced_start += 1
@@ -281,8 +376,8 @@ def _list_schedule(
                             "list scheduling exceeded its time horizon; "
                             "the problem is inconsistent"
                         )
+                started[forced_index] = True
                 start_times[forced.key] = forced_start
-                scheduled_syncs.append(0)
             else:
                 # Every remaining task is a main task on a QPU whose
                 # communication layer is busy this cycle with a relay
@@ -297,11 +392,8 @@ def _list_schedule(
                     raise SchedulingError(
                         "list scheduling stalled with unscheduled tasks"
                     )
-        if scheduled_syncs:
-            taken = set(scheduled_syncs)
-            pending = [
-                sync for position, sync in enumerate(pending) if position not in taken
-            ]
+        if stale > len(active) // 2:
+            active = [entry for entry in active if not started[entry[2]]]
         time += 1
 
     OP_COUNTERS.add("scheduler.calls")
@@ -311,5 +403,6 @@ def _list_schedule(
         OP_COUNTERS.add("scheduler.route_reevals", route_reevals)
     if buffer_conflicts:
         OP_COUNTERS.add("scheduler.buffer_conflicts", buffer_conflicts)
-    problem.validate(schedule)
+    if validate:
+        problem.validate(schedule)
     return schedule

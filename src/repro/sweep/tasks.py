@@ -21,8 +21,9 @@ from repro.core.config import DCMBQCConfig
 from repro.hardware.resource_states import ResourceStateType
 from repro.metrics.improvement import improvement_factor
 from repro.programs.registry import paper_grid_size
-from repro.scheduling.bdir import BDIRConfig, BDIRScheduler
+from repro.scheduling.bdir import BDIRConfig
 from repro.scheduling.list_scheduler import list_schedule
+from repro.scheduling.portfolio import portfolio_refine
 from repro.sweep.cache import LRUCache, build_computation
 from repro.sweep.grid import SweepPoint
 
@@ -60,6 +61,7 @@ def config_for_point(point: SweepPoint) -> DCMBQCConfig:
         "link_capacity",
         "custom_links",
         "relay_model",
+        "bdir_starts",
     ):
         value = point.option(name)
         if value is not None:
@@ -117,8 +119,15 @@ def run_bdir(point: SweepPoint) -> Dict[str, object]:
 
     baseline_schedule = list_schedule(problem)
     baseline_lifetime = problem.evaluate(baseline_schedule).tau_photon
-    refined = BDIRScheduler(problem, BDIRConfig(seed=point.seed)).refine(
-        baseline_schedule
+    # The system model is threaded through so sparse-topology points hit
+    # its alternate-route cache instead of re-enumerating per move; a
+    # one-start portfolio is the exact single-start refinement.
+    refined = portfolio_refine(
+        problem,
+        BDIRConfig(seed=point.seed),
+        baseline_schedule,
+        starts=config.bdir_starts,
+        system=compiler.system_model(),
     )
     bdir_lifetime = problem.evaluate(refined).tau_photon
     return {

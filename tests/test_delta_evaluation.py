@@ -1,0 +1,177 @@
+"""Property test: delta evaluation ≡ full evaluation, move by move.
+
+The delta evaluator (`LayerSchedulingProblem.delta_evaluator`) keeps the last
+accepted schedule's kernel state and re-propagates only the cone a move
+touches.  Hypothesis drives randomised sequences of accepted and rejected
+moves — single-task start shifts and, on sparse interconnects, re-route
+moves that bump the problem's ``_route_version`` — and after *every* step
+asserts the incremental result equals a fresh authoritative
+``problem.evaluate`` of the same schedule (full ``ScheduleEvaluation``
+dataclass equality: tau components, makespan, worst sync/gap, and the local
+lifetime report).  Rejected steps additionally verify the rollback restored
+the accepted state exactly.
+
+Four topologies × 60 examples ≈ 240 independent sequences, exceeding the
+200-sequence / 3-topology acceptance bar.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiler import DCMBQCCompiler
+from repro.core.config import DCMBQCConfig
+from repro.hardware.system import enumerate_routes
+from repro.programs.qft import qft_circuit
+
+TOPOLOGIES = [None, "line", "ring", "torus"]
+
+_PROBLEM_CACHE = {}
+
+
+def _problem_for(topology):
+    """One compiled QFT-8 scheduling problem per topology, built lazily."""
+    if topology not in _PROBLEM_CACHE:
+        config = dict(num_qpus=4, use_bdir=False, seed=3)
+        if topology is not None:
+            config["topology"] = topology
+        compiler = DCMBQCCompiler(DCMBQCConfig(**config))
+        result, _ = compiler.compile_run(
+            qft_circuit(8), store=None, use_cache=False
+        )
+        _PROBLEM_CACHE[topology] = result.problem
+    return _PROBLEM_CACHE[topology]
+
+
+def _alternate_route(problem, sync):
+    routes = [
+        route
+        for route in enumerate_routes(
+            problem.link_capacities, sync.qpu_a, sync.qpu_b
+        )
+        if route != sync.route_qpus
+    ]
+    return routes[0] if routes else None
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+@settings(
+    max_examples=60,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_delta_equals_full_evaluate(topology, data):
+    problem = _problem_for(topology)
+    from repro.scheduling.list_scheduler import list_schedule
+
+    pristine = {sync.sync_id: sync.route for sync in problem.sync_tasks}
+    current = list_schedule(problem)
+    keys = list(current.start_times)
+    horizon = current.makespan + 8
+
+    evaluator = problem.delta_evaluator()
+    try:
+        assert evaluator.prime(current) == problem.evaluate(current)
+
+        steps = data.draw(st.integers(min_value=1, max_value=8), label="steps")
+        for _ in range(steps):
+            candidate = current.copy()
+            undo_route = None
+
+            # Optionally re-route one sync first (sparse interconnects
+            # only): this bumps _route_version and changes relay hops.
+            if problem.link_capacities is not None and data.draw(
+                st.booleans(), label="reroute"
+            ):
+                sync = problem.sync_tasks[
+                    data.draw(
+                        st.integers(0, len(problem.sync_tasks) - 1),
+                        label="sync",
+                    )
+                ]
+                detour = _alternate_route(problem, sync)
+                if detour is not None:
+                    undo_route = (sync.sync_id, sync.route)
+                    problem.set_route(sync.sync_id, detour)
+
+            # Move a handful of tasks to fresh starts (a repair can shift
+            # several tasks at once; the cone must absorb all of them).
+            for _ in range(data.draw(st.integers(1, 3), label="moves")):
+                key = keys[data.draw(st.integers(0, len(keys) - 1), label="task")]
+                candidate.start_times[key] = data.draw(
+                    st.integers(0, horizon), label="start"
+                )
+
+            delta_eval = evaluator.propose(candidate)
+            assert delta_eval == problem.evaluate(candidate)
+
+            if data.draw(st.booleans(), label="accept"):
+                evaluator.accept()
+                current = candidate
+            else:
+                evaluator.reject()
+                if undo_route is not None:
+                    problem.set_route(*undo_route)
+                # The rollback must have restored the accepted state: a
+                # re-proposal of the current schedule is a pure no-op and
+                # still matches the authoritative full pass.
+                recheck = evaluator.propose(current)
+                assert recheck == problem.evaluate(current)
+                evaluator.reject()
+    finally:
+        # Leave the shared problem's route table pristine for other examples.
+        for sync in problem.sync_tasks:
+            if sync.route != pristine[sync.sync_id]:
+                problem.set_route(sync.sync_id, pristine[sync.sync_id])
+
+
+@pytest.mark.parametrize("topology", [None, "line"])
+def test_propose_requires_prime_and_resolution(topology):
+    problem = _problem_for(topology)
+    from repro.scheduling.list_scheduler import list_schedule
+    from repro.utils.errors import SchedulingError
+
+    schedule = list_schedule(problem)
+    evaluator = problem.delta_evaluator()
+    with pytest.raises(SchedulingError, match="before prime"):
+        evaluator.propose(schedule)
+    evaluator.prime(schedule)
+    moved = schedule.copy()
+    key = next(iter(moved.start_times))
+    moved.start_times[key] += 1
+    evaluator.propose(moved)
+    with pytest.raises(SchedulingError, match="neither accepted nor rejected"):
+        evaluator.propose(moved)
+    evaluator.accept()
+    assert evaluator.propose(moved) == problem.evaluate(moved)
+    evaluator.reject()
+
+
+def test_worst_sync_matches_gap_scan():
+    """`worst_sync`/`worst_gap` reproduce the old first-argmax gap scan."""
+    from repro.scheduling.list_scheduler import list_schedule
+    from repro.scheduling.problem import remote_sync_gaps
+
+    problem = _problem_for("line")
+    schedule = list_schedule(problem)
+    evaluation = problem.evaluate(schedule)
+    worst_id, worst_gap = None, -1
+    for sync in problem.sync_tasks:
+        gap = int(
+            remote_sync_gaps(
+                schedule.start_of(sync.key),
+                schedule.start_of(sync.main_keys[0]),
+                schedule.start_of(sync.main_keys[1]),
+                sync.relay_hops,
+                pipelined=problem.pipelined,
+            )
+        )
+        if gap > worst_gap:
+            worst_id, worst_gap = sync.sync_id, gap
+    assert evaluation.worst_sync == worst_id
+    assert evaluation.worst_gap == worst_gap
+    assert evaluation.tau_remote == worst_gap
